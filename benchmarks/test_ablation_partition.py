@@ -1,0 +1,89 @@
+"""Ablation: treelet partition strategy and treelet size.
+
+Design choices under test (see DESIGN.md / repro.bvh.treelets):
+
+* DFS-range *pack* partitioning (default, ~100% fill) vs Aila-style
+  *subtree* growth (fragmenting tail).
+* Treelet budget relative to the L1: the paper sizes treelets to half
+  the L1 so one can be processed while the next preloads (Section 4.3).
+"""
+
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.bvh.layout import LayoutConfig
+from repro.bvh.builder import BuildConfig, build_binary_bvh
+from repro.bvh.scene_bvh import _prepare_tables
+from repro.bvh.treelets import partition_treelets
+from repro.bvh.wide import collapse_to_wide
+from repro.bvh.layout import build_layout
+from repro.scenes import load_scene
+from repro.tracing import render_scene
+
+
+def build_with(mesh, budget, strategy):
+    binary = build_binary_bvh(mesh, BuildConfig())
+    wide = collapse_to_wide(binary, 4)
+    layout_config = LayoutConfig()
+    partition = partition_treelets(
+        wide, budget_bytes=budget, strategy=strategy,
+        node_bytes=layout_config.node_bytes,
+        triangle_bytes=layout_config.triangle_bytes,
+        leaf_header_bytes=layout_config.leaf_header_bytes,
+    )
+    layout = build_layout(wide, partition, layout_config)
+    return _prepare_tables(mesh, wide, partition, layout)
+
+
+def test_ablation_partition_strategy(benchmark, context, show):
+    """Pack vs subtree partitioning under the full VTQ pipeline."""
+    setup = context.setup
+    scene = load_scene(context.scenes()[0], scale=setup.scene_scale)
+    rows = []
+    cycles_by = {}
+
+    def run_all():
+        for strategy in ("pack", "subtree"):
+            bvh = build_with(scene.mesh, setup.gpu.treelet_bytes, strategy)
+            fill = bvh.partition.stats()["fill_ratio"]
+            result = render_scene(scene, bvh, setup, policy="vtq")
+            cycles_by[strategy] = result.cycles
+            rows.append(
+                [strategy, f"{bvh.treelet_count}", f"{fill:.2f}",
+                 f"{result.cycles:,.0f}"]
+            )
+        return {
+            "title": "Ablation: treelet partition strategy (full VTQ)",
+            "headers": ["strategy", "treelets", "mean fill", "cycles"],
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    # Both must function; pack's denser treelets should not lose badly.
+    assert cycles_by["pack"] <= cycles_by["subtree"] * 1.5
+
+
+def test_ablation_treelet_size(benchmark, context, show):
+    """Treelet budget sweep: L1/4, L1/2 (paper), L1."""
+    setup = context.setup
+    scene = load_scene(context.scenes()[0], scale=setup.scene_scale)
+    l1 = setup.gpu.l1_bytes
+    rows = []
+    cycles = {}
+
+    def run_all():
+        for label, budget in (("L1/4", l1 // 4), ("L1/2", l1 // 2), ("L1", l1)):
+            bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=budget)
+            result = render_scene(scene, bvh, setup, policy="vtq")
+            cycles[label] = result.cycles
+            rows.append([label, f"{budget}", f"{bvh.treelet_count}",
+                         f"{result.cycles:,.0f}"])
+        return {
+            "title": "Ablation: treelet byte budget (paper default: half L1, "
+            "so the next treelet can preload)",
+            "headers": ["budget", "bytes", "treelets", "cycles"],
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    assert all(v > 0 for v in cycles.values())

@@ -1,0 +1,106 @@
+"""Ablation: the VTQ design knobs beyond the paper's main sweeps.
+
+* Treelet & ray-data preloading (Section 4.3): the paper argues the
+  preload benefit outweighs halving the treelet size.
+* Initial-phase divergence threshold (Section 3.2, step 1): when to
+  terminate an arriving warp into the queues.
+* Ray-virtualization budget: how many concurrent rays VTQ actually needs
+  (the Section 2.4 motivation, measured in the detailed model).
+"""
+
+from dataclasses import replace
+
+from repro.core.config import VTQConfig
+from repro.experiments.runner import scene_and_bvh
+from repro.gpusim.config import ScaledSetup
+from repro.tracing import render_scene
+
+
+def _vtq_for(setup):
+    population = min(
+        setup.gpu.max_virtual_rays_per_sm,
+        max(1, setup.pixels // setup.gpu.num_sms),
+    )
+    return VTQConfig().scaled_to(population)
+
+
+def test_ablation_preload(benchmark, context, show):
+    setup = context.setup
+    scene, bvh = scene_and_bvh(context.scenes()[0], setup)
+    vtq = _vtq_for(setup)
+    cycles = {}
+
+    def run_all():
+        rows = []
+        for label, cfg in (
+            ("preload on (paper)", vtq),
+            ("preload off", replace(vtq, preload_enabled=False)),
+        ):
+            result = render_scene(scene, bvh, setup, policy="vtq", vtq_config=cfg)
+            cycles[label] = result.cycles
+            rows.append([label, f"{result.cycles:,.0f}"])
+        return {
+            "title": "Ablation: treelet & ray-data preloading (Section 4.3)",
+            "headers": ["variant", "cycles"],
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    assert cycles["preload on (paper)"] <= cycles["preload off"]
+
+
+def test_ablation_divergence_threshold(benchmark, context, show):
+    setup = context.setup
+    scene, bvh = scene_and_bvh(context.scenes()[0], setup)
+    vtq = _vtq_for(setup)
+    cycles = {}
+
+    def run_all():
+        rows = []
+        for threshold in (1, 2, 4, 8, 16):
+            cfg = replace(vtq, divergence_threshold=threshold)
+            result = render_scene(scene, bvh, setup, policy="vtq", vtq_config=cfg)
+            cycles[threshold] = result.cycles
+            rows.append([str(threshold), f"{result.cycles:,.0f}"])
+        return {
+            "title": "Ablation: initial-phase divergence threshold "
+            "(treelets per warp before termination)",
+            "headers": ["threshold", "cycles"],
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    assert all(v > 0 for v in cycles.values())
+
+
+def test_ablation_virtual_ray_budget(benchmark, context, show):
+    """Measured counterpart of the Figure 5 motivation."""
+    setup = context.setup
+    scene, bvh = scene_and_bvh(context.scenes()[0], setup)
+    base = render_scene(scene, bvh, setup, policy="baseline")
+    speedups = {}
+
+    def run_all():
+        rows = []
+        for budget in (64, 256, 1024, 4096):
+            capped = ScaledSetup(
+                gpu=replace(setup.gpu, max_virtual_rays_per_sm=budget),
+                image_width=setup.image_width,
+                image_height=setup.image_height,
+                scene_scale=setup.scene_scale,
+                max_bounces=setup.max_bounces,
+            )
+            cfg = VTQConfig().scaled_to(budget)
+            result = render_scene(scene, bvh, capped, policy="vtq", vtq_config=cfg)
+            speedups[budget] = base.cycles / result.cycles
+            rows.append([str(budget), f"{speedups[budget]:.2f}x"])
+        return {
+            "title": "Ablation: virtual-ray budget (measured Figure 5 analogue)",
+            "headers": ["max rays in flight / SM", "speedup vs baseline"],
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    # More concurrency must not hurt; the largest budget should be at
+    # least as good as the smallest.
+    assert speedups[4096] >= speedups[64] * 0.95

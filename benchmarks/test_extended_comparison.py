@@ -1,0 +1,46 @@
+"""Extended comparison: every policy the paper discusses, side by side.
+
+Figure 10 compares VTQ against the baseline and Treelet Prefetching; the
+related-work section also discusses software ray sorting (Garanzha &
+Loop 2010) as the alternative way to manufacture coherence, dismissed for
+its sorting overhead.  This benchmark puts all four on one table.
+"""
+
+import numpy as np
+
+from repro.experiments import run_case
+
+
+def _geomean(values):
+    values = [v for v in values if v > 0]
+    return float(np.exp(np.mean(np.log(values)))) if values else 0.0
+
+
+def test_extended_comparison(benchmark, context, show, strict):
+    policies = ("prefetch", "sorted", "vtq")
+    speedups = {p: [] for p in policies}
+
+    def run_all():
+        rows = []
+        for scene in context.scenes():
+            base = run_case(scene, "baseline", context)
+            row = [scene]
+            for policy in policies:
+                m = run_case(scene, policy, context)
+                s = base["cycles"] / m["cycles"]
+                speedups[policy].append(s)
+                row.append(f"{s:.2f}")
+            rows.append(row)
+        rows.append(["GEOMEAN"] + [f"{_geomean(speedups[p]):.2f}" for p in policies])
+        return {
+            "title": "Extended comparison: speedup over baseline "
+            "(prefetching MICRO'23, ray sorting HPG'10, VTQ ASPLOS'25)",
+            "headers": ["scene"] + list(policies),
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    if strict:
+        # VTQ must lead the comparison on average, as the paper claims.
+        assert _geomean(speedups["vtq"]) >= _geomean(speedups["sorted"])
+        assert _geomean(speedups["vtq"]) > _geomean(speedups["prefetch"])

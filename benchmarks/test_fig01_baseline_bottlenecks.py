@@ -1,0 +1,18 @@
+"""Figure 1: baseline L1 BVH miss rates and SIMT efficiency per scene."""
+
+from repro.experiments import fig01_baseline_bottlenecks
+
+
+def test_fig01_baseline_bottlenecks(benchmark, context, show, strict):
+    result = benchmark.pedantic(
+        lambda: fig01_baseline_bottlenecks(context), rounds=1, iterations=1
+    )
+    show(result)
+    mean = result["rows"][-1]
+    assert mean[0] == "MEAN"
+    if strict:
+        # Paper: miss rates average 58%; caches are ineffective.  Our
+        # scale model must land in the same regime.
+        assert 0.25 <= float(mean[1]) <= 0.75
+        # Paper: baseline SIMT efficiency is low (~0.37 average).
+        assert float(mean[2]) <= 0.6

@@ -1,0 +1,18 @@
+"""Figure 5: the Section 2.4 analytical model's concurrency sweep."""
+
+from repro.experiments import fig05_analytical_model
+
+
+def test_fig05_analytical_model(benchmark, context, show):
+    levels = (64, 256, 1024, 4096)
+    result = benchmark.pedantic(
+        lambda: fig05_analytical_model(context, levels), rounds=1, iterations=1
+    )
+    show(result)
+    for row in result["rows"]:
+        speedups = [float(v) for v in row[1:]]
+        # Paper: the potential gain grows with concurrent rays.
+        assert speedups == sorted(speedups), row[0]
+    # Paper: most scenes reach several-x at 4096 concurrent rays.
+    top = [float(row[-1]) for row in result["rows"]]
+    assert max(top) > 2.0

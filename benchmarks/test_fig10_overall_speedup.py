@@ -1,0 +1,22 @@
+"""Figure 10: the headline result — VTQ vs baseline vs Treelet Prefetching."""
+
+from repro.experiments import fig10_overall_speedup
+
+
+def test_fig10_overall_speedup(benchmark, context, show, strict):
+    result = benchmark.pedantic(
+        lambda: fig10_overall_speedup(context), rounds=1, iterations=1
+    )
+    show(result)
+    geo = result["rows"][-1]
+    assert geo[0] == "GEOMEAN"
+    vtq_over_base = float(geo[2])
+    vtq_over_pf = float(geo[3])
+    assert vtq_over_base > 0
+    if strict:
+        # Paper: 1.95x over baseline (up to 2.55x), 1.43x over prefetching.
+        # Shape requirement: VTQ clearly beats both.
+        assert vtq_over_base > 1.15
+        assert vtq_over_pf > 1.05
+        per_scene_base = [float(r[2]) for r in result["rows"][:-1]]
+        assert max(per_scene_base) > 1.3

@@ -1,0 +1,18 @@
+"""Figure 14: cycle distribution across the three traversal modes."""
+
+from repro.experiments import fig14_mode_cycles
+
+
+def test_fig14_mode_cycles(benchmark, context, show):
+    result = benchmark.pedantic(
+        lambda: fig14_mode_cycles(context), rounds=1, iterations=1
+    )
+    show(result)
+    mean = result["rows"][-1]
+    initial, treelet, final = (float(v) for v in mean[1:])
+    # The table holds 3-decimal strings; allow their rounding error.
+    assert abs(initial + treelet + final - 1.0) < 5e-3
+    # Paper: a short initial phase, and the final ray-stationary phase
+    # (diverged rays) dominates the cycle count.
+    assert final > treelet
+    assert final > initial

@@ -1,0 +1,13 @@
+"""Figure 16: the cost of CTA save/restore for ray virtualization."""
+
+from repro.experiments import fig16_virtualization_overhead
+
+
+def test_fig16_virtualization_overhead(benchmark, context, show):
+    result = benchmark.pedantic(
+        lambda: fig16_virtualization_overhead(context), rounds=1, iterations=1
+    )
+    show(result)
+    mean_pct = float(result["rows"][-1][1].rstrip("%"))
+    # Paper: ~10% average slowdown.  Shape: a real but modest overhead.
+    assert 0.0 <= mean_pct < 40.0

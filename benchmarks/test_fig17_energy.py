@@ -1,0 +1,16 @@
+"""Figure 17: energy of VTQ relative to the baseline."""
+
+from repro.experiments import fig17_energy
+
+
+def test_fig17_energy(benchmark, context, show, strict):
+    result = benchmark.pedantic(lambda: fig17_energy(context), rounds=1, iterations=1)
+    show(result)
+    mean = result["rows"][-1]
+    rel_energy = float(mean[1])
+    virt_share = float(mean[2].rstrip("%"))
+    assert 0.0 <= virt_share < 50.0
+    if strict:
+        # Paper: treelet queues cut energy ~60%; virtualization is ~11% of
+        # the design's energy.  Shape: savings, modest virtualization slice.
+        assert rel_energy < 1.0

@@ -1,0 +1,59 @@
+"""Section 8 outlook: treelet queues on general tree-traversal workloads.
+
+The paper closes by predicting its mechanisms carry over to BVH-backed
+non-rendering workloads (RT-DBSCAN, RTIndeX, RTNN).  This benchmark runs
+the two workloads implemented in :mod:`repro.rtquery` — RT-backed
+database range scans and point-in-mesh classification — through the
+baseline and VTQ engines.
+"""
+
+import numpy as np
+
+from repro.rtquery import MeshClassifier, RangeIndex, time_queries
+from repro.scenes import blob
+
+
+def test_rtquery_generalization(benchmark, context, show):
+    rng = np.random.default_rng(17)
+
+    def run_all():
+        rows = []
+        # Workload 1: database range scans (RTIndeX-style).
+        index = RangeIndex(rng.uniform(0, 1e6, 4000))
+        starts = rng.uniform(0, 1e6 - 1e4, 128)
+        queries = [(s, s + 1e4) for s in starts]
+
+        def idx_factory(i):
+            return index.make_query_state(*queries[i], ray_id=i)
+
+        base = time_queries(index.bvh, idx_factory, len(queries), policy="baseline")
+        vtq = time_queries(index.bvh, idx_factory, len(queries), policy="vtq")
+        for i, state in enumerate(vtq.states):
+            assert sorted(p for p, _ in state.all_hits) == index.oracle_query(*queries[i])
+        rows.append(["range scans (RTIndeX)", f"{base.cycles:,.0f}",
+                     f"{vtq.cycles:,.0f}", f"{base.cycles / vtq.cycles:.2f}x"])
+
+        # Workload 2: point containment (voxelizer-style).
+        classifier = MeshClassifier(blob(4, radius=2.0, bumpiness=0.15, seed=11))
+        points = rng.uniform(-2.6, 2.6, (256, 3))
+
+        def pim_factory(i):
+            return classifier.make_query_state(points[i], ray_id=i)
+
+        base2 = time_queries(classifier.bvh, pim_factory, len(points), policy="baseline")
+        vtq2 = time_queries(classifier.bvh, pim_factory, len(points), policy="vtq")
+        flags_base = [MeshClassifier.classify_state(s) for s in base2.states]
+        flags_vtq = [MeshClassifier.classify_state(s) for s in vtq2.states]
+        assert flags_base == flags_vtq
+        rows.append(["point-in-mesh", f"{base2.cycles:,.0f}",
+                     f"{vtq2.cycles:,.0f}", f"{base2.cycles / vtq2.cycles:.2f}x"])
+        return {
+            "title": "Section 8 outlook: VTQ on general tree-query workloads",
+            "headers": ["workload", "baseline cycles", "VTQ cycles", "speedup"],
+            "rows": rows,
+        }, base2.cycles / vtq2.cycles
+
+    result, pim_speedup = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    show(result)
+    # Incoherent containment queries are where treelet grouping pays off.
+    assert pim_speedup > 1.2

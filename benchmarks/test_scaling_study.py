@@ -1,0 +1,60 @@
+"""Scale-model validation: is the measured speedup stable across scales?
+
+The methodology leans on scale-model simulation (the paper cites
+SeyyedAghaei et al., HPCA'24 and Grigoryan et al., ISPASS'24 for its
+accuracy).  This benchmark runs one scene at three model scales — scene
+triangle budget and image area growing together — and checks that the
+VTQ-over-baseline speedup, the quantity every figure is built from, stays
+stable rather than being an artifact of one particular scale.
+"""
+
+from repro.bvh import build_scene_bvh
+from repro.core.config import VTQConfig
+from repro.gpusim.config import ScaledSetup
+from repro.scenes import load_scene
+from repro.tracing import render_scene
+
+
+def test_scaling_study(benchmark, context, show, strict):
+    base_setup = context.setup
+    name = context.scenes()[0]
+    speedups = {}
+
+    def run_all():
+        rows = []
+        for scale, side in ((0.5, 48), (1.0, 64), (2.0, 90)):
+            scene = load_scene(name, scale=scale)
+            bvh = build_scene_bvh(
+                scene.mesh, treelet_budget_bytes=base_setup.gpu.treelet_bytes
+            )
+            setup = ScaledSetup(
+                gpu=base_setup.gpu,
+                image_width=side,
+                image_height=side,
+                scene_scale=scale,
+                max_bounces=base_setup.max_bounces,
+            )
+            population = min(
+                setup.gpu.max_virtual_rays_per_sm,
+                max(1, setup.pixels // setup.gpu.num_sms),
+            )
+            vtq = VTQConfig().scaled_to(population)
+            b = render_scene(scene, bvh, setup, policy="baseline")
+            v = render_scene(scene, bvh, setup, policy="vtq", vtq_config=vtq)
+            speedups[scale] = b.cycles / v.cycles
+            rows.append(
+                [f"{scale}x", f"{scene.mesh.triangle_count}", f"{side}x{side}",
+                 f"{b.cycles:,.0f}", f"{speedups[scale]:.2f}x"]
+            )
+        return {
+            "title": f"Scale-model validation on {name}: VTQ speedup across scales",
+            "headers": ["scale", "triangles", "image", "baseline cycles", "speedup"],
+            "rows": rows,
+        }
+
+    show(benchmark.pedantic(run_all, rounds=1, iterations=1))
+    if strict:
+        values = list(speedups.values())
+        # The headline metric must not swing wildly with model scale.
+        assert max(values) / min(values) < 2.0
+        assert all(v > 1.0 for v in values)

@@ -1,0 +1,17 @@
+"""Section 6.5: hardware structure sizes and observed occupancies."""
+
+from repro.experiments import sec65_area_overheads
+
+
+def test_sec65_area_overheads(benchmark, context, show):
+    result = benchmark.pedantic(
+        lambda: sec65_area_overheads(context), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {row[0]: row[1] for row in result["rows"]}
+    # The paper's exact sizing math must reproduce.
+    assert rows["count table (paper cfg)"] == "2.27KB"
+    assert rows["queue table (paper cfg)"] == "6.30KB"  # paper rounds to 6.29
+    assert rows["ray data (paper cfg)"] == "128KB"
+    # Observed peaks must fit the provisioned capacities.
+    assert int(rows["peak count-table entries (observed)"]) <= 600

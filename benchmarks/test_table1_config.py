@@ -1,0 +1,18 @@
+"""Table 1: the simulated GPU configuration."""
+
+from repro.experiments import table1_configuration
+from repro.gpusim.config import paper_config
+
+
+def test_table1_config(benchmark, context, show):
+    result = benchmark.pedantic(
+        lambda: table1_configuration(context), rounds=1, iterations=1
+    )
+    show(result)
+    values = dict((row[0], row[1]) for row in result["rows"])
+    # Latencies must be the paper's regardless of scale.
+    paper = paper_config()
+    assert values["l1_latency"] == str(paper.l1_latency)
+    assert values["l2_latency"] == str(paper.l2_latency)
+    assert values["rt_warp_buffer_size"] == "1"
+    assert values["warp_size"] == "32"

@@ -1,0 +1,17 @@
+"""Table 2: the evaluation scene suite."""
+
+from repro.experiments import table2_scenes
+from repro.scenes import scene_spec
+
+
+def test_table2_scenes(benchmark, context, show):
+    result = benchmark.pedantic(lambda: table2_scenes(context), rounds=1, iterations=1)
+    show(result)
+    # Our scale-model BVH sizes must preserve the paper's ascending order.
+    names = [row[0] for row in result["rows"]]
+    paper_order = sorted(names, key=lambda n: scene_spec(n).paper_bvh_mb)
+    our_sizes = [float(row[4].rstrip("KB")) for row in result["rows"]]
+    ours_sorted = [
+        s for _, s in sorted(zip(names, our_sizes), key=lambda p: paper_order.index(p[0]))
+    ]
+    assert ours_sorted == sorted(ours_sorted)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Ablation study: which VTQ mechanism buys what?
+
+The paper's design has four separable pieces — treelet-stationary
+processing, grouping of underpopulated queues, warp repacking, and treelet
+preloading — plus the ray-virtualization overhead knob.  This example
+stacks them up one at a time on a single scene and prints the cumulative
+effect, mirroring how Sections 6.2-6.4 build the argument.
+
+Run:  python examples/ablation_study.py [SCENE]
+"""
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.bvh import build_scene_bvh
+from repro.core.config import VTQConfig
+from repro.gpusim.config import default_setup
+from repro.scenes import load_scene, scene_names
+from repro.tracing import render_scene
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scene", nargs="?", default="LANDS",
+                        choices=scene_names(include_extra=True))
+    args = parser.parse_args()
+
+    setup = default_setup()
+    scene = load_scene(args.scene, scale=setup.scene_scale)
+    bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+
+    full = VTQConfig().scaled_to(setup.gpu.max_virtual_rays_per_sm)
+    variants = [
+        ("baseline GPU", None, "baseline"),
+        ("naive treelet queues", full.naive(), "vtq"),
+        ("+ group underpopulated", replace(full, repack_enabled=False,
+                                           preload_enabled=False), "vtq"),
+        ("+ warp repacking", replace(full, preload_enabled=False), "vtq"),
+        ("+ treelet preloading (full VTQ)", full, "vtq"),
+        ("full VTQ, free virtualization",
+         replace(full, virtualization_overheads=False), "vtq"),
+    ]
+
+    print(f"Ablation on {args.scene} "
+          f"({scene.mesh.triangle_count} tris, {bvh.treelet_count} treelets)\n")
+    base_cycles = None
+    header = f"{'configuration':36s} {'cycles':>14s} {'speedup':>8s} {'SIMT':>6s}"
+    print(header)
+    print("-" * len(header))
+    for label, vtq, policy in variants:
+        result = render_scene(scene, bvh, setup, policy=policy, vtq_config=vtq)
+        if base_cycles is None:
+            base_cycles = result.cycles
+        print(f"{label:36s} {result.cycles:14,.0f} "
+              f"{base_cycles / result.cycles:7.2f}x "
+              f"{result.stats.simt_efficiency():6.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Ambient occlusion renderer on the Vulkan-style pipeline API.
+
+Demonstrates writing a *custom* renderer against ``repro.vkrt`` — the
+programming model of the paper's Figure 2 — instead of using the built-in
+path tracer.  Each raygen thread traces a primary ray, then fans out a
+handful of short occlusion rays over the hemisphere at the hit point; the
+fraction that escape is the pixel's ambient light.
+
+AO rays are short, incoherent and cheap to shade — a classic stress test
+for the RT unit, and exactly the kind of secondary-ray workload treelet
+queues target.
+
+Run:  python examples/ambient_occlusion.py [SCENE] [--size N] [--rays K]
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bvh import build_scene_bvh
+from repro.gpusim.config import default_setup
+from repro.scenes import load_scene, scene_names
+from repro.tracing.sampling import HashSampler
+from repro.scenes.materials import cosine_hemisphere
+from repro.vkrt import RayTracingPipeline, TraceCall
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scene", nargs="?", default="CRNVL",
+                        choices=scene_names(include_extra=True))
+    parser.add_argument("--size", type=int, default=32)
+    parser.add_argument("--rays", type=int, default=4,
+                        help="occlusion rays per hit point")
+    args = parser.parse_args()
+
+    setup = default_setup()
+    scene = load_scene(args.scene, scale=setup.scene_scale)
+    bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+    width = height = args.size
+    primaries = scene.camera.primary_rays(width, height)
+    ao_distance = float(np.linalg.norm(scene.mesh.bounds().extent())) * 0.1
+
+    def raygen(launch_id, payload):
+        hit = yield TraceCall(
+            tuple(primaries.origins[launch_id]),
+            tuple(primaries.directions[launch_id]),
+        )
+        if not hit.hit:
+            payload["ao"] = 1.0  # sky: fully unoccluded
+            return
+        normal = hit.normal
+        if np.dot(normal, primaries.directions[launch_id]) > 0:
+            normal = -normal
+        escaped = 0
+        for k in range(args.rays):
+            sampler = HashSampler(launch_id, k, seed=101)
+            direction = cosine_hemisphere(normal, sampler)
+            shadow = yield TraceCall(
+                tuple(hit.position + 1e-3 * normal),
+                tuple(direction),
+                tmax=ao_distance,
+            )
+            if not shadow.hit:
+                escaped += 1
+        payload["ao"] = escaped / args.rays
+
+    print(f"Rendering {args.rays}-ray AO of {args.scene} at {width}x{height} ...")
+    results = {}
+    for policy in ("baseline", "vtq"):
+        pipeline = RayTracingPipeline(raygen)
+        results[policy] = pipeline.launch(bvh, width, height, policy=policy)
+        r = results[policy]
+        print(f"{policy:9s}  {r.cycles:12,.0f} cycles   "
+              f"SIMT {r.stats.simt_efficiency():.2f}   "
+              f"L1 miss {r.stats.miss_rate('l1'):.2f}")
+
+    ao_base = results["baseline"].image(lambda p: p["ao"])
+    ao_vtq = results["vtq"].image(lambda p: p["ao"])
+    assert np.array_equal(ao_base, ao_vtq), "policies must agree"
+    print(f"\nAO images identical across engines; "
+          f"speedup {results['baseline'].cycles / results['vtq'].cycles:.2f}x")
+
+    from repro.tracing.image import write_pgm
+
+    path = f"{args.scene.lower()}_ao.pgm"
+    write_pgm(path, np.clip(ao_base, 0, 1))
+    print(f"Wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Animated scene: per-frame BVH refitting under the VTQ architecture.
+
+Real-time ray tracing refits the acceleration structure every frame
+instead of rebuilding it.  This example deforms a scene over several
+frames, refits the BVH each frame (topology, treelets and memory layout
+stay fixed — so the RT unit's working sets are stable), renders with the
+baseline and VTQ engines, and tracks how bounds inflation degrades
+traversal as the deformation drifts from the built pose.
+
+Run:  python examples/animated_scene.py [SCENE] [--frames N]
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bvh import build_scene_bvh
+from repro.bvh.refit import bounds_inflation, refit_scene_bvh
+from repro.gpusim.config import default_setup
+from repro.scenes import load_scene, scene_names
+from repro.tracing import render_scene
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scene", nargs="?", default="BUNNY",
+                        choices=scene_names(include_extra=True))
+    parser.add_argument("--frames", type=int, default=4)
+    parser.add_argument("--amplitude", type=float, default=0.15,
+                        help="deformation amplitude per frame (fraction of scene size)")
+    args = parser.parse_args()
+
+    setup = default_setup()
+    scene = load_scene(args.scene, scale=setup.scene_scale)
+    t0 = time.time()
+    bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+    build_time = time.time() - t0
+    print(f"{args.scene}: full SAH build {build_time * 1000:.0f} ms, "
+          f"{bvh.treelet_count} treelets\n")
+
+    extent = float(np.linalg.norm(scene.mesh.bounds().extent()))
+    base_vertices = scene.mesh.vertices.copy()
+    rng = np.random.default_rng(3)
+    wobble_dir = rng.normal(size=base_vertices.shape)
+    wobble_dir /= np.linalg.norm(wobble_dir, axis=1, keepdims=True)
+    frequencies = rng.uniform(1.0, 3.0, len(base_vertices))[:, None]
+
+    header = (f"{'frame':>5s} {'refit ms':>9s} {'inflation':>10s} "
+              f"{'baseline cyc':>13s} {'VTQ cyc':>11s} {'speedup':>8s}")
+    print(header)
+    print("-" * len(header))
+    frame_bvh = bvh
+    for frame in range(args.frames):
+        phase = frame / max(args.frames - 1, 1) * np.pi
+        offsets = (
+            args.amplitude * extent * 0.02
+            * np.sin(frequencies * phase) * wobble_dir
+        )
+        t0 = time.time()
+        frame_bvh = refit_scene_bvh(bvh, new_vertices=base_vertices + offsets)
+        refit_ms = (time.time() - t0) * 1000
+        scene.mesh = frame_bvh.mesh  # shading reads normals from the mesh
+        inflation = bounds_inflation(bvh, frame_bvh)
+        base = render_scene(scene, frame_bvh, setup, policy="baseline")
+        vtq = render_scene(scene, frame_bvh, setup, policy="vtq")
+        assert np.array_equal(base.image, vtq.image)
+        print(f"{frame:5d} {refit_ms:9.0f} {inflation:10.3f} "
+              f"{base.cycles:13,.0f} {vtq.cycles:11,.0f} "
+              f"{base.cycles / vtq.cycles:7.2f}x")
+
+    print(f"\nRefits reuse topology, treelet partition and addresses; a full "
+          f"rebuild costs {build_time * 1000:.0f} ms per frame instead.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the sweep utilities.
+
+Walks the two knobs the paper sweeps in its ablations — the queue
+threshold (Figure 12) and the repack threshold (Figure 13) — plus a GPU
+knob the paper keeps fixed (L1 size), all on one scene, and prints the
+resulting tables.  Any VTQConfig or GPUConfig field can be swept the
+same way.
+
+Run:  python examples/design_space.py [SCENE]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import default_context, format_table
+from repro.experiments.sweeps import sweep_gpu_param, sweep_vtq_param
+from repro.scenes import scene_names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scene", nargs="?", default="SPNZA",
+                        choices=scene_names(include_extra=True))
+    args = parser.parse_args()
+    context = default_context()
+
+    print(format_table(sweep_vtq_param(
+        args.scene, context, "queue_threshold", (8, 32, 128, 512)
+    )))
+    print()
+    print(format_table(sweep_vtq_param(
+        args.scene, context, "repack_threshold", (4, 12, 22, 30)
+    )))
+    print()
+    print(format_table(sweep_gpu_param(
+        args.scene, context, "l1_bytes", (1024, 2048, 4096)
+    )))
+    print("\nSweep any other field the same way: "
+          "sweep_vtq_param(scene, ctx, 'divergence_threshold', (1, 4, 16)).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

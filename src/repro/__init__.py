@@ -1,0 +1,49 @@
+"""Reproduction of "Treelet Accelerated Ray Tracing on GPUs" (ASPLOS 2025).
+
+Top-level convenience surface.  The subpackages are the real API:
+
+* :mod:`repro.geometry`   — vectors, rays, AABBs, meshes, intersections.
+* :mod:`repro.scenes`     — procedural scenes / synthetic LumiBench suite.
+* :mod:`repro.bvh`        — SAH builder, 4-wide BVH, treelets, layout,
+  traversal, refitting.
+* :mod:`repro.gpusim`     — the transaction-level GPU timing model.
+* :mod:`repro.baselines`  — Treelet Prefetching (Chou et al., MICRO'23).
+* :mod:`repro.core`       — Virtualized Treelet Queues (the contribution).
+* :mod:`repro.tracing`    — the end-to-end path tracer and render drivers.
+* :mod:`repro.vkrt`       — Vulkan-style pipeline API (custom shaders).
+* :mod:`repro.rtquery`    — general tree-query workloads (Section 8).
+* :mod:`repro.analytic`   — the Section 2.4 analytical model.
+* :mod:`repro.experiments`— per-figure reproduction harness.
+
+Quick start::
+
+    from repro import build_scene_bvh, default_setup, load_scene, render_scene
+
+    setup = default_setup()
+    scene = load_scene("LANDS")
+    bvh = build_scene_bvh(scene.mesh,
+                          treelet_budget_bytes=setup.gpu.treelet_bytes)
+    result = render_scene(scene, bvh, setup, policy="vtq")
+"""
+
+__version__ = "1.0.0"
+
+from repro.bvh import build_scene_bvh
+from repro.core import VTQConfig, VTQRTUnit
+from repro.gpusim.config import GPUConfig, default_setup, paper_config, scaled_config
+from repro.scenes import load_scene, scene_names
+from repro.tracing import render_scene
+
+__all__ = [
+    "__version__",
+    "build_scene_bvh",
+    "VTQConfig",
+    "VTQRTUnit",
+    "GPUConfig",
+    "default_setup",
+    "paper_config",
+    "scaled_config",
+    "load_scene",
+    "scene_names",
+    "render_scene",
+]

@@ -1,0 +1,15 @@
+"""The standalone analytical model of Section 2.4 (Figure 5)."""
+
+from repro.analytic.model import (
+    RayTrace,
+    analytical_speedup,
+    collect_workload_traces,
+    concurrency_sweep,
+)
+
+__all__ = [
+    "RayTrace",
+    "analytical_speedup",
+    "collect_workload_traces",
+    "concurrency_sweep",
+]

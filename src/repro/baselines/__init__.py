@@ -1,0 +1,10 @@
+"""Comparison baselines.
+
+:mod:`repro.baselines.prefetch` implements Treelet Prefetching (Chou et
+al., MICRO 2023), the most recent prior treelet work on RT-capable GPUs
+and the paper's main comparison point (Figure 10).
+"""
+
+from repro.baselines.prefetch import PrefetchRTUnit
+
+__all__ = ["PrefetchRTUnit"]

@@ -1,0 +1,99 @@
+"""Compressed-leaf encoding (Benthin et al., HPG 2018 style).
+
+Vulkan-Sim repacks the Embree BVH into a compressed-leaf format; the
+compression matters to the reproduction because it sets the *byte size* of
+leaf blocks, which in turn drives treelet sizes and memory traffic.
+
+We implement an honest codec: each leaf block stores a local grid origin
+and scale, and every vertex is quantized to ``bits`` per component.  The
+codec round-trips with a bounded error (half a quantization step), verified
+by tests; the scene pipeline uses it to size leaf bytes and can also decode
+quantized geometry for error analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CompressedLeafCodec:
+    """Quantizes leaf-block vertices to a local fixed-point grid.
+
+    Attributes
+    ----------
+    bits:
+        Bits per vertex component (Benthin et al. use 8-16 depending on
+        variant; 16 keeps error visually negligible).
+    header_bytes:
+        Per-leaf header: grid origin (3 x f32), scale (f32), count.
+    """
+
+    bits: int = 16
+    header_bytes: int = 20
+
+    def __post_init__(self):
+        if not 4 <= self.bits <= 24:
+            raise ValueError("bits must be in [4, 24]")
+
+    # -- sizing ---------------------------------------------------------------
+
+    def triangle_bytes(self) -> int:
+        """Serialized size of one triangle: 9 quantized components, padded."""
+        raw_bits = 9 * self.bits
+        return (raw_bits + 7) // 8
+
+    def leaf_bytes(self, triangle_count: int) -> int:
+        """Full serialized size of a leaf block with ``triangle_count`` tris."""
+        if triangle_count < 0:
+            raise ValueError("triangle_count must be non-negative")
+        return self.header_bytes + triangle_count * self.triangle_bytes()
+
+    def compression_ratio(self, uncompressed_triangle_bytes: int = 36) -> float:
+        """Bytes saved vs an uncompressed ``3 x 3 x f32`` triangle."""
+        return self.triangle_bytes() / float(uncompressed_triangle_bytes)
+
+    # -- round-trip codec -----------------------------------------------------
+
+    def encode(self, triangles: np.ndarray) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Quantize ``(K, 3, 3)`` triangles to grid coordinates.
+
+        Returns ``(codes, origin, scale)`` where ``codes`` is an int32 array
+        of the same shape.
+        """
+        triangles = np.asarray(triangles, dtype=np.float64).reshape(-1, 3, 3)
+        if triangles.size == 0:
+            return np.zeros((0, 3, 3), dtype=np.int32), np.zeros(3), 1.0
+        points = triangles.reshape(-1, 3)
+        origin = points.min(axis=0)
+        extent = float((points.max(axis=0) - origin).max())
+        levels = (1 << self.bits) - 1
+        scale = extent / levels if extent > 0 else 1.0
+        codes = np.rint((triangles - origin) / scale).astype(np.int64)
+        codes = np.clip(codes, 0, levels).astype(np.int32)
+        return codes, origin, scale
+
+    def decode(self, codes: np.ndarray, origin: np.ndarray, scale: float) -> np.ndarray:
+        """Dequantize grid coordinates back to ``(K, 3, 3)`` vertices."""
+        return np.asarray(codes, dtype=np.float64) * scale + np.asarray(origin)
+
+    def max_error(self, triangles: np.ndarray) -> float:
+        """Worst-case per-component round-trip error for these triangles."""
+        codes, origin, scale = self.encode(triangles)
+        decoded = self.decode(codes, origin, scale)
+        if decoded.size == 0:
+            return 0.0
+        return float(np.abs(decoded - np.asarray(triangles)).max())
+
+    def error_bound(self, triangles: np.ndarray) -> float:
+        """Analytic bound on round-trip error: half a quantization step."""
+        triangles = np.asarray(triangles, dtype=np.float64).reshape(-1, 3, 3)
+        if triangles.size == 0:
+            return 0.0
+        points = triangles.reshape(-1, 3)
+        extent = float((points.max(axis=0) - points.min(axis=0)).max())
+        levels = (1 << self.bits) - 1
+        return 0.5 * (extent / levels) if extent > 0 else 0.0

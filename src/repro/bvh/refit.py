@@ -1,0 +1,121 @@
+"""BVH refitting for animated geometry.
+
+Real-time ray tracing (the paper's target domain) rarely rebuilds the
+acceleration structure per frame; it *refits*: keep the tree topology,
+treelet partition and memory layout, and only tighten every node's
+bounds around the deformed vertices.  Refitting is O(nodes) with no SAH
+work, at the cost of gradually degrading bounds quality as the
+deformation drifts from the built pose.
+
+``refit_scene_bvh`` returns a new :class:`SceneBVH` sharing the original
+topology, partition and layout (so treelet ids and addresses — and
+therefore the timing model's working sets — are stable across frames).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bvh.scene_bvh import SceneBVH, _prepare_tables
+from repro.bvh.wide import WideBVH
+from repro.geometry.triangle import TriangleMesh
+
+
+def refit_wide_bvh(wide: WideBVH, mesh: TriangleMesh) -> WideBVH:
+    """A copy of ``wide`` with bounds tightened around ``mesh``'s vertices.
+
+    ``mesh`` must have the same triangle topology as the BVH was built
+    over (same indices; only vertex positions may change).
+    """
+    if mesh.triangle_count != len(wide.prim_order):
+        raise ValueError("refit mesh must keep the original triangle count")
+
+    out = WideBVH(wide.width, mesh)
+    out.child_count = wide.child_count.copy()
+    out.child_index = wide.child_index.copy()
+    out.child_is_leaf = wide.child_is_leaf.copy()
+    out.child_bounds = wide.child_bounds.copy()
+    out.leaf_first_prim = wide.leaf_first_prim.copy()
+    out.leaf_prim_count = wide.leaf_prim_count.copy()
+    out.prim_order = wide.prim_order.copy()
+
+    tri_bounds = mesh.triangle_bounds()
+    tri_lo = tri_bounds[:, 0:3]
+    tri_hi = tri_bounds[:, 3:6]
+
+    # Subtree bounds per leaf block.
+    leaf_lo = np.empty((wide.leaf_count, 3))
+    leaf_hi = np.empty((wide.leaf_count, 3))
+    for leaf in range(wide.leaf_count):
+        prims = out.leaf_primitives(leaf)
+        leaf_lo[leaf] = tri_lo[prims].min(axis=0)
+        leaf_hi[leaf] = tri_hi[prims].max(axis=0)
+
+    # Children are always allocated after their parent, so a reverse
+    # index sweep sees every child's subtree bounds before its parent.
+    node_lo = np.empty((wide.node_count, 3))
+    node_hi = np.empty((wide.node_count, 3))
+    for node in range(wide.node_count - 1, -1, -1):
+        count = int(out.child_count[node])
+        lo = np.full(3, np.inf)
+        hi = np.full(3, -np.inf)
+        for k in range(count):
+            child = int(out.child_index[node, k])
+            if out.child_is_leaf[node, k]:
+                c_lo, c_hi = leaf_lo[child], leaf_hi[child]
+            else:
+                c_lo, c_hi = node_lo[child], node_hi[child]
+            out.child_bounds[node, k, 0:3] = c_lo
+            out.child_bounds[node, k, 3:6] = c_hi
+            lo = np.minimum(lo, c_lo)
+            hi = np.maximum(hi, c_hi)
+        node_lo[node] = lo
+        node_hi[node] = hi
+
+    from repro.geometry.aabb import AABB
+
+    out.root_bounds = AABB(node_lo[0], node_hi[0])
+    return out
+
+
+def refit_scene_bvh(bvh: SceneBVH, new_vertices: Optional[np.ndarray] = None,
+                    mesh: Optional[TriangleMesh] = None) -> SceneBVH:
+    """Refit a scene BVH to deformed geometry.
+
+    Pass either ``new_vertices`` (same shape as the original vertex
+    array) or a full ``mesh`` with identical topology.  The treelet
+    partition and byte layout are reused unchanged.
+    """
+    if (new_vertices is None) == (mesh is None):
+        raise ValueError("pass exactly one of new_vertices or mesh")
+    if mesh is None:
+        old = bvh.mesh
+        new_vertices = np.asarray(new_vertices, dtype=np.float64)
+        if new_vertices.shape != old.vertices.shape:
+            raise ValueError("new_vertices must match the original vertex array")
+        mesh = TriangleMesh(new_vertices, old.indices, old.material_ids)
+    wide = refit_wide_bvh(bvh.wide, mesh)
+    return _prepare_tables(mesh, wide, bvh.partition, bvh.layout)
+
+
+def bounds_inflation(original: SceneBVH, refitted: SceneBVH) -> float:
+    """Mean relative growth of child-box surface areas after a refit.
+
+    A quality metric: 0.0 means the refit is as tight as the original
+    build; large values signal it is time to rebuild.
+    """
+    def areas(wide):
+        b = wide.child_bounds
+        d = np.maximum(b[..., 3:6] - b[..., 0:3], 0.0)
+        return 2.0 * (
+            d[..., 0] * d[..., 1] + d[..., 1] * d[..., 2] + d[..., 2] * d[..., 0]
+        )
+
+    a0 = areas(original.wide)
+    a1 = areas(refitted.wide)
+    mask = a0 > 1e-12
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(a1[mask] / a0[mask]) - 1.0)

@@ -1,0 +1,170 @@
+"""SceneBVH: the fully-prepared acceleration structure.
+
+Bundles the wide BVH, treelet partition and memory layout, and precomputes
+flattened per-node / per-leaf lookup tables so the traversal inner loop
+(the hottest code in the whole reproduction) runs on plain Python floats
+instead of small numpy arrays.
+
+The precomputed tables are:
+
+``node_children[node]``
+    list of ``(item_id, is_leaf, local_index, treelet_id, bounds6)`` for
+    each valid child, where ``bounds6`` is a 6-tuple of floats.
+``leaf_tris[leaf]``
+    list of ``(v0, e1, e2, prim_id)`` tuples ready for Moller-Trumbore.
+``item_lines[item]``
+    tuple of cache-line ids covering the item's serialized bytes.
+``treelet_of_item[item]`` / ``item_address[item]``
+    from the partition / layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bvh.builder import BuildConfig, build_binary_bvh
+from repro.bvh.layout import BVHLayout, LayoutConfig, build_layout
+from repro.bvh.treelets import TreeletPartition, partition_treelets
+from repro.bvh.wide import WideBVH, collapse_to_wide
+from repro.geometry.triangle import TriangleMesh
+
+
+@dataclass
+class SceneBVH:
+    """Acceleration structure plus all tables the simulators need."""
+
+    mesh: TriangleMesh
+    wide: WideBVH
+    partition: TreeletPartition
+    layout: BVHLayout
+    node_children: List[List[Tuple[int, bool, int, int, Tuple[float, ...]]]]
+    leaf_tris: List[List[Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...], int]]]
+    item_lines: List[Tuple[int, ...]]
+    treelet_lines: List[Tuple[int, ...]]
+
+    @property
+    def node_count(self) -> int:
+        return self.wide.node_count
+
+    @property
+    def leaf_count(self) -> int:
+        return self.wide.leaf_count
+
+    @property
+    def treelet_count(self) -> int:
+        return self.partition.treelet_count
+
+    @property
+    def root_treelet(self) -> int:
+        return self.partition.treelet_of_node(0)
+
+    def treelet_of_item(self, item: int) -> int:
+        return int(self.partition.treelet_of_item[item])
+
+    def leaf_item(self, leaf: int) -> int:
+        """Global item id of leaf block ``leaf``."""
+        return self.wide.node_count + leaf
+
+    def size_megabytes(self) -> float:
+        return self.layout.size_megabytes()
+
+    def summary(self) -> dict:
+        """Scene statistics in the shape of the paper's Table 2 rows."""
+        return {
+            "triangles": self.mesh.triangle_count,
+            "bvh_mb": self.size_megabytes(),
+            "nodes": self.node_count,
+            "leaves": self.leaf_count,
+            "treelets": self.treelet_count,
+        }
+
+
+def build_scene_bvh(
+    mesh: TriangleMesh,
+    build_config: BuildConfig = BuildConfig(),
+    layout_config: LayoutConfig = LayoutConfig(),
+    treelet_budget_bytes: int = 8 * 1024,
+    width: int = 4,
+    compressed_leaves: bool = False,
+) -> SceneBVH:
+    """Full pipeline: SAH build -> wide collapse -> treelets -> layout -> tables.
+
+    ``compressed_leaves=True`` serializes leaf blocks in the Benthin-style
+    compressed format (smaller leaves, more geometry per treelet); the
+    traversal still tests full-precision triangles — the compression is
+    lossless for timing purposes and its geometric error is bounded by the
+    codec (see :mod:`repro.bvh.compressed`).
+    """
+    if compressed_leaves:
+        from repro.bvh.layout import compressed_layout_config
+
+        layout_config = compressed_layout_config(base=layout_config)
+    binary = build_binary_bvh(mesh, build_config)
+    wide = collapse_to_wide(binary, width)
+    partition = partition_treelets(
+        wide,
+        budget_bytes=treelet_budget_bytes,
+        node_bytes=layout_config.node_bytes,
+        triangle_bytes=layout_config.triangle_bytes,
+        leaf_header_bytes=layout_config.leaf_header_bytes,
+    )
+    layout = build_layout(wide, partition, layout_config)
+    return _prepare_tables(mesh, wide, partition, layout)
+
+
+def _prepare_tables(
+    mesh: TriangleMesh,
+    wide: WideBVH,
+    partition: TreeletPartition,
+    layout: BVHLayout,
+) -> SceneBVH:
+    node_children = []
+    for node in range(wide.node_count):
+        count = int(wide.child_count[node])
+        children = []
+        for k in range(count):
+            child = int(wide.child_index[node, k])
+            is_leaf = bool(wide.child_is_leaf[node, k])
+            item = child + wide.node_count if is_leaf else child
+            bounds = tuple(float(v) for v in wide.child_bounds[node, k])
+            children.append((item, is_leaf, child, int(partition.treelet_of_item[item]), bounds))
+        node_children.append(children)
+
+    vertices = wide.mesh.vertices
+    indices = wide.mesh.indices
+    leaf_tris = []
+    for leaf in range(wide.leaf_count):
+        prims = wide.leaf_primitives(leaf)
+        tris = []
+        for prim in prims:
+            p = vertices[indices[prim]]
+            v0 = (float(p[0, 0]), float(p[0, 1]), float(p[0, 2]))
+            e1 = (
+                float(p[1, 0] - p[0, 0]),
+                float(p[1, 1] - p[0, 1]),
+                float(p[1, 2] - p[0, 2]),
+            )
+            e2 = (
+                float(p[2, 0] - p[0, 0]),
+                float(p[2, 1] - p[0, 1]),
+                float(p[2, 2] - p[0, 2]),
+            )
+            tris.append((v0, e1, e2, int(prim)))
+        leaf_tris.append(tris)
+
+    item_lines = [tuple(layout.item_lines(item)) for item in range(len(layout.item_address))]
+    treelet_lines = [tuple(layout.treelet_lines(t)) for t in range(partition.treelet_count)]
+
+    return SceneBVH(
+        mesh=mesh,
+        wide=wide,
+        partition=partition,
+        layout=layout,
+        node_children=node_children,
+        leaf_tris=leaf_tris,
+        item_lines=item_lines,
+        treelet_lines=treelet_lines,
+    )

@@ -1,0 +1,112 @@
+"""BVH quality statistics.
+
+``describe`` summarizes an acceleration structure the way builder papers
+report them: node/leaf counts, depth distribution, leaf occupancy, SAH
+cost and treelet packing — used by the treelet-explorer example, the
+Table 2 reporting and the test suite's quality checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bvh.scene_bvh import SceneBVH
+
+
+@dataclass
+class BVHStatistics:
+    """Quality summary of one acceleration structure."""
+
+    node_count: int
+    leaf_count: int
+    triangle_count: int
+    max_depth: int
+    mean_depth: float
+    mean_leaf_size: float
+    max_leaf_size: int
+    mean_child_count: float
+    sah_cost: float
+    total_bytes: int
+    treelet_count: int
+    mean_treelet_fill: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "node_count": self.node_count,
+            "leaf_count": self.leaf_count,
+            "triangle_count": self.triangle_count,
+            "max_depth": self.max_depth,
+            "mean_depth": self.mean_depth,
+            "mean_leaf_size": self.mean_leaf_size,
+            "max_leaf_size": self.max_leaf_size,
+            "mean_child_count": self.mean_child_count,
+            "sah_cost": self.sah_cost,
+            "total_bytes": self.total_bytes,
+            "treelet_count": self.treelet_count,
+            "mean_treelet_fill": self.mean_treelet_fill,
+        }
+
+
+def _surface(bounds: np.ndarray) -> float:
+    d = np.maximum(bounds[3:] - bounds[:3], 0.0)
+    return float(2.0 * (d[0] * d[1] + d[1] * d[2] + d[2] * d[0]))
+
+
+def leaf_depths(bvh: SceneBVH) -> List[int]:
+    """Depth of every leaf block (root node = depth 1)."""
+    wide = bvh.wide
+    depths: List[int] = []
+    stack = [(0, 1)]
+    while stack:
+        node, depth = stack.pop()
+        for child, is_leaf, _local, _treelet, _bounds in bvh.node_children[node]:
+            if is_leaf:
+                depths.append(depth + 1)
+            else:
+                stack.append((child, depth + 1))
+    return depths
+
+
+def sah_cost(bvh: SceneBVH, traversal_cost: float = 1.0,
+             intersection_cost: float = 1.0) -> float:
+    """Surface-area-heuristic cost of the wide BVH, root-normalized."""
+    wide = bvh.wide
+    root = wide.root_bounds.surface_area()
+    if root <= 0:
+        return 0.0
+    cost = 0.0
+    for node in range(wide.node_count):
+        for _child, is_leaf, _local, _treelet, bounds in [
+            (c[0], c[1], c[2], c[3], c[4]) for c in bvh.node_children[node]
+        ]:
+            area = _surface(np.asarray(bounds))
+            if is_leaf:
+                leaf = _local
+                cost += intersection_cost * int(wide.leaf_prim_count[leaf]) * area
+            else:
+                cost += traversal_cost * area
+    return cost / root
+
+
+def describe(bvh: SceneBVH) -> BVHStatistics:
+    """Full quality summary of ``bvh``."""
+    wide = bvh.wide
+    depths = leaf_depths(bvh)
+    fills = np.asarray(bvh.partition.treelet_bytes, dtype=np.float64)
+    return BVHStatistics(
+        node_count=wide.node_count,
+        leaf_count=wide.leaf_count,
+        triangle_count=bvh.mesh.triangle_count,
+        max_depth=max(depths) if depths else 0,
+        mean_depth=float(np.mean(depths)) if depths else 0.0,
+        mean_leaf_size=float(np.mean(wide.leaf_prim_count)) if wide.leaf_count else 0.0,
+        max_leaf_size=int(wide.leaf_prim_count.max()) if wide.leaf_count else 0,
+        mean_child_count=float(np.mean(wide.child_count)),
+        sah_cost=sah_cost(bvh),
+        total_bytes=bvh.layout.total_bytes,
+        treelet_count=bvh.treelet_count,
+        mean_treelet_fill=float(fills.mean() / bvh.partition.budget_bytes),
+    )

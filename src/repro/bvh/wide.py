@@ -1,0 +1,216 @@
+"""Collapse a binary BVH into a 4-wide BVH.
+
+The paper uses a 4-wide BVH built by Embree and repacked into the
+compressed-leaf format of Benthin et al.  We reproduce the topology side
+here: a greedy collapse that repeatedly replaces the largest-surface-area
+interior child with its own children until the node holds up to
+``width`` children.
+
+The wide BVH is stored structure-of-arrays.  Child slots reference either
+another wide node or a *leaf block* (a contiguous run of triangles).  Leaf
+blocks get their own index space because the memory layout serializes them
+as separate byte ranges.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.bvh.builder import BinaryBVH
+from repro.geometry.aabb import AABB
+
+
+class WideBVH:
+    """A ``width``-wide BVH, structure-of-arrays.
+
+    Attributes
+    ----------
+    width:
+        Maximum children per node (4 in all paper experiments).
+    child_count:
+        ``(N,)`` number of valid child slots per node.
+    child_index:
+        ``(N, width)`` child node index, or leaf block index when the
+        matching ``child_is_leaf`` flag is set; -1 for unused slots.
+    child_is_leaf:
+        ``(N, width)`` bool.
+    child_bounds:
+        ``(N, width, 6)`` child AABBs as ``[lo, hi]``; unused slots hold an
+        empty (inverted) box so slab tests always miss them.
+    leaf_first_prim / leaf_prim_count:
+        ``(L,)`` ranges into ``prim_order`` for each leaf block.
+    prim_order:
+        Permutation of original triangle indices shared with the source
+        binary BVH.
+    """
+
+    __slots__ = (
+        "width",
+        "child_count",
+        "child_index",
+        "child_is_leaf",
+        "child_bounds",
+        "leaf_first_prim",
+        "leaf_prim_count",
+        "prim_order",
+        "mesh",
+        "root_bounds",
+    )
+
+    def __init__(self, width: int, mesh):
+        self.width = width
+        self.mesh = mesh
+        self.child_count = np.zeros(0, dtype=np.int64)
+        self.child_index = np.zeros((0, width), dtype=np.int64)
+        self.child_is_leaf = np.zeros((0, width), dtype=bool)
+        self.child_bounds = np.zeros((0, width, 6))
+        self.leaf_first_prim = np.zeros(0, dtype=np.int64)
+        self.leaf_prim_count = np.zeros(0, dtype=np.int64)
+        self.prim_order = np.zeros(0, dtype=np.int64)
+        self.root_bounds = AABB.empty()
+
+    @property
+    def node_count(self) -> int:
+        return len(self.child_count)
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self.leaf_first_prim)
+
+    def leaf_primitives(self, leaf: int) -> np.ndarray:
+        """Original triangle indices of leaf block ``leaf``."""
+        start = self.leaf_first_prim[leaf]
+        return self.prim_order[start : start + self.leaf_prim_count[leaf]]
+
+    def leaf_triangles(self, leaf: int) -> np.ndarray:
+        """``(K, 3, 3)`` triangle vertices of leaf block ``leaf``."""
+        prims = self.leaf_primitives(leaf)
+        return self.mesh.vertices[self.mesh.indices[prims]]
+
+    def node_children(self, node: int):
+        """Valid ``(child_index, is_leaf, bounds)`` triples of ``node``."""
+        count = int(self.child_count[node])
+        return [
+            (int(self.child_index[node, k]), bool(self.child_is_leaf[node, k]),
+             self.child_bounds[node, k])
+            for k in range(count)
+        ]
+
+    def validate(self) -> None:
+        """Raise ``AssertionError`` if structural invariants are violated.
+
+        Checks: every node/leaf reachable exactly once from the root, child
+        bounds contain descendant bounds, and leaf ranges tile
+        ``prim_order`` without overlap.
+        """
+        seen_nodes = np.zeros(self.node_count, dtype=bool)
+        seen_leaves = np.zeros(self.leaf_count, dtype=bool)
+        stack = [0]
+        seen_nodes[0] = True
+        while stack:
+            node = stack.pop()
+            for child, is_leaf, bounds in self.node_children(node):
+                lo, hi = bounds[:3], bounds[3:]
+                assert np.all(lo <= hi), "child slot holds an inverted box"
+                if is_leaf:
+                    assert not seen_leaves[child], "leaf referenced twice"
+                    seen_leaves[child] = True
+                else:
+                    assert not seen_nodes[child], "node referenced twice"
+                    seen_nodes[child] = True
+                    stack.append(child)
+        assert seen_nodes.all(), "unreachable wide node"
+        assert seen_leaves.all(), "unreachable leaf block"
+        covered = np.zeros(len(self.prim_order), dtype=np.int64)
+        for leaf in range(self.leaf_count):
+            s = self.leaf_first_prim[leaf]
+            covered[s : s + self.leaf_prim_count[leaf]] += 1
+        assert np.all(covered == 1), "leaf ranges must tile prim_order exactly"
+
+
+def collapse_to_wide(binary: BinaryBVH, width: int = 4) -> WideBVH:
+    """Greedy surface-area-ordered collapse of ``binary`` into a wide BVH."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if binary.node_count == 0:
+        raise ValueError("cannot collapse an empty BVH")
+
+    wide = WideBVH(width, binary.mesh)
+    wide.prim_order = binary.prim_order
+    wide.root_bounds = binary.node_bounds(0)
+
+    child_count: List[int] = []
+    child_index: List[List[int]] = []
+    child_is_leaf: List[List[bool]] = []
+    child_bounds: List[List[np.ndarray]] = []
+    leaf_first: List[int] = []
+    leaf_count_: List[int] = []
+
+    def surface(node: int) -> float:
+        d = binary.bounds_hi[node] - binary.bounds_lo[node]
+        return float(2.0 * (d[0] * d[1] + d[1] * d[2] + d[2] * d[0]))
+
+    def make_leaf_block(bnode: int) -> int:
+        leaf_first.append(int(binary.first_prim[bnode]))
+        leaf_count_.append(int(binary.prim_count[bnode]))
+        return len(leaf_first) - 1
+
+    def alloc_wide() -> int:
+        child_count.append(0)
+        child_index.append([-1] * width)
+        child_is_leaf.append([False] * width)
+        child_bounds.append([_EMPTY_BOX.copy() for _ in range(width)])
+        return len(child_count) - 1
+
+    # Each work item maps a binary subtree root to a wide node slot to fill.
+    # The root must be a wide node even if the binary root is a leaf.
+    root_wide = alloc_wide()
+    work = [(0, root_wide)]
+    while work:
+        broot, wnode = work.pop()
+        # Gather up to `width` binary nodes by splitting the largest-area
+        # interior candidate.
+        group: List[int] = [broot]
+        while len(group) < width:
+            best_i = -1
+            best_sa = -1.0
+            for i, b in enumerate(group):
+                if not binary.is_leaf(b) and surface(b) > best_sa:
+                    best_sa = surface(b)
+                    best_i = i
+            if best_i < 0:
+                break
+            b = group.pop(best_i)
+            group.append(int(binary.left[b]))
+            group.append(int(binary.right[b]))
+
+        slots = 0
+        for b in group:
+            if binary.is_leaf(b):
+                idx = make_leaf_block(b)
+                child_is_leaf[wnode][slots] = True
+            else:
+                idx = alloc_wide()
+                work.append((b, idx))
+                child_is_leaf[wnode][slots] = False
+            child_index[wnode][slots] = idx
+            child_bounds[wnode][slots] = np.concatenate(
+                [binary.bounds_lo[b], binary.bounds_hi[b]]
+            )
+            slots += 1
+        child_count[wnode] = slots
+
+    wide.child_count = np.asarray(child_count, dtype=np.int64)
+    wide.child_index = np.asarray(child_index, dtype=np.int64)
+    wide.child_is_leaf = np.asarray(child_is_leaf, dtype=bool)
+    wide.child_bounds = np.asarray(child_bounds)
+    wide.leaf_first_prim = np.asarray(leaf_first, dtype=np.int64)
+    wide.leaf_prim_count = np.asarray(leaf_count_, dtype=np.int64)
+    return wide
+
+
+# Inverted box: slab tests against it always miss, so unused child slots are
+# harmless even in fully vectorized tests.
+_EMPTY_BOX = np.array([np.inf, np.inf, np.inf, -np.inf, -np.inf, -np.inf])

@@ -1,0 +1,207 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``scenes``  — list the synthetic LumiBench suite.
+* ``render``  — path trace one scene under a chosen policy, write a PPM.
+* ``compare`` — render one scene under all policies and print the table.
+* ``figure``  — regenerate one paper figure/table by name.
+* ``report``  — regenerate every figure (what EXPERIMENTS.md is built from).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bvh import build_scene_bvh
+from repro.gpusim.config import default_setup
+from repro.scenes import load_scene, scene_names, scene_spec
+from repro.tracing import render_scene
+from repro.tracing.image import tonemap, write_ppm
+
+_FIGURES = {}
+
+
+def _figures():
+    """Figure registry, imported lazily to keep `scenes` snappy."""
+    global _FIGURES
+    if not _FIGURES:
+        from repro import experiments as ex
+
+        _FIGURES = {
+            "table1": ex.table1_configuration,
+            "table2": ex.table2_scenes,
+            "fig1": ex.fig01_baseline_bottlenecks,
+            "fig5": ex.fig05_analytical_model,
+            "fig10": ex.fig10_overall_speedup,
+            "fig11": ex.fig11_missrate_over_time,
+            "fig12": ex.fig12_grouping_thresholds,
+            "fig13": ex.fig13_warp_repacking,
+            "fig14": ex.fig14_mode_cycles,
+            "fig15": ex.fig15_mode_tests,
+            "fig16": ex.fig16_virtualization_overhead,
+            "fig17": ex.fig17_energy,
+            "sec65": ex.sec65_area_overheads,
+        }
+    return _FIGURES
+
+
+def cmd_scenes(args) -> int:
+    print(f"{'scene':6s} {'paper BVH MB':>12s} {'paper tris':>11s} "
+          f"{'tris @ scale 1':>14s}")
+    for name in scene_names(include_extra=args.all):
+        spec = scene_spec(name)
+        print(f"{name:6s} {spec.paper_bvh_mb:12.2f} {spec.paper_tris / 1e6:10.2f}M "
+              f"{spec.target_triangles(1.0):14d}")
+    return 0
+
+
+def cmd_render(args) -> int:
+    setup = default_setup()
+    scene = load_scene(args.scene, scale=setup.scene_scale)
+    bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+    result = render_scene(scene, bvh, setup, policy=args.policy)
+    print(f"{args.policy}: {result.cycles:,.0f} cycles, "
+          f"SIMT {result.stats.simt_efficiency():.2f}, "
+          f"L1 miss {result.stats.miss_rate('l1'):.2f}")
+    out = args.output or f"{args.scene.lower()}_{args.policy}.ppm"
+    write_ppm(out, tonemap(result.image))
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    setup = default_setup()
+    scene = load_scene(args.scene, scale=setup.scene_scale)
+    bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+    baseline = None
+    print(f"{'policy':9s} {'cycles':>14s} {'speedup':>8s} {'SIMT':>6s} {'L1 miss':>8s}")
+    for policy in ("baseline", "prefetch", "vtq"):
+        result = render_scene(scene, bvh, setup, policy=policy)
+        if baseline is None:
+            baseline = result.cycles
+        print(f"{policy:9s} {result.cycles:14,.0f} {baseline / result.cycles:7.2f}x "
+              f"{result.stats.simt_efficiency():6.2f} "
+              f"{result.stats.miss_rate('l1'):8.2f}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import default_context, format_table
+
+    figures = _figures()
+    if args.name not in figures:
+        print(f"unknown figure {args.name!r}; choose from: "
+              + ", ".join(sorted(figures)), file=sys.stderr)
+        return 2
+    context = default_context(fast=args.fast)
+    print(format_table(figures[args.name](context)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import default_context, format_table
+
+    context = default_context(fast=args.fast)
+    for name, fig in _figures().items():
+        print(format_table(fig(context)))
+        print("\n" + "=" * 72 + "\n")
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Write one figure's table to CSV/JSON/text, suffix picks the format."""
+    from repro.experiments import default_context
+    from repro.experiments.report import export
+
+    figures = _figures()
+    if args.name not in figures:
+        print(f"unknown figure {args.name!r}; choose from: "
+              + ", ".join(sorted(figures)), file=sys.stderr)
+        return 2
+    context = default_context(fast=args.fast)
+    export(figures[args.name](context), args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Sweep one VTQConfig or GPUConfig field on one scene."""
+    from repro.experiments import default_context, format_table
+    from repro.experiments.sweeps import sweep_gpu_param, sweep_vtq_param
+
+    context = default_context(fast=args.fast)
+    values = []
+    for token in args.values.split(","):
+        token = token.strip()
+        values.append(float(token) if "." in token else int(token))
+    try:
+        if args.target == "vtq":
+            table = sweep_vtq_param(args.scene, context, args.param, values)
+        else:
+            table = sweep_gpu_param(args.scene, context, args.param, values)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_table(table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Treelet Accelerated Ray Tracing on GPUs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scenes", help="list the evaluation scenes")
+    p.add_argument("--all", action="store_true", help="include WKND/SHIP")
+    p.set_defaults(func=cmd_scenes)
+
+    p = sub.add_parser("render", help="render one scene")
+    p.add_argument("scene", choices=scene_names(include_extra=True))
+    p.add_argument("--policy", default="vtq",
+                   choices=("baseline", "prefetch", "vtq"))
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("compare", help="render one scene under every policy")
+    p.add_argument("scene", choices=scene_names(include_extra=True))
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("name")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("report", help="regenerate every figure")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("export", help="write one figure to CSV/JSON/text")
+    p.add_argument("name")
+    p.add_argument("output", help="path; .csv / .json / anything-else=text")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("sweep", help="sweep a design parameter on one scene")
+    p.add_argument("target", choices=("vtq", "gpu"))
+    p.add_argument("param", help="e.g. queue_threshold or l1_bytes")
+    p.add_argument("values", help="comma-separated, e.g. 8,32,128")
+    p.add_argument("--scene", default="SPNZA",
+                   choices=scene_names(include_extra=True))
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Design parameters of Virtualized Treelet Queues.
+
+Every optimization the paper ablates is a knob here, so the benchmark
+harness can regenerate each figure by flipping exactly one thing:
+
+* Figure 12 sweeps ``queue_threshold`` and toggles ``group_underpopulated``.
+* Figure 13 sweeps ``repack_threshold`` and toggles ``repack_enabled``.
+* Figure 16 toggles ``virtualization_overheads``.
+* Section 6.4's "skip the treelet phase" experiment sets
+  ``treelet_mode_enabled=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class VTQConfig:
+    """Virtualized-treelet-queue parameters.
+
+    Attributes
+    ----------
+    queue_threshold:
+        Minimum rays in a treelet queue before the controller processes it
+        in treelet-stationary mode; below this a queue counts as
+        *underpopulated*.  The paper's best value is 128 at 4096 virtual
+        rays (1/32 of the population); thresholds here scale with the
+        configured ray budget the same way.
+    divergence_threshold:
+        Distinct treelets the rays of a warp may touch before the initial
+        ray-stationary phase ends and the warp's rays are written to the
+        treelet queues.
+    repack_threshold:
+        Warp repacking triggers when a final-phase warp has fewer active
+        rays than this (paper: 22 of 32 is best, 16 close behind).
+    group_underpopulated:
+        Section 4.4's optimization: process underpopulated queues together
+        in ray-stationary warps instead of fetching whole treelets for
+        them.  Off = the "naive treelet queues" of Figure 12.
+    repack_enabled:
+        Section 4.5's warp repacking.
+    preload_enabled:
+        Section 4.3's treelet & ray-data preloading (overlaps the next
+        treelet fetch with current-queue processing).
+    treelet_mode_enabled:
+        When False the RT unit skips treelet-stationary processing
+        entirely (the Section 6.4 sanity experiment: 4-6x worse).
+    count_table_entries / queue_table_entries:
+        Hardware table capacities (600 and 128 in Section 6.5).
+    rays_per_queue_entry:
+        Ray-id slots per queue-table entry (32: one warp, Figure 9).
+    virtualization_overheads:
+        Charge CTA state save/restore latency and traffic (off for the
+        idealized bar of Figure 16).
+    """
+
+    queue_threshold: int = 128
+    divergence_threshold: int = 4
+    repack_threshold: int = 22
+    group_underpopulated: bool = True
+    repack_enabled: bool = True
+    preload_enabled: bool = True
+    treelet_mode_enabled: bool = True
+    max_current_treelets: int = 2
+    count_table_entries: int = 600
+    queue_table_entries: int = 128
+    rays_per_queue_entry: int = 32
+    virtualization_overheads: bool = True
+
+    def __post_init__(self):
+        if self.queue_threshold < 1:
+            raise ValueError("queue_threshold must be >= 1")
+        if not 1 <= self.repack_threshold <= 32:
+            raise ValueError("repack_threshold must be in [1, 32]")
+        if self.divergence_threshold < 1:
+            raise ValueError("divergence_threshold must be >= 1")
+        if self.count_table_entries < 1 or self.queue_table_entries < 1:
+            raise ValueError("table capacities must be positive")
+
+    def scaled_to(self, max_virtual_rays: int) -> "VTQConfig":
+        """Scale population-relative thresholds to a smaller ray budget.
+
+        The paper's 128-ray queue threshold is 1/32 of its 4096-ray
+        budget; with a scaled budget the ratio is preserved (minimum 8).
+        """
+        if max_virtual_rays <= 0:
+            raise ValueError("max_virtual_rays must be positive")
+        factor = max_virtual_rays / 4096.0
+        return replace(
+            self,
+            queue_threshold=max(8, int(round(self.queue_threshold * factor))),
+        )
+
+    def naive(self) -> "VTQConfig":
+        """The unoptimized treelet queue configuration of Figure 12."""
+        return replace(
+            self, group_underpopulated=False, repack_enabled=False,
+            queue_threshold=1,
+        )

@@ -1,0 +1,86 @@
+"""Ray virtualization: CTA suspend / resume (Sections 3.1, 4.1, 6.6).
+
+A raygen CTA is terminated once all its threads have issued
+``traceRayEXT()``; its state (live registers plus per-warp SIMT stacks) is
+saved to memory and the CTA slot is reclaimed so further raygen CTAs can
+launch, multiplying the rays the RT unit can see.  When all of a CTA's
+rays finish traversal, the RT unit injects the CTA back into the CTA
+scheduler; the state is restored before shading resumes.
+
+``CTATracker`` is the bookkeeping side: it counts outstanding rays per
+(CTA, bounce) and reports when a CTA is ready to resume.  The timing and
+traffic costs are charged by the render driver through
+``MemorySystem.cta_state_transfer``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpusim.config import GPUConfig
+
+
+def cta_state_bytes(config: GPUConfig) -> int:
+    """Bytes saved when suspending one CTA (Section 6.6's accounting).
+
+    ``raygen_registers_per_thread`` 32-bit registers per thread (the ptxas
+    maximum — conservative, as the paper notes only live registers are
+    strictly needed) plus a 32-bit SIMT mask, PC and reconvergence PC per
+    SIMT-stack entry per warp.
+    """
+    return config.cta_state_bytes()
+
+
+@dataclass
+class _CTAEntry:
+    outstanding: int
+    completed: List = field(default_factory=list)
+
+
+class CTATracker:
+    """Outstanding-ray accounting for suspended CTAs.
+
+    Keys are ``(cta_id, bounce)`` because a CTA suspends once per trace
+    call: after issuing its primary rays and again after issuing each
+    bounce's secondary rays.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[int, int], _CTAEntry] = {}
+        self.saves = 0
+        self.restores = 0
+
+    def suspend(self, cta_id: int, bounce: int, num_rays: int) -> None:
+        """Record a CTA suspension awaiting ``num_rays`` traversals."""
+        if num_rays < 1:
+            raise ValueError("a suspended CTA must await at least one ray")
+        key = (cta_id, bounce)
+        if key in self._entries:
+            raise ValueError(f"CTA {cta_id} bounce {bounce} already suspended")
+        self._entries[key] = _CTAEntry(outstanding=num_rays)
+        self.saves += 1
+
+    def ray_done(self, cta_id: int, bounce: int, ray) -> Optional[List]:
+        """Note one ray's completion.
+
+        Returns the CTA's full list of completed rays when this was the
+        last outstanding one (the CTA is ready to resume), else ``None``.
+        """
+        key = (cta_id, bounce)
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"CTA {cta_id} bounce {bounce} is not suspended")
+        entry.completed.append(ray)
+        entry.outstanding -= 1
+        if entry.outstanding == 0:
+            del self._entries[key]
+            self.restores += 1
+            return entry.completed
+        return None
+
+    def pending_ctas(self) -> int:
+        return len(self._entries)
+
+    def outstanding_rays(self) -> int:
+        return sum(e.outstanding for e in self._entries.values())

@@ -1,0 +1,55 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+:mod:`repro.experiments.runner` runs (scene, policy, config) cases through
+the simulator with on-disk result caching, so the per-figure functions in
+:mod:`repro.experiments.figures` can share runs (the baseline run feeds
+Figures 1, 10, 12, 13, 16 and 17).
+
+Every figure function returns a plain dict with ``title``, ``headers`` and
+``rows`` — render it with :func:`repro.experiments.report.format_table`.
+"""
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    clear_cache,
+    default_context,
+    run_case,
+)
+from repro.experiments.figures import (
+    fig01_baseline_bottlenecks,
+    fig05_analytical_model,
+    fig10_overall_speedup,
+    fig11_missrate_over_time,
+    fig12_grouping_thresholds,
+    fig13_warp_repacking,
+    fig14_mode_cycles,
+    fig15_mode_tests,
+    fig16_virtualization_overhead,
+    fig17_energy,
+    sec65_area_overheads,
+    table1_configuration,
+    table2_scenes,
+)
+from repro.experiments.report import format_table, render_all
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "run_case",
+    "clear_cache",
+    "fig01_baseline_bottlenecks",
+    "fig05_analytical_model",
+    "fig10_overall_speedup",
+    "fig11_missrate_over_time",
+    "fig12_grouping_thresholds",
+    "fig13_warp_repacking",
+    "fig14_mode_cycles",
+    "fig15_mode_tests",
+    "fig16_virtualization_overhead",
+    "fig17_energy",
+    "table1_configuration",
+    "table2_scenes",
+    "sec65_area_overheads",
+    "format_table",
+    "render_all",
+]

@@ -1,0 +1,178 @@
+"""Case runner with scene caching and on-disk result caching.
+
+A *case* is (scene, policy, VTQ overrides) under an
+:class:`ExperimentContext` (image size, GPU config, scene scale).  Results
+are JSON dicts of scalar metrics plus small series, cached under
+``.cache/experiments/`` keyed by a hash of everything that affects the
+outcome — so re-running a benchmark that shares cases with an earlier one
+(the baseline run feeds half the figures) is free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bvh import build_scene_bvh
+from repro.core.config import VTQConfig
+from repro.gpusim.config import GPUConfig, ScaledSetup, default_setup
+from repro.gpusim.energy import EnergyModel
+from repro.gpusim.stats import TraversalMode
+from repro.scenes import load_scene, scene_names
+from repro.tracing import render_scene
+
+# Bump when simulator semantics change, to invalidate stale cached results.
+RESULTS_VERSION = "6"
+
+_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "experiments"
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Everything shared across the cases of one reproduction run."""
+
+    setup: ScaledSetup
+    scene_list: Tuple[str, ...]
+    use_disk_cache: bool = True
+
+    def scenes(self) -> List[str]:
+        return list(self.scene_list)
+
+
+def default_context(fast: bool = False) -> ExperimentContext:
+    """The context benchmarks run under.
+
+    ``REPRO_SCENES`` (comma-separated names) restricts the scene list;
+    ``REPRO_SCALE`` grows the workload (see ``default_setup``).  ``fast``
+    is used by unit tests: two scenes at tiny scale.
+    """
+    setup = default_setup(fast=fast)
+    env = os.environ.get("REPRO_SCENES")
+    if env:
+        names = tuple(n.strip().upper() for n in env.split(",") if n.strip())
+    elif fast:
+        names = ("BUNNY", "SPNZA")
+    else:
+        names = tuple(scene_names())
+    return ExperimentContext(setup=setup, scene_list=names)
+
+
+# -- scene/BVH construction is cached per process --------------------------------
+
+_scene_cache: Dict[Tuple, Tuple] = {}
+
+
+def scene_and_bvh(name: str, setup: ScaledSetup):
+    """The (Scene, SceneBVH) pair for a case, built once per process."""
+    key = (name, setup.scene_scale, setup.gpu.treelet_bytes, setup.gpu.line_bytes)
+    if key not in _scene_cache:
+        scene = load_scene(name, scale=setup.scene_scale)
+        bvh = build_scene_bvh(
+            scene.mesh,
+            treelet_budget_bytes=setup.gpu.treelet_bytes,
+        )
+        _scene_cache[key] = (scene, bvh)
+    return _scene_cache[key]
+
+
+# -- result cache ------------------------------------------------------------------
+
+
+def _case_key(scene: str, policy: str, setup: ScaledSetup, vtq: Optional[VTQConfig]) -> str:
+    payload = {
+        "v": RESULTS_VERSION,
+        "scene": scene,
+        "policy": policy,
+        "setup": {
+            "gpu": asdict(setup.gpu),
+            "w": setup.image_width,
+            "h": setup.image_height,
+            "scale": setup.scene_scale,
+            "bounces": setup.max_bounces,
+        },
+        "vtq": asdict(vtq) if vtq is not None else None,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def clear_cache() -> None:
+    """Delete all cached experiment results."""
+    if _CACHE_DIR.exists():
+        shutil.rmtree(_CACHE_DIR)
+
+
+def run_case(
+    scene_name: str,
+    policy: str,
+    context: ExperimentContext,
+    vtq: Optional[VTQConfig] = None,
+) -> Dict:
+    """Run one case (or fetch it from cache) and return its metric dict."""
+    setup = context.setup
+    key = _case_key(scene_name, policy, setup, vtq)
+    cache_path = _CACHE_DIR / f"{key}.json"
+    if context.use_disk_cache and cache_path.exists():
+        with open(cache_path) as f:
+            return json.load(f)
+
+    scene, bvh = scene_and_bvh(scene_name, setup)
+    result = render_scene(scene, bvh, setup, policy=policy, vtq_config=vtq)
+    metrics = extract_metrics(result, setup)
+    metrics["scene"] = scene_name
+    metrics["policy"] = policy
+
+    if context.use_disk_cache:
+        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        tmp = cache_path.with_suffix(".tmp")
+        with open(tmp, "w") as f:
+            json.dump(metrics, f)
+        tmp.replace(cache_path)
+    return metrics
+
+
+def extract_metrics(result, setup: ScaledSetup) -> Dict:
+    """Flatten a RenderResult into the JSON-serializable metric dict."""
+    stats = result.stats
+    energy = EnergyModel().compute(
+        stats, setup.gpu.line_bytes, sm_cycles=sum(result.per_sm_cycles)
+    )
+    return {
+        "cycles": result.cycles,
+        "per_sm_cycles": result.per_sm_cycles,
+        "rays_traced": stats.rays_traced,
+        "warps": stats.warps_processed,
+        "simt_efficiency": stats.simt_efficiency(),
+        "l1_bvh_miss_rate": stats.miss_rate("l1", "bvh"),
+        "l2_bvh_miss_rate": stats.miss_rate("l2", "bvh"),
+        "node_visits": stats.node_visits,
+        "leaf_visits": stats.leaf_visits,
+        "triangle_tests": stats.triangle_tests,
+        "mode_cycles": {m.value: stats.mode_cycles[m] for m in TraversalMode},
+        "mode_tests": {m.value: stats.mode_tests[m] for m in TraversalMode},
+        "mode_cycle_fractions": {
+            m.value: f for m, f in stats.mode_cycle_fractions().items()
+        },
+        "mode_test_fractions": {
+            m.value: f for m, f in stats.mode_test_fractions().items()
+        },
+        # Lists (not tuples) so the dict round-trips through JSON unchanged.
+        "l1_timeline": [list(point) for point in stats.l1_bvh_timeline.series()],
+        "energy": energy.as_dict(),
+        "warp_repacks": stats.warp_repacks,
+        "prefetch_lines": stats.prefetch_lines,
+        "prefetch_unused_fraction": stats.prefetch_unused_fraction(),
+        "cta_saves": stats.cta_saves,
+        "cta_restores": stats.cta_restores,
+        "queue_table_overflows": stats.queue_table_overflows,
+        "count_table_evictions": stats.count_table_evictions,
+        "queue_table_peak_entries": stats.queue_table_peak_entries,
+        "count_table_peak_entries": stats.count_table_peak_entries,
+        "traffic_bytes": dict(stats.traffic_bytes),
+        "mean_radiance": result.mean_radiance(),
+    }

@@ -1,0 +1,129 @@
+"""Declarative design-space sweeps.
+
+One-liners for the exploration loop architects actually run: pick a
+scene, pick a parameter (of the VTQ design or of the GPU), give a value
+list, get back a figure-style table (renderable with ``format_table``,
+exportable with ``report.export``) of cycles / speedup / SIMT efficiency
+/ treelet-mode share per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import VTQConfig
+from repro.experiments.runner import ExperimentContext, run_case, scene_and_bvh
+from repro.gpusim.config import ScaledSetup
+from repro.gpusim.stats import TraversalMode
+from repro.tracing import render_scene
+
+
+def _metrics_row(label: str, baseline_cycles: float, result) -> List[str]:
+    treelet_share = result.stats.mode_test_fractions()[
+        TraversalMode.TREELET_STATIONARY
+    ]
+    return [
+        label,
+        f"{result.cycles:,.0f}",
+        f"{baseline_cycles / result.cycles:.2f}x",
+        f"{result.stats.simt_efficiency():.2f}",
+        f"{treelet_share:.3f}",
+    ]
+
+
+_HEADERS = ["value", "cycles", "speedup", "SIMT eff", "treelet share"]
+
+
+def sweep_vtq_param(
+    scene_name: str,
+    context: ExperimentContext,
+    param: str,
+    values: Sequence,
+    base: Optional[VTQConfig] = None,
+) -> Dict:
+    """Sweep one :class:`VTQConfig` field on one scene.
+
+    Raises ``ValueError`` for unknown fields (typos must not silently
+    sweep nothing).
+    """
+    base = base or VTQConfig()
+    if not hasattr(base, param):
+        raise ValueError(f"VTQConfig has no field {param!r}")
+    setup = context.setup
+    scene, bvh = scene_and_bvh(scene_name, setup)
+    baseline = render_scene(scene, bvh, setup, policy="baseline")
+    rows = []
+    for value in values:
+        cfg = replace(base, **{param: value})
+        result = render_scene(scene, bvh, setup, policy="vtq", vtq_config=cfg)
+        rows.append(_metrics_row(str(value), baseline.cycles, result))
+    return {
+        "title": f"VTQ sweep on {scene_name}: {param} in {list(values)}",
+        "headers": _HEADERS,
+        "rows": rows,
+    }
+
+
+def sweep_gpu_param(
+    scene_name: str,
+    context: ExperimentContext,
+    param: str,
+    values: Sequence,
+    policy: str = "vtq",
+) -> Dict:
+    """Sweep one :class:`GPUConfig` field on one scene.
+
+    Each point re-renders the baseline too (the baseline changes with the
+    GPU), so the speedup column stays meaningful.
+    """
+    setup = context.setup
+    if not hasattr(setup.gpu, param):
+        raise ValueError(f"GPUConfig has no field {param!r}")
+    scene, bvh = scene_and_bvh(scene_name, setup)
+    rows = []
+    for value in values:
+        gpu = replace(setup.gpu, **{param: value})
+        point = ScaledSetup(
+            gpu=gpu,
+            image_width=setup.image_width,
+            image_height=setup.image_height,
+            scene_scale=setup.scene_scale,
+            max_bounces=setup.max_bounces,
+            samples_per_pixel=setup.samples_per_pixel,
+        )
+        baseline = render_scene(scene, bvh, point, policy="baseline")
+        result = render_scene(scene, bvh, point, policy=policy)
+        rows.append(_metrics_row(str(value), baseline.cycles, result))
+    return {
+        "title": f"GPU sweep on {scene_name}: {param} in {list(values)} "
+        f"(policy {policy})",
+        "headers": _HEADERS,
+        "rows": rows,
+    }
+
+
+def sweep_scenes(
+    context: ExperimentContext,
+    policy: str = "vtq",
+    vtq: Optional[VTQConfig] = None,
+) -> Dict:
+    """One row per scene in the context: the whole-suite summary table."""
+    rows = []
+    for scene in context.scenes():
+        base = run_case(scene, "baseline", context)
+        m = run_case(scene, policy, context, vtq=vtq)
+        rows.append(
+            [
+                scene,
+                f"{m['cycles']:,.0f}",
+                f"{base['cycles'] / m['cycles']:.2f}x",
+                f"{m['simt_efficiency']:.2f}",
+                f"{m['mode_test_fractions']['treelet_stationary']:.3f}",
+            ]
+        )
+    return {
+        "title": f"Per-scene summary (policy {policy})",
+        "headers": ["scene"] + _HEADERS[1:],
+        "rows": rows,
+    }

@@ -1,0 +1,29 @@
+"""Geometry substrate: vectors, rays, bounding boxes, triangles, intersections.
+
+Everything in this package is policy-free math used by the BVH builder, the
+functional traversal reference, and the timing simulators.  Intersection
+kernels are vectorized with numpy so a whole warp (32 rays) can be tested
+against a node's children or a leaf's triangles in one call.
+"""
+
+from repro.geometry.aabb import AABB, union_bounds
+from repro.geometry.ray import Ray, RayBatch
+from repro.geometry.triangle import TriangleMesh
+from repro.geometry.intersect import (
+    ray_aabb_intersect,
+    rays_aabbs_intersect,
+    ray_triangles_intersect,
+    rays_triangle_soup_intersect,
+)
+
+__all__ = [
+    "AABB",
+    "union_bounds",
+    "Ray",
+    "RayBatch",
+    "TriangleMesh",
+    "ray_aabb_intersect",
+    "rays_aabbs_intersect",
+    "ray_triangles_intersect",
+    "rays_triangle_soup_intersect",
+]

@@ -1,0 +1,149 @@
+"""Axis-aligned bounding boxes.
+
+An :class:`AABB` stores ``lo`` and ``hi`` corners as float64 numpy arrays of
+shape ``(3,)``.  Empty boxes are represented with ``lo = +inf`` and
+``hi = -inf`` so that union with an empty box is the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class AABB:
+    """An axis-aligned bounding box in 3D.
+
+    Parameters
+    ----------
+    lo, hi:
+        Corner points.  If omitted the box starts empty (``lo=+inf``,
+        ``hi=-inf``), which behaves as the identity under :meth:`union`.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[np.ndarray] = None, hi: Optional[np.ndarray] = None):
+        if lo is None:
+            self.lo = np.full(3, np.inf)
+        else:
+            self.lo = np.asarray(lo, dtype=np.float64).copy()
+        if hi is None:
+            self.hi = np.full(3, -np.inf)
+        else:
+            self.hi = np.asarray(hi, dtype=np.float64).copy()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "AABB":
+        """Return an empty bounding box (identity for union)."""
+        return cls()
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "AABB":
+        """Bounding box of an ``(N, 3)`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            return cls.empty()
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    # -- predicates --------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the box contains no points."""
+        return bool(np.any(self.lo > self.hi))
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """True when ``point`` lies inside or on the boundary of the box."""
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(point >= self.lo) and np.all(point <= self.hi))
+
+    def contains_box(self, other: "AABB") -> bool:
+        """True when ``other`` is fully inside this box."""
+        if other.is_empty():
+            return True
+        return bool(np.all(other.lo >= self.lo) and np.all(other.hi <= self.hi))
+
+    def overlaps(self, other: "AABB") -> bool:
+        """True when the two boxes share any volume, face, edge or point."""
+        if self.is_empty() or other.is_empty():
+            return False
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    # -- measures ----------------------------------------------------------
+
+    def extent(self) -> np.ndarray:
+        """Edge lengths, ``(3,)``; zeros for an empty box."""
+        if self.is_empty():
+            return np.zeros(3)
+        return self.hi - self.lo
+
+    def centroid(self) -> np.ndarray:
+        """Center point of the box."""
+        return 0.5 * (self.lo + self.hi)
+
+    def surface_area(self) -> float:
+        """Total surface area (the SAH cost metric); 0 for an empty box."""
+        if self.is_empty():
+            return 0.0
+        d = self.hi - self.lo
+        return float(2.0 * (d[0] * d[1] + d[1] * d[2] + d[2] * d[0]))
+
+    def volume(self) -> float:
+        """Enclosed volume; 0 for an empty box."""
+        if self.is_empty():
+            return 0.0
+        d = self.hi - self.lo
+        return float(d[0] * d[1] * d[2])
+
+    def longest_axis(self) -> int:
+        """Index (0, 1, 2) of the longest edge."""
+        return int(np.argmax(self.extent()))
+
+    # -- combination -------------------------------------------------------
+
+    def union(self, other: "AABB") -> "AABB":
+        """Smallest box containing both boxes."""
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def union_point(self, point: np.ndarray) -> "AABB":
+        """Smallest box containing this box and ``point``."""
+        point = np.asarray(point, dtype=np.float64)
+        return AABB(np.minimum(self.lo, point), np.maximum(self.hi, point))
+
+    def expanded(self, margin: float) -> "AABB":
+        """Box grown by ``margin`` on every side."""
+        if self.is_empty():
+            return AABB.empty()
+        return AABB(self.lo - margin, self.hi + margin)
+
+    # -- misc ----------------------------------------------------------------
+
+    def as_array(self) -> np.ndarray:
+        """``(6,)`` array ``[lo_x, lo_y, lo_z, hi_x, hi_y, hi_z]``."""
+        return np.concatenate([self.lo, self.hi])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AABB):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    def __hash__(self):  # pragma: no cover - AABBs are not meant to be hashed
+        raise TypeError("AABB is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "AABB(empty)"
+        return f"AABB(lo={self.lo.tolist()}, hi={self.hi.tolist()})"
+
+
+def union_bounds(boxes: Iterable[AABB]) -> AABB:
+    """Union of an iterable of boxes; empty identity when the iterable is empty."""
+    out = AABB.empty()
+    for box in boxes:
+        out = out.union(box)
+    return out

@@ -1,0 +1,143 @@
+"""Vectorized intersection kernels.
+
+These kernels are the fixed-function math that the simulated RT unit's
+operation units perform.  They come in two shapes:
+
+* one ray against many boxes/triangles (used when a single ray steps through
+  a wide BVH node or a leaf), and
+* many rays against one box / many triangles (used for warp-granularity
+  processing where all 32 rays of a warp test the same node).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _safe_inv(directions: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore"):
+        return np.where(
+            np.abs(directions) < _EPS,
+            np.copysign(np.inf, directions + _EPS),
+            1.0 / directions,
+        )
+
+
+def ray_aabb_intersect(
+    origin: np.ndarray,
+    inv_direction: np.ndarray,
+    boxes: np.ndarray,
+    tmin: float,
+    tmax: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slab test of one ray against ``(K, 6)`` boxes.
+
+    Returns ``(hit_mask, entry_t)`` where ``entry_t`` is the parametric entry
+    distance clamped to ``tmin`` (valid only where ``hit_mask`` is True).
+    """
+    boxes = np.atleast_2d(boxes)
+    lo = boxes[:, 0:3]
+    hi = boxes[:, 3:6]
+    with np.errstate(invalid="ignore"):
+        t0 = (lo - origin) * inv_direction
+        t1 = (hi - origin) * inv_direction
+    near = np.minimum(t0, t1)
+    far = np.maximum(t0, t1)
+    # NaNs from 0 * inf must not poison the test; treat them as non-binding.
+    near = np.where(np.isnan(near), -np.inf, near)
+    far = np.where(np.isnan(far), np.inf, far)
+    entry = np.maximum(near.max(axis=1), tmin)
+    exit_ = np.minimum(far.min(axis=1), tmax)
+    return entry <= exit_, entry
+
+
+def rays_aabbs_intersect(
+    origins: np.ndarray,
+    inv_directions: np.ndarray,
+    boxes: np.ndarray,
+    tmin: np.ndarray,
+    tmax: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slab test of ``(N, 3)`` rays against ``(N, K, 6)`` per-ray box sets.
+
+    Every ray ``i`` is tested against its own ``K`` boxes ``boxes[i]``.
+    Returns ``(hit_mask, entry_t)`` of shape ``(N, K)``.
+    """
+    origins = origins[:, None, :]
+    inv_directions = inv_directions[:, None, :]
+    lo = boxes[..., 0:3]
+    hi = boxes[..., 3:6]
+    with np.errstate(invalid="ignore"):
+        t0 = (lo - origins) * inv_directions
+        t1 = (hi - origins) * inv_directions
+    near = np.minimum(t0, t1)
+    far = np.maximum(t0, t1)
+    near = np.where(np.isnan(near), -np.inf, near)
+    far = np.where(np.isnan(far), np.inf, far)
+    entry = np.maximum(near.max(axis=2), tmin[:, None])
+    exit_ = np.minimum(far.min(axis=2), tmax[:, None])
+    return entry <= exit_, entry
+
+
+def ray_triangles_intersect(
+    origin: np.ndarray,
+    direction: np.ndarray,
+    triangles: np.ndarray,
+    tmin: float,
+    tmax: float,
+) -> Tuple[int, float, float, float]:
+    """Moller-Trumbore test of one ray against ``(K, 3, 3)`` triangles.
+
+    Returns ``(hit_index, t, u, v)`` for the closest hit within
+    ``[tmin, tmax]``; ``hit_index`` is -1 when nothing is hit.
+    """
+    triangles = np.asarray(triangles, dtype=np.float64).reshape(-1, 3, 3)
+    if triangles.shape[0] == 0:
+        return -1, np.inf, 0.0, 0.0
+    v0 = triangles[:, 0]
+    e1 = triangles[:, 1] - v0
+    e2 = triangles[:, 2] - v0
+    pvec = np.cross(direction, e2)
+    det = np.einsum("ij,ij->i", e1, pvec)
+    valid = np.abs(det) > _EPS
+    inv_det = np.where(valid, 1.0 / np.where(valid, det, 1.0), 0.0)
+    tvec = origin - v0
+    u = np.einsum("ij,ij->i", tvec, pvec) * inv_det
+    qvec = np.cross(tvec, e1)
+    v = np.dot(qvec, direction) * inv_det
+    t = np.einsum("ij,ij->i", e2, qvec) * inv_det
+    hit = valid & (u >= 0) & (v >= 0) & (u + v <= 1) & (t >= tmin) & (t <= tmax)
+    if not np.any(hit):
+        return -1, np.inf, 0.0, 0.0
+    t_masked = np.where(hit, t, np.inf)
+    best = int(np.argmin(t_masked))
+    return best, float(t[best]), float(u[best]), float(v[best])
+
+
+def rays_triangle_soup_intersect(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    triangles: np.ndarray,
+    tmin: np.ndarray,
+    tmax: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Brute-force closest hit of ``(N,)`` rays against ``(K, 3, 3)`` triangles.
+
+    Used only as a ground-truth oracle in tests (O(N*K)).  Returns
+    ``(hit_index, t)`` arrays of shape ``(N,)`` with ``hit_index = -1`` for
+    misses.
+    """
+    n = origins.shape[0]
+    hit_idx = np.full(n, -1, dtype=np.int64)
+    hit_t = np.full(n, np.inf)
+    for i in range(n):
+        idx, t, _, _ = ray_triangles_intersect(
+            origins[i], directions[i], triangles, float(tmin[i]), float(tmax[i])
+        )
+        hit_idx[i] = idx
+        hit_t[i] = t
+    return hit_idx, hit_t

@@ -1,0 +1,126 @@
+"""Rays and batches of rays.
+
+A single :class:`Ray` is convenient for reference code and tests; the timing
+simulators operate on :class:`RayBatch`, a structure-of-arrays container that
+keeps a whole population of rays in numpy arrays for vectorized intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class Ray:
+    """A single ray: origin, unit-ish direction and a ``[tmin, tmax]`` interval."""
+
+    __slots__ = ("origin", "direction", "tmin", "tmax")
+
+    def __init__(
+        self,
+        origin: np.ndarray,
+        direction: np.ndarray,
+        tmin: float = 1e-4,
+        tmax: float = np.inf,
+    ):
+        self.origin = np.asarray(origin, dtype=np.float64).copy()
+        direction = np.asarray(direction, dtype=np.float64).copy()
+        norm = float(np.linalg.norm(direction))
+        if norm < _EPS:
+            raise ValueError("ray direction must be non-zero")
+        self.direction = direction / norm
+        if tmin < 0:
+            raise ValueError("tmin must be non-negative")
+        if tmax < tmin:
+            raise ValueError("tmax must be >= tmin")
+        self.tmin = float(tmin)
+        self.tmax = float(tmax)
+
+    def at(self, t: float) -> np.ndarray:
+        """Point ``origin + t * direction``."""
+        return self.origin + t * self.direction
+
+    def inv_direction(self) -> np.ndarray:
+        """Reciprocal direction with +/-inf for zero components (slab test)."""
+        with np.errstate(divide="ignore"):
+            return np.where(
+                np.abs(self.direction) < _EPS,
+                np.copysign(np.inf, self.direction + _EPS),
+                1.0 / self.direction,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Ray(origin={self.origin.tolist()}, direction={self.direction.tolist()}, "
+            f"tmin={self.tmin}, tmax={self.tmax})"
+        )
+
+
+class RayBatch:
+    """Structure-of-arrays container for ``n`` rays.
+
+    Attributes
+    ----------
+    origins, directions:
+        ``(n, 3)`` float64 arrays.  Directions are normalized on construction.
+    tmin, tmax:
+        ``(n,)`` float64 arrays; ``tmax`` shrinks as closer hits are found.
+    """
+
+    __slots__ = ("origins", "directions", "tmin", "tmax")
+
+    def __init__(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        tmin: Optional[np.ndarray] = None,
+        tmax: Optional[np.ndarray] = None,
+    ):
+        self.origins = np.atleast_2d(np.asarray(origins, dtype=np.float64)).copy()
+        directions = np.atleast_2d(np.asarray(directions, dtype=np.float64)).copy()
+        if self.origins.shape != directions.shape or self.origins.shape[1] != 3:
+            raise ValueError("origins and directions must both be (n, 3)")
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        if np.any(norms < _EPS):
+            raise ValueError("all ray directions must be non-zero")
+        self.directions = directions / norms
+        n = self.origins.shape[0]
+        self.tmin = (
+            np.full(n, 1e-4) if tmin is None else np.asarray(tmin, dtype=np.float64).copy()
+        )
+        self.tmax = (
+            np.full(n, np.inf) if tmax is None else np.asarray(tmax, dtype=np.float64).copy()
+        )
+        if self.tmin.shape != (n,) or self.tmax.shape != (n,):
+            raise ValueError("tmin and tmax must be (n,)")
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def ray(self, i: int) -> Ray:
+        """Materialize ray ``i`` as a scalar :class:`Ray`."""
+        return Ray(self.origins[i], self.directions[i], self.tmin[i], self.tmax[i])
+
+    def inv_directions(self) -> np.ndarray:
+        """``(n, 3)`` reciprocal directions, safe for zero components."""
+        with np.errstate(divide="ignore"):
+            return np.where(
+                np.abs(self.directions) < _EPS,
+                np.copysign(np.inf, self.directions + _EPS),
+                1.0 / self.directions,
+            )
+
+    @classmethod
+    def concatenate(cls, batches: list) -> "RayBatch":
+        """Stack multiple batches into one."""
+        if not batches:
+            raise ValueError("cannot concatenate zero batches")
+        return cls(
+            np.concatenate([b.origins for b in batches]),
+            np.concatenate([b.directions for b in batches]),
+            np.concatenate([b.tmin for b in batches]),
+            np.concatenate([b.tmax for b in batches]),
+        )

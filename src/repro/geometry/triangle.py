@@ -1,0 +1,136 @@
+"""Triangle meshes as structure-of-arrays.
+
+A :class:`TriangleMesh` stores vertex positions and a triangle index buffer,
+plus an optional per-triangle material id.  The BVH builder consumes meshes
+through :meth:`triangle_bounds` / :meth:`triangle_centroids`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Parameters
+    ----------
+    vertices:
+        ``(V, 3)`` float array of vertex positions.
+    indices:
+        ``(T, 3)`` int array of triangle vertex indices.
+    material_ids:
+        Optional ``(T,)`` int array mapping each triangle to a material slot.
+    """
+
+    __slots__ = ("vertices", "indices", "material_ids")
+
+    def __init__(
+        self,
+        vertices: np.ndarray,
+        indices: np.ndarray,
+        material_ids: Optional[np.ndarray] = None,
+    ):
+        self.vertices = np.asarray(vertices, dtype=np.float64).reshape(-1, 3).copy()
+        self.indices = np.asarray(indices, dtype=np.int64).reshape(-1, 3).copy()
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= len(self.vertices)
+        ):
+            raise ValueError("triangle indices out of vertex range")
+        if material_ids is None:
+            self.material_ids = np.zeros(len(self.indices), dtype=np.int64)
+        else:
+            self.material_ids = np.asarray(material_ids, dtype=np.int64).copy()
+            if self.material_ids.shape != (len(self.indices),):
+                raise ValueError("material_ids must have one entry per triangle")
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def triangle_count(self) -> int:
+        return len(self.indices)
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertices)
+
+    # -- per-triangle data -----------------------------------------------------
+
+    def triangle_vertices(self) -> np.ndarray:
+        """``(T, 3, 3)`` array: the three corner points of every triangle."""
+        return self.vertices[self.indices]
+
+    def triangle_bounds(self) -> np.ndarray:
+        """``(T, 6)`` array of per-triangle AABBs as ``[lo, hi]`` rows."""
+        tri = self.triangle_vertices()
+        lo = tri.min(axis=1)
+        hi = tri.max(axis=1)
+        return np.concatenate([lo, hi], axis=1)
+
+    def triangle_centroids(self) -> np.ndarray:
+        """``(T, 3)`` array of triangle centroids."""
+        return self.triangle_vertices().mean(axis=1)
+
+    def triangle_normals(self) -> np.ndarray:
+        """``(T, 3)`` unit geometric normals (zero for degenerate triangles)."""
+        tri = self.triangle_vertices()
+        e1 = tri[:, 1] - tri[:, 0]
+        e2 = tri[:, 2] - tri[:, 0]
+        n = np.cross(e1, e2)
+        lengths = np.linalg.norm(n, axis=1, keepdims=True)
+        safe = np.where(lengths > 1e-20, lengths, 1.0)
+        return np.where(lengths > 1e-20, n / safe, 0.0)
+
+    def bounds(self) -> AABB:
+        """AABB of the whole mesh."""
+        if self.triangle_count == 0:
+            return AABB.empty()
+        return AABB.from_points(self.vertices[np.unique(self.indices)])
+
+    def surface_area(self) -> float:
+        """Total surface area of all triangles."""
+        tri = self.triangle_vertices()
+        e1 = tri[:, 1] - tri[:, 0]
+        e2 = tri[:, 2] - tri[:, 0]
+        return float(0.5 * np.linalg.norm(np.cross(e1, e2), axis=1).sum())
+
+    # -- composition -----------------------------------------------------------
+
+    def transformed(self, matrix: np.ndarray) -> "TriangleMesh":
+        """Apply a 4x4 homogeneous transform and return a new mesh."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (4, 4):
+            raise ValueError("transform must be a 4x4 matrix")
+        hom = np.concatenate([self.vertices, np.ones((len(self.vertices), 1))], axis=1)
+        out = hom @ matrix.T
+        w = out[:, 3:4]
+        w = np.where(np.abs(w) < 1e-20, 1.0, w)
+        return TriangleMesh(out[:, :3] / w, self.indices, self.material_ids)
+
+    @classmethod
+    def merge(cls, meshes: list) -> "TriangleMesh":
+        """Concatenate meshes into one, re-basing index buffers."""
+        meshes = [m for m in meshes if m.triangle_count > 0]
+        if not meshes:
+            return cls(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        vertices = []
+        indices = []
+        materials = []
+        base = 0
+        for mesh in meshes:
+            vertices.append(mesh.vertices)
+            indices.append(mesh.indices + base)
+            materials.append(mesh.material_ids)
+            base += mesh.vertex_count
+        return cls(
+            np.concatenate(vertices),
+            np.concatenate(indices),
+            np.concatenate(materials),
+        )
+
+    def __repr__(self) -> str:
+        return f"TriangleMesh(vertices={self.vertex_count}, triangles={self.triangle_count})"

@@ -1,0 +1,90 @@
+"""An optional banked DRAM timing model.
+
+The default memory system charges a flat ``dram_latency`` per miss (the
+scale-model choice).  For bandwidth-sensitivity studies this module
+models the structure behind that constant: channels, banks, open rows,
+and bank occupancy — so streams with row locality (treelet bursts, DFS
+layouts) are rewarded and scattered access patterns pay row cycles and
+bank queueing.
+
+Enable with ``GPUConfig(detailed_dram=True)``; each SM's MemorySystem
+then owns one :class:`DRAMModel` (cross-SM contention stays unmodeled,
+consistent with the rest of the scale model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.gpusim.config import GPUConfig
+
+
+@dataclass
+class DRAMStats:
+    """Row-buffer behaviour counters."""
+
+    accesses: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    queue_wait_cycles: float = 0.0
+
+    def row_hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.row_hits / self.accesses
+
+
+class DRAMModel:
+    """Channels x banks with open-row policy and bank busy times."""
+
+    def __init__(self, config: GPUConfig):
+        self.channels = config.dram_channels
+        self.banks = config.dram_banks
+        self.row_lines = max(1, config.dram_row_bytes // config.line_bytes)
+        self.t_cas = config.dram_t_cas
+        self.t_rcd = config.dram_t_rcd
+        self.t_rp = config.dram_t_rp
+        self.base = config.dram_base_cycles
+        total_banks = self.channels * self.banks
+        self._open_row: List[int] = [-1] * total_banks
+        self._ready_at: List[float] = [0.0] * total_banks
+        self.stats = DRAMStats()
+
+    def _locate(self, line: int) -> Tuple[int, int]:
+        """(bank index, row id) of a cache line.
+
+        Consecutive lines interleave across channels (burst-friendly),
+        rows are contiguous line runs within a channel.
+        """
+        channel = line % self.channels
+        channel_line = line // self.channels
+        row = channel_line // self.row_lines
+        bank = (row % self.banks) + channel * self.banks
+        return bank, row
+
+    def access(self, line: int, cycle: float) -> float:
+        """Latency of one line read issued at ``cycle``."""
+        bank, row = self._locate(line)
+        self.stats.accesses += 1
+
+        wait = max(0.0, self._ready_at[bank] - cycle)
+        self.stats.queue_wait_cycles += wait
+
+        if self._open_row[bank] == row:
+            self.stats.row_hits += 1
+            service = self.t_cas
+        else:
+            if self._open_row[bank] != -1:
+                self.stats.row_conflicts += 1
+                service = self.t_rp + self.t_rcd + self.t_cas  # precharge+activate
+            else:
+                service = self.t_rcd + self.t_cas  # activate only
+            self._open_row[bank] = row
+        self._ready_at[bank] = cycle + wait + service
+        return self.base + wait + service
+
+    def reset(self) -> None:
+        """Close all rows and clear busy times (statistics are kept)."""
+        self._open_row = [-1] * len(self._open_row)
+        self._ready_at = [0.0] * len(self._ready_at)

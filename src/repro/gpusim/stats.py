@@ -1,0 +1,190 @@
+"""Statistics shared by all timing models.
+
+``SimStats`` collects the quantities the paper's figures report:
+
+* cache accesses / hits / misses per level, split by access kind;
+* a *windowed timeline* of L1 BVH miss rates (Figure 11);
+* SIMT-efficiency samples (Figures 1b, 13b);
+* cycles and intersection tests attributed to each traversal mode
+  (Figures 14, 15);
+* traffic and event counts feeding the energy model (Figure 17).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class TraversalMode(enum.Enum):
+    """The three phases of dynamic treelet queues (Section 3.2)."""
+
+    INITIAL_RAY_STATIONARY = "initial_ray_stationary"
+    TREELET_STATIONARY = "treelet_stationary"
+    FINAL_RAY_STATIONARY = "final_ray_stationary"
+
+
+@dataclass
+class WindowedRate:
+    """Accumulates (hit, miss) events into fixed-width cycle windows."""
+
+    window_cycles: float = 5000.0
+    hits: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    misses: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, cycle: float, hit: bool) -> None:
+        window = int(cycle // self.window_cycles)
+        if hit:
+            self.hits[window] += 1
+        else:
+            self.misses[window] += 1
+
+    def series(self) -> List[Tuple[float, float]]:
+        """``(window_start_cycle, miss_rate)`` points in time order."""
+        windows = sorted(set(self.hits) | set(self.misses))
+        out = []
+        for w in windows:
+            h = self.hits[w]
+            m = self.misses[w]
+            if h + m:
+                out.append((w * self.window_cycles, m / (h + m)))
+        return out
+
+
+@dataclass
+class SimStats:
+    """All counters one simulation run produces."""
+
+    # Cache behaviour, keyed by (level, kind) e.g. ("l1", "bvh").
+    cache_accesses: Dict[Tuple[str, str], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    cache_hits: Dict[Tuple[str, str], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    dram_accesses: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    traffic_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    # Timeline of L1 BVH miss rate (Figure 11).
+    l1_bvh_timeline: WindowedRate = field(default_factory=WindowedRate)
+
+    # SIMT efficiency: sum of active-lane fractions and step count.
+    simt_active_sum: float = 0.0
+    simt_steps: int = 0
+
+    # Per-mode cycle and intersection-test attribution (Figures 14, 15).
+    mode_cycles: Dict[TraversalMode, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    mode_tests: Dict[TraversalMode, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    # Totals.
+    total_cycles: float = 0.0
+    rays_traced: int = 0
+    warps_processed: int = 0
+    node_visits: int = 0
+    leaf_visits: int = 0
+    triangle_tests: int = 0
+
+    # Mechanism-specific counters.
+    warp_repacks: int = 0
+    treelet_fetch_lines: int = 0
+    prefetch_lines: int = 0
+    prefetch_unused_lines: int = 0
+    cta_saves: int = 0
+    cta_restores: int = 0
+    queue_table_overflows: int = 0
+    count_table_evictions: int = 0
+    queue_table_peak_entries: int = 0
+    count_table_peak_entries: int = 0
+
+    # -- recording helpers ------------------------------------------------------
+
+    def record_cache(self, level: str, kind: str, hit: bool) -> None:
+        self.cache_accesses[(level, kind)] += 1
+        if hit:
+            self.cache_hits[(level, kind)] += 1
+
+    def record_simt(self, active: int, warp_size: int) -> None:
+        self.simt_active_sum += active / warp_size
+        self.simt_steps += 1
+
+    def record_mode(self, mode: TraversalMode, cycles: float, tests: int = 0) -> None:
+        self.mode_cycles[mode] += cycles
+        self.mode_tests[mode] += tests
+
+    # -- derived metrics -----------------------------------------------------
+
+    def miss_rate(self, level: str, kind: str = "bvh") -> float:
+        """Miss rate of ``kind`` accesses at ``level``; 0.0 when unused."""
+        acc = self.cache_accesses[(level, kind)]
+        if acc == 0:
+            return 0.0
+        return 1.0 - self.cache_hits[(level, kind)] / acc
+
+    def simt_efficiency(self) -> float:
+        """Mean active-lane fraction over all warp steps (paper Sec 6.3)."""
+        if self.simt_steps == 0:
+            return 0.0
+        return self.simt_active_sum / self.simt_steps
+
+    def mode_cycle_fractions(self) -> Dict[TraversalMode, float]:
+        total = sum(self.mode_cycles.values())
+        if total == 0:
+            return {mode: 0.0 for mode in TraversalMode}
+        return {mode: self.mode_cycles[mode] / total for mode in TraversalMode}
+
+    def mode_test_fractions(self) -> Dict[TraversalMode, float]:
+        total = sum(self.mode_tests.values())
+        if total == 0:
+            return {mode: 0.0 for mode in TraversalMode}
+        return {mode: self.mode_tests[mode] / total for mode in TraversalMode}
+
+    def prefetch_unused_fraction(self) -> float:
+        if self.prefetch_lines == 0:
+            return 0.0
+        return self.prefetch_unused_lines / self.prefetch_lines
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold another SM's stats into this one (cycles take the max)."""
+        for key, value in other.cache_accesses.items():
+            self.cache_accesses[key] += value
+        for key, value in other.cache_hits.items():
+            self.cache_hits[key] += value
+        for key, value in other.dram_accesses.items():
+            self.dram_accesses[key] += value
+        for key, value in other.traffic_bytes.items():
+            self.traffic_bytes[key] += value
+        for window, count in other.l1_bvh_timeline.hits.items():
+            self.l1_bvh_timeline.hits[window] += count
+        for window, count in other.l1_bvh_timeline.misses.items():
+            self.l1_bvh_timeline.misses[window] += count
+        self.simt_active_sum += other.simt_active_sum
+        self.simt_steps += other.simt_steps
+        for mode in TraversalMode:
+            self.mode_cycles[mode] += other.mode_cycles[mode]
+            self.mode_tests[mode] += other.mode_tests[mode]
+        self.total_cycles = max(self.total_cycles, other.total_cycles)
+        self.rays_traced += other.rays_traced
+        self.warps_processed += other.warps_processed
+        self.node_visits += other.node_visits
+        self.leaf_visits += other.leaf_visits
+        self.triangle_tests += other.triangle_tests
+        self.warp_repacks += other.warp_repacks
+        self.treelet_fetch_lines += other.treelet_fetch_lines
+        self.prefetch_lines += other.prefetch_lines
+        self.prefetch_unused_lines += other.prefetch_unused_lines
+        self.cta_saves += other.cta_saves
+        self.cta_restores += other.cta_restores
+        self.queue_table_overflows += other.queue_table_overflows
+        self.count_table_evictions += other.count_table_evictions
+        self.queue_table_peak_entries = max(
+            self.queue_table_peak_entries, other.queue_table_peak_entries
+        )
+        self.count_table_peak_entries = max(
+            self.count_table_peak_entries, other.count_table_peak_entries
+        )

@@ -1,0 +1,62 @@
+"""Scene substrate: procedural geometry, cameras, materials, LumiBench analogue.
+
+The paper evaluates on 14 LumiBench scenes (13 MB - 1.9 GB BVHs).  Those
+assets are not redistributable, so :mod:`repro.scenes.lumibench` generates
+deterministic synthetic scenes with the same names, the same *ascending BVH
+size ordering*, and matching scene character (indoor/outdoor, organic/
+architectural), at a configurable scale factor.
+"""
+
+from repro.scenes.camera import Camera
+from repro.scenes.materials import Material, MaterialTable, scatter
+from repro.scenes.primitives import (
+    blob,
+    box,
+    cloth,
+    column,
+    cylinder,
+    icosphere,
+    scatter_instances,
+    terrain,
+    tree,
+)
+from repro.scenes.lumibench import (
+    ALL_SCENES,
+    EXTRA_SCENES,
+    TABLE2_SCENES,
+    Scene,
+    SceneSpec,
+    load_scene,
+    scene_names,
+    scene_spec,
+)
+
+from repro.scenes.obj import load_obj, save_obj
+from repro.scenes.validate import clean_mesh, validate_mesh
+
+__all__ = [
+    "Camera",
+    "Material",
+    "MaterialTable",
+    "scatter",
+    "load_obj",
+    "save_obj",
+    "clean_mesh",
+    "validate_mesh",
+    "terrain",
+    "icosphere",
+    "blob",
+    "box",
+    "cylinder",
+    "column",
+    "cloth",
+    "tree",
+    "scatter_instances",
+    "Scene",
+    "SceneSpec",
+    "load_scene",
+    "scene_spec",
+    "TABLE2_SCENES",
+    "EXTRA_SCENES",
+    "ALL_SCENES",
+]

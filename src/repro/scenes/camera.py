@@ -1,0 +1,99 @@
+"""Pinhole camera: generates primary rays for an image grid.
+
+The paper traces primary rays from the camera through each pixel (LumiBench
+/ Vulkan-Sim do not rasterize primary hits), at 256x256 resolution and one
+sample per pixel; we do the same at configurable resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.ray import RayBatch
+
+
+@dataclass
+class Camera:
+    """A look-at pinhole camera.
+
+    Attributes
+    ----------
+    position:
+        Eye point.
+    look_at:
+        Target point the camera faces.
+    up:
+        Approximate up vector (re-orthogonalized internally).
+    fov_degrees:
+        Vertical field of view.
+    """
+
+    position: Tuple[float, float, float]
+    look_at: Tuple[float, float, float]
+    up: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+    fov_degrees: float = 55.0
+
+    def __post_init__(self):
+        if not 0 < self.fov_degrees < 180:
+            raise ValueError("fov_degrees must be in (0, 180)")
+        eye = np.asarray(self.position, dtype=np.float64)
+        target = np.asarray(self.look_at, dtype=np.float64)
+        forward = target - eye
+        norm = np.linalg.norm(forward)
+        if norm < 1e-12:
+            raise ValueError("camera position and look_at coincide")
+        self._forward = forward / norm
+        up = np.asarray(self.up, dtype=np.float64)
+        right = np.cross(self._forward, up)
+        rnorm = np.linalg.norm(right)
+        if rnorm < 1e-9:
+            raise ValueError("up vector is parallel to the view direction")
+        self._right = right / rnorm
+        self._up = np.cross(self._right, self._forward)
+        self._eye = eye
+
+    def basis(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Orthonormal ``(right, up, forward)`` camera basis."""
+        return self._right.copy(), self._up.copy(), self._forward.copy()
+
+    def primary_rays(
+        self, width: int, height: int, jitter_seed: int = None
+    ) -> RayBatch:
+        """One ray per pixel in row-major order.
+
+        With ``jitter_seed`` set, sample positions are jittered inside each
+        pixel (the usual 1-spp path tracing setup); otherwise rays pass
+        through pixel centers (deterministic, used by tests).
+        """
+        if width < 1 or height < 1:
+            raise ValueError("resolution must be at least 1x1")
+        half_h = np.tan(np.radians(self.fov_degrees) / 2.0)
+        half_w = half_h * (width / height)
+        px, py = np.meshgrid(np.arange(width), np.arange(height), indexing="xy")
+        px = px.ravel().astype(np.float64)
+        py = py.ravel().astype(np.float64)
+        if jitter_seed is not None:
+            rng = np.random.default_rng(jitter_seed)
+            px = px + rng.uniform(0, 1, px.shape)
+            py = py + rng.uniform(0, 1, py.shape)
+        else:
+            px = px + 0.5
+            py = py + 0.5
+        # NDC in [-1, 1], y flipped so row 0 is the top of the image.
+        ndc_x = 2.0 * px / width - 1.0
+        ndc_y = 1.0 - 2.0 * py / height
+        directions = (
+            self._forward[None, :]
+            + ndc_x[:, None] * half_w * self._right[None, :]
+            + ndc_y[:, None] * half_h * self._up[None, :]
+        )
+        origins = np.broadcast_to(self._eye, directions.shape).copy()
+        return RayBatch(origins, directions)
+
+    def pixel_ray(self, x: int, y: int, width: int, height: int):
+        """The center ray of pixel ``(x, y)`` (row y, column x)."""
+        batch = self.primary_rays(width, height)
+        return batch.ray(y * width + x)

@@ -1,0 +1,607 @@
+"""Synthetic LumiBench: 14 deterministic scenes matching the paper's Table 2.
+
+The real LumiBench assets (13 MB - 1.9 GB BVHs, 144 K - 20.6 M triangles)
+are not redistributable and far exceed what a Python cycle-approximate
+simulator can chew through, so this module generates *scale models*: the
+same scene names, the same ascending-BVH-size ordering, matching scene
+character (indoor vs outdoor, organic vs architectural, foliage), and
+triangle budgets proportional to a sub-linear power of the paper's BVH
+sizes.  The experiment configs shrink the caches correspondingly so the
+BVH-size : cache-size regime (BVH >> cache) is preserved; see DESIGN.md.
+
+Two extra scenes, WKND and SHIP, appear in the paper's Figure 5 with "the
+smallest BVH sizes"; they are included here below BUNNY.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.triangle import TriangleMesh
+from repro.scenes.camera import Camera
+from repro.scenes.materials import Material, MaterialTable
+from repro.scenes.primitives import (
+    blob,
+    box,
+    cloth,
+    column,
+    cylinder,
+    icosphere,
+    scatter_instances,
+    terrain,
+    tree,
+)
+
+# Triangle budget at scale=1.0 for the smallest Table 2 scene (BUNNY).
+_BASE_TRIS = 1200
+# Sub-linear exponent compressing the paper's 142x BVH size range into a
+# range Python can build and trace while preserving strict ordering.
+_SIZE_EXPONENT = 0.7
+_BUNNY_MB = 13.18
+
+SKY_DAY = (0.7, 0.8, 1.0)
+SKY_NONE = (0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Static description of one benchmark scene.
+
+    ``paper_bvh_mb`` and ``paper_tris`` are the values from Table 2 and
+    drive this reproduction's triangle budgets; ``indoor`` selects sky vs
+    area-light illumination and an interior camera.
+    """
+
+    name: str
+    paper_bvh_mb: float
+    paper_tris: float
+    family: str
+    indoor: bool
+    seed: int
+
+    def target_triangles(self, scale: float = 1.0) -> int:
+        ratio = self.paper_bvh_mb / _BUNNY_MB
+        return max(64, int(_BASE_TRIS * ratio**_SIZE_EXPONENT * scale))
+
+
+@dataclass
+class Scene:
+    """A loaded scene: geometry, camera, materials and sky."""
+
+    spec: SceneSpec
+    mesh: TriangleMesh
+    camera: Camera
+    materials: MaterialTable
+    sky_emission: Tuple[float, float, float]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "triangles": self.mesh.triangle_count,
+            "paper_bvh_mb": self.spec.paper_bvh_mb,
+            "paper_triangles": self.spec.paper_tris,
+        }
+
+
+# Table 2 scenes, ascending BVH size (the paper's sort order everywhere).
+TABLE2_SCENES: List[SceneSpec] = [
+    SceneSpec("BUNNY", 13.18, 144_100, "organic", False, 101),
+    SceneSpec("SPNZA", 22.84, 262_300, "atrium", True, 102),
+    SceneSpec("CHSNT", 28.28, 313_200, "single_tree", False, 103),
+    SceneSpec("REF", 40.36, 448_900, "mirror_room", True, 104),
+    SceneSpec("CRNVL", 60.67, 449_600, "carnival", False, 105),
+    SceneSpec("BATH", 112.79, 423_600, "bathroom", True, 106),
+    SceneSpec("PARTY", 156.05, 1_700_000, "hall", True, 107),
+    SceneSpec("SPRNG", 177.96, 1_900_000, "meadow", False, 108),
+    SceneSpec("LANDS", 303.48, 3_300_000, "landscape", False, 109),
+    SceneSpec("FRST", 380.51, 4_200_000, "forest", False, 110),
+    SceneSpec("PARK", 542.53, 6_000_000, "park", False, 111),
+    SceneSpec("FOX", 648.48, 1_600_000, "organic_herd", False, 112),
+    SceneSpec("CAR", 1328.23, 12_700_000, "vehicle", False, 113),
+    SceneSpec("ROBOT", 1868.95, 20_600_000, "mech", False, 114),
+]
+
+# Figure 5 mentions WKND and SHIP as the scenes with the smallest BVHs.
+EXTRA_SCENES: List[SceneSpec] = [
+    SceneSpec("WKND", 6.0, 60_000, "still_life", True, 115),
+    SceneSpec("SHIP", 9.5, 100_000, "vehicle", False, 116),
+]
+
+ALL_SCENES: List[SceneSpec] = sorted(
+    TABLE2_SCENES + EXTRA_SCENES, key=lambda s: s.paper_bvh_mb
+)
+
+_SPEC_BY_NAME = {spec.name: spec for spec in TABLE2_SCENES + EXTRA_SCENES}
+
+
+def scene_spec(name: str) -> SceneSpec:
+    """Look up a scene spec by name (KeyError on unknown names)."""
+    return _SPEC_BY_NAME[name]
+
+
+def scene_names(include_extra: bool = False) -> List[str]:
+    """Scene names in ascending BVH-size order."""
+    specs = ALL_SCENES if include_extra else TABLE2_SCENES
+    return [s.name for s in specs]
+
+
+# ---------------------------------------------------------------------------
+# Scene family builders.  Each returns (mesh, camera, materials, sky).
+# ---------------------------------------------------------------------------
+
+
+def _auto_camera(mesh: TriangleMesh, indoor: bool, spec: SceneSpec) -> Camera:
+    bounds = mesh.bounds()
+    center = bounds.centroid()
+    extent = bounds.extent()
+    radius = float(np.linalg.norm(extent)) / 2.0
+    rng = np.random.default_rng(spec.seed + 7)
+    azimuth = rng.uniform(0, 2 * np.pi)
+    if indoor:
+        # Inside the volume, slightly off-center, looking across the room.
+        eye = center + 0.35 * extent * np.array(
+            [math.cos(azimuth), math.sin(azimuth), 0.1]
+        )
+        target = center - 0.2 * extent * np.array(
+            [math.cos(azimuth), math.sin(azimuth), 0.0]
+        )
+    else:
+        eye = center + np.array(
+            [
+                1.4 * radius * math.cos(azimuth),
+                1.4 * radius * math.sin(azimuth),
+                0.6 * radius,
+            ]
+        )
+        target = center
+    return Camera(tuple(eye), tuple(target))
+
+
+def _room_shell(size, mats, wall_mat, floor_mat, light_mat):
+    """Five thin boxes forming an open-topped room, plus a ceiling light."""
+    sx, sy, sz = size
+    t = 0.05 * min(sx, sy)
+    parts = [
+        box((0, 0, -sz / 2), (sx, sy, t), floor_mat),          # floor
+        box((0, 0, sz / 2), (sx, sy, t), wall_mat),            # ceiling
+        box((-sx / 2, 0, 0), (t, sy, sz), wall_mat),
+        box((sx / 2, 0, 0), (t, sy, sz), wall_mat),
+        box((0, -sy / 2, 0), (sx, t, sz), wall_mat),
+        box((0, sy / 2, 0), (sx, t, sz), wall_mat),
+        box((0, 0, sz / 2 - 2 * t), (sx * 0.4, sy * 0.4, t), light_mat),  # light
+    ]
+    return TriangleMesh.merge(parts)
+
+
+def _build_organic(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.6, 0.55, 0.5), name="ground")])
+    fur = mats.add(Material((0.75, 0.7, 0.6), name="fur"))
+    # Icosphere subdivision s gives 20 * 4^s faces; pick s to fit the budget.
+    subdivisions = max(1, int(math.log(max(budget * 0.8, 20) / 20, 4)))
+    body = blob(subdivisions, 2.0, 0.3, (0, 0, 2.0), spec.seed, fur)
+    ground_cells = max(2, int(math.sqrt(max(budget - body.triangle_count, 8) / 2)))
+    ground = terrain(ground_cells, 14.0, 0.4, spec.seed + 1, 0)
+    mesh = TriangleMesh.merge([ground, body])
+    return mesh, mats, SKY_DAY
+
+
+def _build_atrium(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.65, 0.6, 0.55), name="stone")])
+    floor_mat = mats.add(Material((0.5, 0.45, 0.4), name="floor"))
+    light = mats.add(Material((0, 0, 0), emission=(14.0, 13.0, 12.0), name="lamp"))
+    fabric = mats.add(Material((0.7, 0.25, 0.2), name="banner"))
+    shell = _room_shell((24, 12, 9), mats, 0, floor_mat, light)
+    remaining = budget - shell.triangle_count
+    columns = []
+    n_cols = 10
+    per_col = column().triangle_count
+    cloth_budget = max(remaining - n_cols * per_col, 64)
+    for i in range(n_cols):
+        x = -9 + (i % 5) * 4.5
+        y = -4 if i < 5 else 4
+        columns.append(column(0.5, 8.0, 10, (x, y, 0), 0))
+    n_cloth = max(2, int(math.sqrt(cloth_budget / 6)))
+    banners = [
+        cloth(n_cloth, n_cloth // 2 + 1, 3.0, 0.4, spec.seed + i, (x, 0, 2.0), fabric)
+        for i, x in enumerate((-6.0, 0.0, 6.0))
+    ]
+    mesh = TriangleMesh.merge([shell] + columns + banners)
+    return mesh, mats, SKY_NONE
+
+
+def _build_single_tree(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.45, 0.35, 0.25), name="bark")])
+    leaf = mats.add(Material((0.3, 0.55, 0.2), name="leaf"))
+    ground_mat = mats.add(Material((0.4, 0.5, 0.3), name="grass"))
+    ground_cells = max(4, int(math.sqrt(budget * 0.25 / 2)))
+    ground = terrain(ground_cells, 20.0, 0.8, spec.seed, ground_mat)
+    leaf_budget = max(budget - ground.triangle_count - 40, 40)
+    big_tree = tree(5.0, 3.5, leaf_budget, spec.seed + 1, (0, 0, 0), 0, leaf)
+    mesh = TriangleMesh.merge([ground, big_tree])
+    return mesh, mats, SKY_DAY
+
+
+def _build_mirror_room(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.7, 0.7, 0.72), name="wall")])
+    floor_mat = mats.add(Material((0.45, 0.45, 0.5), name="floor"))
+    light = mats.add(Material((0, 0, 0), emission=(12.0, 12.0, 12.0), name="lamp"))
+    mirror = mats.add(Material((0.9, 0.9, 0.9), mirror=0.95, name="mirror"))
+    chrome = mats.add(Material((0.8, 0.8, 0.85), mirror=0.6, name="chrome"))
+    shell = _room_shell((14, 14, 8), mats, 0, floor_mat, light)
+    panel = box((-6.8, 0, 0), (0.1, 10, 6), mirror)
+    remaining = max(budget - shell.triangle_count - panel.triangle_count, 80)
+    n_objects = 8
+    per_obj = remaining // n_objects
+    rng = np.random.default_rng(spec.seed)
+    objects = []
+    for i in range(n_objects):
+        pos = (rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-2.5, 0.0))
+        sub = max(1, int(math.log(max(per_obj, 20) / 20, 4)))
+        mat = chrome if i % 2 == 0 else floor_mat
+        objects.append(icosphere(sub, rng.uniform(0.6, 1.4), pos, mat))
+    mesh = TriangleMesh.merge([shell, panel] + objects)
+    return mesh, mats, SKY_NONE
+
+
+def _build_carnival(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.5, 0.5, 0.45), name="ground")])
+    tent_mat = mats.add(Material((0.8, 0.3, 0.25), name="tent"))
+    stall_mat = mats.add(Material((0.55, 0.4, 0.3), name="stall"))
+    metal = mats.add(Material((0.6, 0.6, 0.65), mirror=0.3, name="metal"))
+    ground_cells = max(4, int(math.sqrt(budget * 0.2 / 2)))
+    ground = terrain(ground_cells, 40.0, 0.3, spec.seed, 0)
+    rng = np.random.default_rng(spec.seed + 1)
+    remaining = max(budget - ground.triangle_count, 200)
+    n_tents = 6
+    tent_cells = max(3, int(math.sqrt(remaining * 0.6 / n_tents / 2)))
+    parts = [ground]
+    for i in range(n_tents):
+        x, y = rng.uniform(-15, 15, 2)
+        parts.append(
+            cloth(tent_cells, tent_cells, 5.0, 0.8, spec.seed + i, (x, y, 3.0), tent_mat)
+        )
+        parts.append(box((x, y, 1.2), (3.0, 3.0, 2.4), stall_mat))
+    wheel_center = (0.0, 18.0, 7.0)
+    parts.append(cylinder(6.0, 0.8, 18, wheel_center, metal, capped=False))
+    for k in range(8):
+        angle = 2 * np.pi * k / 8
+        pos = (
+            wheel_center[0] + 5.0 * np.cos(angle),
+            wheel_center[1],
+            wheel_center[2] + 5.0 * np.sin(angle),
+        )
+        parts.append(box(pos, (1.0, 1.0, 1.2), stall_mat))
+    mesh = TriangleMesh.merge(parts)
+    return mesh, mats, SKY_DAY
+
+
+def _build_bathroom(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.75, 0.75, 0.78), name="tile")])
+    floor_mat = mats.add(Material((0.6, 0.6, 0.62), name="floor"))
+    light = mats.add(Material((0, 0, 0), emission=(10.0, 10.0, 9.5), name="lamp"))
+    mirror = mats.add(Material((0.9, 0.9, 0.9), mirror=0.9, name="mirror"))
+    ceramic = mats.add(Material((0.85, 0.85, 0.88), mirror=0.15, name="ceramic"))
+    shell = _room_shell((10, 8, 6), mats, 0, floor_mat, light)
+    panel = box((-4.8, 0, 0.5), (0.1, 5, 3), mirror)
+    remaining = max(budget - shell.triangle_count - panel.triangle_count, 100)
+    sub = max(1, int(math.log(max(remaining * 0.5, 20) / 20, 4)))
+    tub = blob(sub, 1.6, 0.12, (1.5, -1.0, -2.0), spec.seed, ceramic)
+    sink = icosphere(max(1, sub - 1), 0.7, (-3.0, 2.0, -1.0), ceramic)
+    fixtures = [
+        cylinder(0.08, 1.0, 8, (-3.0, 2.0, 0.2), ceramic),
+        box((3.5, 2.5, -2.2), (1.5, 1.0, 1.6), floor_mat),
+    ]
+    mesh = TriangleMesh.merge([shell, panel, tub, sink] + fixtures)
+    return mesh, mats, SKY_NONE
+
+
+def _build_hall(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.6, 0.55, 0.5), name="wall")])
+    floor_mat = mats.add(Material((0.4, 0.35, 0.35), name="floor"))
+    light = mats.add(Material((0, 0, 0), emission=(16.0, 15.0, 13.0), name="lamp"))
+    fabric = mats.add(Material((0.3, 0.3, 0.7), name="drape"))
+    wood = mats.add(Material((0.5, 0.35, 0.2), name="wood"))
+    shell = _room_shell((30, 18, 10), mats, 0, floor_mat, light)
+    rng = np.random.default_rng(spec.seed)
+    remaining = max(budget - shell.triangle_count, 400)
+    n_tables = 10
+    table = TriangleMesh.merge(
+        [
+            box((0, 0, 0.9), (2.0, 2.0, 0.15), wood),
+            cylinder(0.15, 0.9, 8, (0, 0, 0.45), wood),
+        ]
+    )
+    parts = [shell]
+    drape_budget = remaining * 0.7
+    n_drape_cells = max(3, int(math.sqrt(drape_budget / 8 / 2)))
+    for i in range(8):
+        x = -12 + i * 3.4
+        parts.append(
+            cloth(
+                n_drape_cells, n_drape_cells, 3.5, 0.5,
+                spec.seed + 10 + i, (x, 8.0, 1.0), fabric,
+            )
+        )
+    for _ in range(n_tables):
+        x, y = rng.uniform(-12, 12), rng.uniform(-6, 6)
+        shifted = table.transformed(
+            np.array([[1, 0, 0, x], [0, 1, 0, y], [0, 0, 1, -4.5], [0, 0, 0, 1.0]])
+        )
+        parts.append(shifted)
+    mesh = TriangleMesh.merge(parts)
+    return mesh, mats, SKY_NONE
+
+
+def _build_meadow(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.35, 0.5, 0.25), name="grass")])
+    flower = mats.add(Material((0.8, 0.5, 0.6), name="flower"))
+    rock = mats.add(Material((0.5, 0.5, 0.5), name="rock"))
+    ground_cells = max(8, int(math.sqrt(budget * 0.35 / 2)))
+    ground = terrain(ground_cells, 50.0, 2.0, spec.seed, 0)
+    remaining = max(budget - ground.triangle_count, 200)
+    tuft = blob(1, 0.3, 0.4, (0, 0, 0.3), spec.seed + 1, flower)
+    n_tufts = max(4, int(remaining * 0.7 / tuft.triangle_count))
+    tufts = scatter_instances(tuft, n_tufts, 44.0, spec.seed + 2)
+    boulder = blob(1, 1.0, 0.3, (0, 0, 0.8), spec.seed + 3, rock)
+    n_rocks = max(2, int(remaining * 0.3 / boulder.triangle_count))
+    rocks = scatter_instances(boulder, n_rocks, 44.0, spec.seed + 4)
+    mesh = TriangleMesh.merge([ground, tufts, rocks])
+    return mesh, mats, SKY_DAY
+
+
+def _build_landscape(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.45, 0.4, 0.3), name="dirt")])
+    rock = mats.add(Material((0.55, 0.55, 0.55), name="rock"))
+    snow = mats.add(Material((0.9, 0.9, 0.95), name="snow"))
+    ground_cells = max(8, int(math.sqrt(budget * 0.6 / 2)))
+    ground = terrain(ground_cells, 80.0, 10.0, spec.seed, 0)
+    remaining = max(budget - ground.triangle_count, 100)
+    boulder = blob(1, 1.5, 0.35, (0, 0, 1.0), spec.seed + 1, rock)
+    n_rocks = max(3, int(remaining * 0.6 / boulder.triangle_count))
+    rocks = scatter_instances(boulder, n_rocks, 70.0, spec.seed + 2)
+    peak = blob(2, 6.0, 0.2, (25, 25, 8.0), spec.seed + 3, snow)
+    mesh = TriangleMesh.merge([ground, rocks, peak])
+    return mesh, mats, SKY_DAY
+
+
+def _forest_like(spec: SceneSpec, budget: int, extras: float = 0.0):
+    mats = MaterialTable([Material((0.4, 0.45, 0.3), name="floor")])
+    bark = mats.add(Material((0.4, 0.3, 0.2), name="bark"))
+    leaf = mats.add(Material((0.25, 0.5, 0.2), name="leaf"))
+    bench_mat = mats.add(Material((0.5, 0.4, 0.3), name="bench"))
+    ground_cells = max(8, int(math.sqrt(budget * 0.15 / 2)))
+    ground = terrain(ground_cells, 60.0, 1.5, spec.seed, 0)
+    remaining = max(budget - ground.triangle_count, 400)
+    leaves_per_tree = 60
+    per_tree = tree(3.0, 1.5, leaves_per_tree, 0).triangle_count
+    n_trees = max(4, int(remaining * (1.0 - extras) / per_tree))
+    rng = np.random.default_rng(spec.seed + 1)
+    parts = [ground]
+    for i in range(n_trees):
+        x, y = rng.uniform(-28, 28, 2)
+        parts.append(
+            tree(
+                rng.uniform(2.0, 4.5), rng.uniform(1.0, 2.2), leaves_per_tree,
+                spec.seed + 10 + i, (x, y, 0), bark, leaf,
+            )
+        )
+    if extras > 0:
+        n_benches = max(2, int(remaining * extras / 36))
+        for _ in range(n_benches):
+            x, y = rng.uniform(-24, 24, 2)
+            parts.append(box((x, y, 0.4), (2.0, 0.6, 0.8), bench_mat))
+            parts.append(box((x, y + 0.35, 1.0), (2.0, 0.1, 0.6), bench_mat))
+    mesh = TriangleMesh.merge(parts)
+    return mesh, mats, SKY_DAY
+
+
+def _build_forest(spec: SceneSpec, budget: int):
+    return _forest_like(spec, budget, extras=0.0)
+
+
+def _build_park(spec: SceneSpec, budget: int):
+    return _forest_like(spec, budget, extras=0.15)
+
+
+def _build_organic_herd(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.5, 0.45, 0.35), name="ground")])
+    fur = mats.add(Material((0.8, 0.45, 0.2), name="fur"))
+    white = mats.add(Material((0.9, 0.9, 0.85), name="white_fur"))
+    ground_cells = max(6, int(math.sqrt(budget * 0.2 / 2)))
+    ground = terrain(ground_cells, 30.0, 1.0, spec.seed, 0)
+    remaining = max(budget - ground.triangle_count, 200)
+    sub = max(1, int(math.log(max(remaining * 0.5, 20) / 20, 4)))
+    fox_body = blob(sub, 1.2, 0.3, (0, 0, 1.0), spec.seed + 1, fur)
+    head = blob(max(1, sub - 1), 0.6, 0.25, (1.2, 0, 1.7), spec.seed + 2, white)
+    tail = blob(max(1, sub - 1), 0.5, 0.4, (-1.3, 0, 1.2), spec.seed + 3, fur)
+    fox = TriangleMesh.merge([fox_body, head, tail])
+    n_foxes = max(1, int(remaining / fox.triangle_count))
+    herd = scatter_instances(fox, n_foxes, 24.0, spec.seed + 4)
+    mesh = TriangleMesh.merge([ground, herd])
+    return mesh, mats, SKY_DAY
+
+
+def _build_vehicle(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.5, 0.5, 0.5), name="ground")])
+    body_mat = mats.add(Material((0.7, 0.1, 0.1), mirror=0.4, name="paint"))
+    glass = mats.add(Material((0.7, 0.75, 0.8), mirror=0.7, name="glass"))
+    tire = mats.add(Material((0.1, 0.1, 0.1), name="tire"))
+    chrome = mats.add(Material((0.8, 0.8, 0.85), mirror=0.6, name="chrome"))
+    ground_cells = max(4, int(math.sqrt(budget * 0.1 / 2)))
+    ground = terrain(ground_cells, 20.0, 0.1, spec.seed, 0)
+    remaining = max(budget - ground.triangle_count, 300)
+    sub = max(1, int(math.log(max(remaining * 0.55, 20) / 20, 4)))
+    shell = blob(sub, 2.2, 0.1, (0, 0, 1.2), spec.seed + 1, body_mat)
+    cabin = blob(max(1, sub - 1), 1.2, 0.08, (0.2, 0, 2.2), spec.seed + 2, glass)
+    wheels = [
+        cylinder(0.55, 0.4, 14, (x, y, 0.55), tire)
+        for x in (-1.6, 1.6)
+        for y in (-1.1, 1.1)
+    ]
+    details = [
+        box((2.3, 0, 1.0), (0.3, 1.6, 0.3), chrome),
+        box((-2.3, 0, 1.1), (0.2, 1.8, 0.4), chrome),
+    ]
+    mesh = TriangleMesh.merge([ground, shell, cabin] + wheels + details)
+    return mesh, mats, SKY_DAY
+
+
+def _build_mech(spec: SceneSpec, budget: int):
+    """A robot assembly yard: several mechs scattered over rough ground.
+
+    The geometry is deliberately spread over the whole volume (terrain,
+    multiple robots, crates) so primary rays fan out across many treelets
+    — a single centered figure on a flat plane degenerates into a
+    two-treelet scene that never exercises the BVH.
+    """
+    mats = MaterialTable([Material((0.5, 0.5, 0.52), name="floor")])
+    armor = mats.add(Material((0.6, 0.6, 0.65), mirror=0.3, name="armor"))
+    joint = mats.add(Material((0.3, 0.3, 0.32), name="joint"))
+    glow = mats.add(Material((0.1, 0.1, 0.1), emission=(2.0, 4.0, 6.0), name="glow"))
+    ground_cells = max(6, int(math.sqrt(budget * 0.15 / 2)))
+    ground = terrain(ground_cells, 40.0, 0.5, spec.seed, 0)
+    remaining = max(budget - ground.triangle_count, 500)
+    rng = np.random.default_rng(spec.seed)
+
+    def one_mech(seed: int) -> TriangleMesh:
+        parts = []
+        torso_sub = max(1, int(math.log(max(remaining * 0.04, 20) / 20, 4)))
+        parts.append(blob(torso_sub, 1.6, 0.15, (0, 0, 4.2), seed + 1, armor))
+        parts.append(icosphere(max(1, torso_sub - 1), 0.7, (0, 0, 6.2), joint))
+        parts.append(icosphere(1, 0.25, (0.5, 0.4, 6.3), glow))
+        for side in (-1, 1):
+            parts.append(cylinder(0.35, 2.2, 10, (side * 1.2, 0, 2.2), joint))
+            parts.append(box((side * 1.2, 0, 0.6), (0.9, 1.4, 1.2), armor))
+            parts.append(cylinder(0.3, 1.8, 10, (side * 1.9, 0, 4.8), joint))
+            parts.append(box((side * 2.4, 0, 3.6), (0.7, 0.7, 1.4), armor))
+        return TriangleMesh.merge(parts)
+
+    mech = one_mech(spec.seed)
+    n_mechs = max(3, int(remaining * 0.55 / mech.triangle_count))
+    yard = [ground, mech]
+    for i in range(n_mechs - 1):
+        x, y = rng.uniform(-16, 16, 2)
+        angle = rng.uniform(0, 2 * np.pi)
+        c, s = np.cos(angle), np.sin(angle)
+        m = np.array(
+            [[c, -s, 0, x], [s, c, 0, y], [0, 0, 1, 0], [0, 0, 0, 1.0]]
+        )
+        yard.append(one_mech(spec.seed + 7 * i).transformed(m))
+    crate_budget = remaining - sum(p.triangle_count for p in yard[1:])
+    n_crates = max(8, crate_budget // 12)
+    for _ in range(n_crates):
+        x, y = rng.uniform(-18, 18, 2)
+        yard.append(box((x, y, 0.6), tuple(rng.uniform(0.5, 1.6, 3)), joint))
+    mesh = TriangleMesh.merge(yard)
+    return mesh, mats, SKY_DAY
+
+
+def _build_still_life(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.6, 0.55, 0.5), name="table")])
+    light = mats.add(Material((0, 0, 0), emission=(10.0, 10.0, 9.0), name="lamp"))
+    fruit = mats.add(Material((0.75, 0.3, 0.2), name="fruit"))
+    jug = mats.add(Material((0.4, 0.5, 0.7), mirror=0.2, name="jug"))
+    shell = _room_shell((8, 8, 5), mats, 0, 0, light)
+    remaining = max(budget - shell.triangle_count, 80)
+    sub = max(1, int(math.log(max(remaining / 4, 20) / 20, 4)))
+    objects = [
+        icosphere(sub, 0.4, (0.5, 0.2, -2.0), fruit),
+        icosphere(sub, 0.35, (-0.4, -0.3, -2.05), fruit),
+        blob(sub, 0.7, 0.1, (-1.2, 0.8, -1.7), spec.seed, jug),
+        box((0, 0, -2.45), (4, 4, 0.1), 0),
+    ]
+    mesh = TriangleMesh.merge([shell] + objects)
+    return mesh, mats, SKY_NONE
+
+
+def _build_ship(spec: SceneSpec, budget: int):
+    mats = MaterialTable([Material((0.2, 0.3, 0.5), name="sea")])
+    hull_mat = mats.add(Material((0.45, 0.3, 0.2), name="hull"))
+    sail_mat = mats.add(Material((0.85, 0.85, 0.8), name="sail"))
+    sea_cells = max(6, int(math.sqrt(budget * 0.3 / 2)))
+    sea = terrain(sea_cells, 40.0, 0.5, spec.seed, 0)
+    remaining = max(budget - sea.triangle_count, 150)
+    sub = max(1, int(math.log(max(remaining * 0.4, 20) / 20, 4)))
+    hull = blob(sub, 3.0, 0.1, (0, 0, 0.8), spec.seed + 1, hull_mat)
+    masts = [cylinder(0.1, 6.0, 8, (x, 0, 4.0), hull_mat) for x in (-1.5, 1.5)]
+    sail_cells = max(3, int(math.sqrt(remaining * 0.4 / 2 / 2)))
+    sails = [
+        cloth(sail_cells, sail_cells, 3.0, 0.4, spec.seed + i, (x, 0.2, 5.0), sail_mat)
+        for i, x in enumerate((-1.5, 1.5))
+    ]
+    mesh = TriangleMesh.merge([sea, hull] + masts + sails)
+    return mesh, mats, SKY_DAY
+
+
+_BUILDERS: Dict[str, Callable[[SceneSpec, int], tuple]] = {
+    "organic": _build_organic,
+    "atrium": _build_atrium,
+    "single_tree": _build_single_tree,
+    "mirror_room": _build_mirror_room,
+    "carnival": _build_carnival,
+    "bathroom": _build_bathroom,
+    "hall": _build_hall,
+    "meadow": _build_meadow,
+    "landscape": _build_landscape,
+    "forest": _build_forest,
+    "park": _build_park,
+    "organic_herd": _build_organic_herd,
+    "vehicle": _build_vehicle,
+    "mech": _build_mech,
+    "still_life": _build_still_life,
+    "ship": _build_ship,
+}
+_BUILDERS["ship"] = _build_ship
+
+
+def _add_clutter(mesh: TriangleMesh, spec: SceneSpec, budget: int) -> TriangleMesh:
+    """Top a scene up to its triangle budget with scattered small props.
+
+    Generators quantize (icosphere subdivision steps by 4x, trees by leaf
+    count), so raw scenes can undershoot their budget and break the strict
+    ascending-BVH-size ordering of Table 2.  Small boxes scattered through
+    the lower half of the scene volume close the gap.
+    """
+    deficit = budget - mesh.triangle_count
+    if deficit < 24:
+        return mesh
+    rng = np.random.default_rng(spec.seed + 999)
+    bounds = mesh.bounds()
+    lo, hi = bounds.lo, bounds.hi
+    extent = np.maximum(hi - lo, 1e-3)
+    n = deficit // 12
+    props = [mesh]
+    for _ in range(n):
+        pos = lo + rng.uniform(0.08, 0.92, 3) * extent
+        pos[2] = lo[2] + rng.uniform(0.05, 0.45) * extent[2]
+        size = tuple(rng.uniform(0.004, 0.02, 3) * float(extent.max()))
+        props.append(box(tuple(pos), size, 0))
+    return TriangleMesh.merge(props)
+
+
+def load_scene(name: str, scale: float = 1.0) -> Scene:
+    """Build scene ``name`` at the given triangle-budget scale.
+
+    Deterministic: the same (name, scale) always produces the same mesh.
+    """
+    spec = scene_spec(name)
+    builder = _BUILDERS[_family_for(spec)]
+    budget = spec.target_triangles(scale)
+    mesh, materials, sky = builder(spec, budget)
+    mesh = _add_clutter(mesh, spec, budget)
+    camera = _auto_camera(mesh, spec.indoor, spec)
+    return Scene(spec=spec, mesh=mesh, camera=camera, materials=materials, sky_emission=sky)
+
+
+def _family_for(spec: SceneSpec) -> str:
+    if spec.name == "SHIP":
+        return "ship"
+    return spec.family

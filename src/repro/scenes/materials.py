@@ -1,0 +1,119 @@
+"""Materials and the scattering model used by the path tracer.
+
+The paper path-traces with up to three bounces, terminating early when "the
+secondary ray's contribution to the final pixel color is too small".  We
+implement the matching minimal material model: Lambertian diffuse, perfect
+mirrors, and emissive surfaces, plus a sky emission for rays that escape
+the scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Material:
+    """Surface material.
+
+    Attributes
+    ----------
+    albedo:
+        RGB reflectance in [0, 1] for diffuse scattering.
+    mirror:
+        Probability mass of specular reflection (0 = pure diffuse,
+        1 = perfect mirror).
+    emission:
+        RGB radiance emitted by the surface (lights).
+    name:
+        Debug label.
+    """
+
+    albedo: Tuple[float, float, float] = (0.7, 0.7, 0.7)
+    mirror: float = 0.0
+    emission: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    name: str = "default"
+
+    def __post_init__(self):
+        if not 0.0 <= self.mirror <= 1.0:
+            raise ValueError("mirror must be in [0, 1]")
+        if any(not 0.0 <= a <= 1.0 for a in self.albedo):
+            raise ValueError("albedo components must be in [0, 1]")
+        if any(e < 0.0 for e in self.emission):
+            raise ValueError("emission must be non-negative")
+
+    def is_emissive(self) -> bool:
+        return any(e > 0.0 for e in self.emission)
+
+
+class MaterialTable:
+    """Indexable set of materials; triangle material ids point here."""
+
+    def __init__(self, materials: Optional[List[Material]] = None):
+        self._materials: List[Material] = list(materials) if materials else [Material()]
+
+    def add(self, material: Material) -> int:
+        """Register a material; returns its id."""
+        self._materials.append(material)
+        return len(self._materials) - 1
+
+    def __getitem__(self, idx: int) -> Material:
+        return self._materials[idx]
+
+    def __len__(self) -> int:
+        return len(self._materials)
+
+
+def _orthonormal_basis(normal: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Any two unit tangents orthogonal to ``normal`` (branchless Frisvad)."""
+    n = normal
+    sign = 1.0 if n[2] >= 0 else -1.0
+    a = -1.0 / (sign + n[2])
+    b = n[0] * n[1] * a
+    t = np.array([1.0 + sign * n[0] * n[0] * a, sign * b, -sign * n[0]])
+    s = np.array([b, sign + n[1] * n[1] * a, -n[1]])
+    return t, s
+
+
+def cosine_hemisphere(normal: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Cosine-weighted direction sample around ``normal``."""
+    u1, u2 = rng.uniform(0, 1, 2)
+    r = np.sqrt(u1)
+    phi = 2 * np.pi * u2
+    local = np.array([r * np.cos(phi), r * np.sin(phi), np.sqrt(max(0.0, 1 - u1))])
+    t, s = _orthonormal_basis(normal)
+    return local[0] * t + local[1] * s + local[2] * normal
+
+
+def reflect(direction: np.ndarray, normal: np.ndarray) -> np.ndarray:
+    """Mirror reflection of ``direction`` about ``normal``."""
+    return direction - 2.0 * np.dot(direction, normal) * normal
+
+
+def scatter(
+    material: Material,
+    direction: np.ndarray,
+    normal: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """Sample an outgoing direction and throughput multiplier at a hit.
+
+    Returns ``(new_direction, throughput_rgb)``; ``new_direction`` is
+    ``None`` for purely emissive surfaces (the path ends).  The shading
+    normal is flipped toward the incoming ray so both triangle windings
+    shade correctly.
+    """
+    n = normal / np.linalg.norm(normal)
+    if np.dot(n, direction) > 0:
+        n = -n
+    if material.is_emissive() and material.mirror == 0.0 and all(
+        a == 0.0 for a in material.albedo
+    ):
+        return None, np.zeros(3)
+    if rng.uniform() < material.mirror:
+        return reflect(direction, n), np.ones(3)
+    new_dir = cosine_hemisphere(n, rng)
+    return new_dir, np.asarray(material.albedo, dtype=np.float64)

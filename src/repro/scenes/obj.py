@@ -1,0 +1,106 @@
+"""Minimal Wavefront OBJ import/export.
+
+Enough of the format to move triangle geometry in and out of the
+library: ``v`` lines, ``f`` lines (triangles and convex polygons, which
+are fan-triangulated), negative indices, and ``usemtl`` grouping mapped
+to material ids.  Normals/texcoords in face tuples (``v/vt/vn``) are
+parsed and ignored — the library computes geometric normals itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.geometry.triangle import TriangleMesh
+
+
+def loads_obj(text: str) -> Tuple[TriangleMesh, Dict[str, int]]:
+    """Parse OBJ text into a mesh plus the material-name -> id mapping."""
+    vertices: List[List[float]] = []
+    faces: List[List[int]] = []
+    face_materials: List[int] = []
+    materials: Dict[str, int] = {}
+    current_material = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        tag = parts[0]
+        if tag == "v":
+            if len(parts) < 4:
+                raise ValueError(f"line {line_no}: vertex needs 3 coordinates")
+            vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+        elif tag == "f":
+            if len(parts) < 4:
+                raise ValueError(f"line {line_no}: face needs at least 3 vertices")
+            indices = [_face_index(token, len(vertices), line_no) for token in parts[1:]]
+            # Fan-triangulate polygons.
+            for k in range(1, len(indices) - 1):
+                faces.append([indices[0], indices[k], indices[k + 1]])
+                face_materials.append(current_material)
+        elif tag == "usemtl":
+            name = parts[1] if len(parts) > 1 else "default"
+            if name not in materials:
+                materials[name] = len(materials)
+            current_material = materials[name]
+        # vn / vt / o / g / s / mtllib lines are accepted and ignored.
+
+    if not faces:
+        raise ValueError("OBJ contains no faces")
+    mesh = TriangleMesh(
+        np.asarray(vertices, dtype=np.float64),
+        np.asarray(faces, dtype=np.int64),
+        np.asarray(face_materials, dtype=np.int64),
+    )
+    return mesh, materials
+
+
+def _face_index(token: str, vertex_count: int, line_no: int) -> int:
+    """Resolve one face-vertex token (``7``, ``7/1``, ``7//3``, ``-1``)."""
+    head = token.split("/", 1)[0]
+    try:
+        idx = int(head)
+    except ValueError as exc:
+        raise ValueError(f"line {line_no}: bad face index {token!r}") from exc
+    if idx > 0:
+        resolved = idx - 1
+    elif idx < 0:
+        resolved = vertex_count + idx
+    else:
+        raise ValueError(f"line {line_no}: OBJ indices are 1-based, got 0")
+    if not 0 <= resolved < vertex_count:
+        raise ValueError(f"line {line_no}: face index {idx} out of range")
+    return resolved
+
+
+def load_obj(path: Union[str, Path]) -> Tuple[TriangleMesh, Dict[str, int]]:
+    """Load an OBJ file from disk."""
+    return loads_obj(Path(path).read_text())
+
+
+def dumps_obj(mesh: TriangleMesh, precision: int = 6) -> str:
+    """Serialize a mesh as OBJ text (one ``usemtl`` block per material id)."""
+    lines = [f"# exported by repro ({mesh.triangle_count} triangles)"]
+    fmt = f"{{:.{precision}g}}"
+    for v in mesh.vertices:
+        lines.append("v " + " ".join(fmt.format(c) for c in v))
+    order = np.argsort(mesh.material_ids, kind="stable")
+    current = None
+    for tri in order:
+        material = int(mesh.material_ids[tri])
+        if material != current:
+            lines.append(f"usemtl mat{material}")
+            current = material
+        a, b, c = (int(i) + 1 for i in mesh.indices[tri])
+        lines.append(f"f {a} {b} {c}")
+    return "\n".join(lines) + "\n"
+
+
+def save_obj(mesh: TriangleMesh, path: Union[str, Path]) -> None:
+    """Write a mesh to disk as OBJ."""
+    Path(path).write_text(dumps_obj(mesh))

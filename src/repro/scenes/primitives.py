@@ -1,0 +1,338 @@
+"""Procedural mesh primitives.
+
+All generators are deterministic given their arguments (randomness comes
+from explicit ``numpy.random.Generator`` seeds) and return
+:class:`~repro.geometry.triangle.TriangleMesh`.  They are combined by
+:mod:`repro.scenes.lumibench` into full evaluation scenes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.triangle import TriangleMesh
+
+
+def box(
+    center=(0.0, 0.0, 0.0),
+    size=(1.0, 1.0, 1.0),
+    material_id: int = 0,
+) -> TriangleMesh:
+    """An axis-aligned box: 12 triangles."""
+    c = np.asarray(center, dtype=np.float64)
+    h = np.asarray(size, dtype=np.float64) / 2.0
+    corners = np.array(
+        [[sx, sy, sz] for sx in (-1, 1) for sy in (-1, 1) for sz in (-1, 1)],
+        dtype=np.float64,
+    )
+    vertices = c + corners * h
+    # Faces as quads of corner indices (consistent outward winding not
+    # required: the path tracer flips normals toward the ray).
+    quads = [
+        (0, 1, 3, 2),  # -x
+        (4, 6, 7, 5),  # +x
+        (0, 4, 5, 1),  # -y
+        (2, 3, 7, 6),  # +y
+        (0, 2, 6, 4),  # -z
+        (1, 5, 7, 3),  # +z
+    ]
+    indices = []
+    for a, b, cc, d in quads:
+        indices.append([a, b, cc])
+        indices.append([a, cc, d])
+    mesh = TriangleMesh(vertices, np.asarray(indices))
+    mesh.material_ids[:] = material_id
+    return mesh
+
+
+def grid_quad(
+    nx: int,
+    ny: int,
+    size_x: float,
+    size_y: float,
+    height_fn=None,
+    material_id: int = 0,
+) -> TriangleMesh:
+    """A tessellated rectangle in the XZ... rather XY plane with optional height.
+
+    ``height_fn(x, y)`` receives coordinate arrays and returns z values.
+    """
+    xs = np.linspace(-size_x / 2, size_x / 2, nx + 1)
+    ys = np.linspace(-size_y / 2, size_y / 2, ny + 1)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    gz = height_fn(gx, gy) if height_fn is not None else np.zeros_like(gx)
+    vertices = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+    indices = []
+    for i in range(nx):
+        for j in range(ny):
+            a = i * (ny + 1) + j
+            b = (i + 1) * (ny + 1) + j
+            indices.append([a, b, a + 1])
+            indices.append([b, b + 1, a + 1])
+    mesh = TriangleMesh(vertices, np.asarray(indices))
+    mesh.material_ids[:] = material_id
+    return mesh
+
+
+def _fbm(gx: np.ndarray, gy: np.ndarray, rng: np.random.Generator, octaves: int = 4):
+    """Cheap fractal noise: summed randomized sinusoids (deterministic)."""
+    out = np.zeros_like(gx)
+    amplitude = 1.0
+    for octave in range(octaves):
+        freq = 2.0**octave
+        px, py = rng.uniform(0, 2 * np.pi, 2)
+        ax, ay = rng.uniform(0.5, 1.5, 2)
+        out += amplitude * np.sin(freq * ax * gx + px) * np.cos(freq * ay * gy + py)
+        amplitude *= 0.5
+    return out / 2.0
+
+
+def terrain(
+    n_cells: int,
+    size: float = 40.0,
+    height: float = 4.0,
+    seed: int = 0,
+    material_id: int = 0,
+) -> TriangleMesh:
+    """An fBm heightfield terrain with roughly ``2 * n_cells**2`` triangles."""
+    rng = np.random.default_rng(seed)
+
+    def height_fn(gx, gy):
+        return height * _fbm(gx / size * 6.0, gy / size * 6.0, rng)
+
+    mesh = grid_quad(n_cells, n_cells, size, size, height_fn, material_id)
+    # Terrain lies in the XY plane with Z up; keep that convention.
+    return mesh
+
+
+_ICO_T = (1.0 + np.sqrt(5.0)) / 2.0
+_ICO_VERTS = np.array(
+    [
+        [-1, _ICO_T, 0], [1, _ICO_T, 0], [-1, -_ICO_T, 0], [1, -_ICO_T, 0],
+        [0, -1, _ICO_T], [0, 1, _ICO_T], [0, -1, -_ICO_T], [0, 1, -_ICO_T],
+        [_ICO_T, 0, -1], [_ICO_T, 0, 1], [-_ICO_T, 0, -1], [-_ICO_T, 0, 1],
+    ],
+    dtype=np.float64,
+)
+_ICO_FACES = np.array(
+    [
+        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+    ],
+    dtype=np.int64,
+)
+
+
+def icosphere(
+    subdivisions: int = 2,
+    radius: float = 1.0,
+    center=(0.0, 0.0, 0.0),
+    material_id: int = 0,
+) -> TriangleMesh:
+    """A unit icosphere subdivided ``subdivisions`` times (20 * 4^s faces)."""
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be non-negative")
+    vertices = _ICO_VERTS / np.linalg.norm(_ICO_VERTS[0])
+    faces = _ICO_FACES.copy()
+    for _ in range(subdivisions):
+        vertices, faces = _subdivide(vertices, faces)
+    vertices = vertices / np.linalg.norm(vertices, axis=1, keepdims=True)
+    mesh = TriangleMesh(vertices * radius + np.asarray(center), faces)
+    mesh.material_ids[:] = material_id
+    return mesh
+
+
+def _subdivide(vertices: np.ndarray, faces: np.ndarray):
+    """One 4:1 triangle subdivision with midpoint dedup."""
+    verts = [tuple(v) for v in vertices]
+    midpoint_cache = {}
+
+    def midpoint(a: int, b: int) -> int:
+        key = (a, b) if a < b else (b, a)
+        if key in midpoint_cache:
+            return midpoint_cache[key]
+        m = (np.asarray(verts[a]) + np.asarray(verts[b])) / 2.0
+        m = m / np.linalg.norm(m)
+        verts.append(tuple(m))
+        midpoint_cache[key] = len(verts) - 1
+        return midpoint_cache[key]
+
+    new_faces = []
+    for a, b, c in faces:
+        ab = midpoint(a, b)
+        bc = midpoint(b, c)
+        ca = midpoint(c, a)
+        new_faces.extend([[a, ab, ca], [b, bc, ab], [c, ca, bc], [ab, bc, ca]])
+    return np.asarray(verts), np.asarray(new_faces, dtype=np.int64)
+
+
+def blob(
+    subdivisions: int = 3,
+    radius: float = 1.0,
+    bumpiness: float = 0.25,
+    center=(0.0, 0.0, 0.0),
+    seed: int = 0,
+    material_id: int = 0,
+) -> TriangleMesh:
+    """An organic blob: noise-displaced icosphere (stand-in for scanned meshes)."""
+    mesh = icosphere(subdivisions, 1.0, (0, 0, 0), material_id)
+    rng = np.random.default_rng(seed)
+    v = mesh.vertices
+    displacement = np.zeros(len(v))
+    for _ in range(4):
+        direction = rng.normal(size=3)
+        direction /= np.linalg.norm(direction)
+        phase = rng.uniform(0, 2 * np.pi)
+        freq = rng.uniform(2.0, 5.0)
+        displacement += np.sin(freq * (v @ direction) + phase)
+    displacement = 1.0 + bumpiness * displacement / 4.0
+    mesh.vertices = v * displacement[:, None] * radius + np.asarray(center)
+    return mesh
+
+
+def cylinder(
+    radius: float = 0.5,
+    height: float = 2.0,
+    segments: int = 12,
+    center=(0.0, 0.0, 0.0),
+    material_id: int = 0,
+    capped: bool = True,
+) -> TriangleMesh:
+    """A Z-axis cylinder with ``segments`` sides."""
+    if segments < 3:
+        raise ValueError("segments must be >= 3")
+    angles = np.linspace(0, 2 * np.pi, segments, endpoint=False)
+    ring = np.stack([radius * np.cos(angles), radius * np.sin(angles)], axis=1)
+    bottom = np.concatenate([ring, np.full((segments, 1), -height / 2)], axis=1)
+    top = np.concatenate([ring, np.full((segments, 1), height / 2)], axis=1)
+    vertices = np.concatenate([bottom, top])
+    indices = []
+    for i in range(segments):
+        j = (i + 1) % segments
+        indices.append([i, j, segments + i])
+        indices.append([j, segments + j, segments + i])
+    if capped:
+        base = len(vertices)
+        vertices = np.concatenate(
+            [vertices, [[0, 0, -height / 2], [0, 0, height / 2]]]
+        )
+        for i in range(segments):
+            j = (i + 1) % segments
+            indices.append([i, j, base])
+            indices.append([segments + i, segments + j, base + 1])
+    mesh = TriangleMesh(vertices + np.asarray(center), np.asarray(indices))
+    mesh.material_ids[:] = material_id
+    return mesh
+
+
+def column(
+    radius: float = 0.4,
+    height: float = 6.0,
+    segments: int = 10,
+    center=(0.0, 0.0, 0.0),
+    material_id: int = 0,
+) -> TriangleMesh:
+    """An architectural column: shaft plus base and capital boxes."""
+    cx, cy, cz = center
+    shaft = cylinder(radius, height * 0.8, segments, (cx, cy, cz), material_id)
+    base = box((cx, cy, cz - height * 0.45), (radius * 3, radius * 3, height * 0.1), material_id)
+    capital = box((cx, cy, cz + height * 0.45), (radius * 3, radius * 3, height * 0.1), material_id)
+    return TriangleMesh.merge([shaft, base, capital])
+
+
+def cloth(
+    nx: int,
+    ny: int,
+    size: float = 4.0,
+    waviness: float = 0.3,
+    seed: int = 0,
+    center=(0.0, 0.0, 0.0),
+    material_id: int = 0,
+) -> TriangleMesh:
+    """A draped, wavy sheet (tents, banners, curtains)."""
+    rng = np.random.default_rng(seed)
+
+    def height_fn(gx, gy):
+        return waviness * _fbm(gx / size * 8.0, gy / size * 8.0, rng, octaves=3)
+
+    mesh = grid_quad(nx, ny, size, size, height_fn, material_id)
+    mesh.vertices += np.asarray(center)
+    return mesh
+
+
+def tree(
+    trunk_height: float = 3.0,
+    crown_radius: float = 1.5,
+    leaf_count: int = 40,
+    seed: int = 0,
+    center=(0.0, 0.0, 0.0),
+    trunk_material: int = 0,
+    leaf_material: int = 0,
+) -> TriangleMesh:
+    """A stylized tree: cylinder trunk plus scattered leaf triangles.
+
+    Leaf cards are individual triangles scattered in a crown sphere —
+    the incoherent geometry that makes forests hard on BVHs.
+    """
+    rng = np.random.default_rng(seed)
+    cx, cy, cz = center
+    trunk = cylinder(
+        trunk_height * 0.08,
+        trunk_height,
+        8,
+        (cx, cy, cz + trunk_height / 2),
+        trunk_material,
+        capped=False,
+    )
+    crown_center = np.array([cx, cy, cz + trunk_height + crown_radius * 0.5])
+    directions = rng.normal(size=(leaf_count, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    radii = crown_radius * rng.uniform(0.2, 1.0, leaf_count) ** (1 / 3)
+    anchors = crown_center + directions * radii[:, None]
+    leaf_size = crown_radius * 0.35
+    edges = rng.normal(size=(leaf_count, 2, 3)) * leaf_size
+    v0 = anchors
+    v1 = anchors + edges[:, 0]
+    v2 = anchors + edges[:, 1]
+    vertices = np.stack([v0, v1, v2], axis=1).reshape(-1, 3)
+    indices = np.arange(3 * leaf_count).reshape(-1, 3)
+    leaves = TriangleMesh(vertices, indices)
+    leaves.material_ids[:] = leaf_material
+    return TriangleMesh.merge([trunk, leaves])
+
+
+def scatter_instances(
+    base: TriangleMesh,
+    count: int,
+    area: float,
+    seed: int = 0,
+    scale_range=(0.7, 1.3),
+    ground_fn=None,
+) -> TriangleMesh:
+    """Scatter randomized copies of ``base`` over a square of side ``area``.
+
+    ``ground_fn(x, y)`` optionally supplies the ground height at each
+    instance position so instances sit on terrain.
+    """
+    rng = np.random.default_rng(seed)
+    instances = []
+    for _ in range(count):
+        x, y = rng.uniform(-area / 2, area / 2, 2)
+        z = float(ground_fn(x, y)) if ground_fn is not None else 0.0
+        s = rng.uniform(*scale_range)
+        angle = rng.uniform(0, 2 * np.pi)
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        m = np.array(
+            [
+                [s * cos_a, -s * sin_a, 0, x],
+                [s * sin_a, s * cos_a, 0, y],
+                [0, 0, s, z],
+                [0, 0, 0, 1],
+            ]
+        )
+        instances.append(base.transformed(m))
+    return TriangleMesh.merge(instances)

@@ -1,0 +1,106 @@
+"""Mesh validation and repair utilities.
+
+Geometry coming from outside (an OBJ file, a procedural generator under
+development) can carry defects that silently corrupt a BVH build or a
+render: NaN vertices, degenerate triangles, out-of-range material ids.
+``validate_mesh`` reports them; ``clean_mesh`` drops the irreparable
+triangles and returns a renderable mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.geometry.triangle import TriangleMesh
+
+_DEGENERATE_AREA = 1e-12
+
+
+@dataclass
+class MeshReport:
+    """Findings of one validation pass."""
+
+    triangle_count: int
+    nan_vertices: int = 0
+    degenerate_triangles: int = 0
+    duplicate_triangles: int = 0
+    unused_vertices: int = 0
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the mesh is safe to build and render."""
+        return self.nan_vertices == 0 and self.degenerate_triangles == 0
+
+    def summary(self) -> str:
+        if self.ok and not self.issues:
+            return f"OK: {self.triangle_count} triangles"
+        return "; ".join(self.issues) or "OK"
+
+
+def triangle_areas(mesh: TriangleMesh) -> np.ndarray:
+    tri = mesh.triangle_vertices()
+    e1 = tri[:, 1] - tri[:, 0]
+    e2 = tri[:, 2] - tri[:, 0]
+    return 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)
+
+
+def validate_mesh(mesh: TriangleMesh) -> MeshReport:
+    """Check a mesh for the defects that break builds or renders."""
+    report = MeshReport(triangle_count=mesh.triangle_count)
+
+    bad_vertices = ~np.isfinite(mesh.vertices).all(axis=1)
+    report.nan_vertices = int(bad_vertices.sum())
+    if report.nan_vertices:
+        report.issues.append(f"{report.nan_vertices} non-finite vertices")
+
+    if mesh.triangle_count:
+        finite_tris = np.isfinite(mesh.triangle_vertices()).all(axis=(1, 2))
+        areas = np.where(finite_tris, triangle_areas(mesh), 0.0)
+        degenerate = (areas <= _DEGENERATE_AREA) | ~finite_tris
+        report.degenerate_triangles = int(degenerate.sum())
+        if report.degenerate_triangles:
+            report.issues.append(
+                f"{report.degenerate_triangles} degenerate (zero-area) triangles"
+            )
+
+        keys = np.sort(mesh.indices, axis=1)
+        _, counts = np.unique(keys, axis=0, return_counts=True)
+        report.duplicate_triangles = int((counts - 1).sum())
+        if report.duplicate_triangles:
+            report.issues.append(
+                f"{report.duplicate_triangles} duplicated triangles"
+            )
+
+    used = np.zeros(mesh.vertex_count, dtype=bool)
+    if mesh.triangle_count:
+        used[np.unique(mesh.indices)] = True
+    report.unused_vertices = int((~used).sum())
+    if report.unused_vertices:
+        report.issues.append(f"{report.unused_vertices} unused vertices")
+    return report
+
+
+def clean_mesh(mesh: TriangleMesh) -> TriangleMesh:
+    """Drop degenerate / non-finite triangles and unused vertices.
+
+    Raises ``ValueError`` when nothing renderable remains.
+    """
+    if mesh.triangle_count == 0:
+        raise ValueError("mesh has no triangles")
+    finite = np.isfinite(mesh.triangle_vertices()).all(axis=(1, 2))
+    areas = np.zeros(mesh.triangle_count)
+    areas[finite] = triangle_areas(mesh)[finite]
+    keep = finite & (areas > _DEGENERATE_AREA)
+    if not np.any(keep):
+        raise ValueError("no renderable triangles remain after cleaning")
+
+    indices = mesh.indices[keep]
+    materials = mesh.material_ids[keep]
+    used = np.unique(indices)
+    remap = np.full(mesh.vertex_count, -1, dtype=np.int64)
+    remap[used] = np.arange(len(used))
+    return TriangleMesh(mesh.vertices[used], remap[indices], materials)

@@ -1,0 +1,26 @@
+"""End-to-end path tracing through the simulated GPU.
+
+:mod:`repro.tracing.sampling` — deterministic hash-based sampling so every
+policy produces the *identical* image (the traversal itself is exact, so
+functional output is policy-independent — a strong cross-check).
+
+:mod:`repro.tracing.path_tracer` — shading: hit evaluation, light
+accumulation, secondary-ray generation with bounce and contribution limits.
+
+:mod:`repro.tracing.render` — drivers that feed rays through a timing
+engine (baseline / treelet prefetching / virtualized treelet queues) and
+collect the image plus all statistics.
+"""
+
+from repro.tracing.sampling import HashSampler, hash_float
+from repro.tracing.path_tracer import PathState, ShadingEngine
+from repro.tracing.render import RenderResult, render_scene
+
+__all__ = [
+    "HashSampler",
+    "hash_float",
+    "PathState",
+    "ShadingEngine",
+    "RenderResult",
+    "render_scene",
+]

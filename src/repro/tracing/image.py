@@ -1,0 +1,84 @@
+"""Image utilities: tonemapping, encoding, comparison metrics.
+
+Pure-numpy helpers shared by the examples and the CLI — no external
+imaging dependency (images are written as portable anymaps).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+
+def tonemap(image: np.ndarray, exposure: float = 1.0, gamma: float = 2.2) -> np.ndarray:
+    """Map linear radiance to display values in [0, 1].
+
+    Simple Reinhard operator followed by gamma encoding; robust to
+    all-black inputs.
+    """
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    scaled = np.clip(np.asarray(image, dtype=np.float64) * exposure, 0, None)
+    mapped = scaled / (1.0 + scaled)
+    return np.clip(mapped, 0.0, 1.0) ** (1.0 / gamma)
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Quantize a [0, 1] image to bytes."""
+    return (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` [0, 1] image as a binary PPM."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("write_ppm expects an (H, W, 3) image")
+    h, w, _ = image.shape
+    with open(path, "wb") as f:
+        f.write(f"P6 {w} {h} 255\n".encode())
+        f.write(to_uint8(image).tobytes())
+
+
+def write_pgm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write an ``(H, W)`` [0, 1] image as a binary PGM."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError("write_pgm expects an (H, W) image")
+    h, w = image.shape
+    with open(path, "wb") as f:
+        f.write(f"P5 {w} {h} 255\n".encode())
+        f.write(to_uint8(image).tobytes())
+
+
+def read_pnm(path: Union[str, Path]) -> np.ndarray:
+    """Read back a binary PPM/PGM written by this module (testing aid)."""
+    data = Path(path).read_bytes()
+    header, _, rest = data.partition(b"\n")
+    fields = header.split()
+    magic = fields[0]
+    w, h = int(fields[1]), int(fields[2])
+    pixels = np.frombuffer(rest, dtype=np.uint8)
+    if magic == b"P6":
+        return pixels.reshape(h, w, 3) / 255.0
+    if magic == b"P5":
+        return pixels.reshape(h, w) / 255.0
+    raise ValueError(f"unsupported magic {magic!r}")
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two images of the same shape."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("images must have the same shape")
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB; inf for identical images."""
+    error = mse(a, b)
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak**2 / error))

@@ -1,0 +1,368 @@
+"""Render drivers: run a scene through a timing engine, end to end.
+
+``render_scene`` is the single entry point the examples, tests and
+benchmark harness use.  It:
+
+1. builds primary rays from the scene camera (one per pixel),
+2. groups pixels into CTAs and assigns CTAs round-robin to SMs,
+3. instantiates the selected RT-unit engine per SM over a shared L2,
+4. drives path tracing (shading between traversals) through the engines,
+5. returns the image plus merged statistics and the cycle count (max over
+   SMs — they run concurrently).
+
+Policies:
+
+* ``"baseline"``      — ray-stationary RT unit (paper's baseline GPU).
+* ``"prefetch"``      — Treelet Prefetching, Chou et al. MICRO'23.
+* ``"sorted"``        — software ray sorting (Garanzha & Loop 2010):
+  each bounce's secondary rays are sorted by (direction octant, origin
+  Morton code) before re-forming warps; the sort itself costs cycles —
+  the overhead the paper's related-work section points at.
+* ``"vtq"``           — Virtualized Treelet Queues (the contribution).
+
+The functional image is identical across policies (deterministic
+hash-based sampling; traversal is exact), which the test suite exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.prefetch import PrefetchRTUnit
+from repro.core.config import VTQConfig
+from repro.core.rt_unit_vtq import VTQRTUnit
+from repro.core.virtualization import CTATracker, cta_state_bytes
+from repro.gpusim.config import GPUConfig, ScaledSetup
+from repro.gpusim.memory import MemorySystem, make_shared_l2
+from repro.gpusim.rt_unit import BaselineRTUnit
+from repro.gpusim.stats import SimStats
+from repro.gpusim.warp import SimRay, TraceWarp
+from repro.tracing.path_tracer import PathState, ShadingEngine
+
+POLICIES = ("baseline", "prefetch", "sorted", "vtq")
+
+
+@dataclass
+class RenderResult:
+    """Everything one simulated render produces."""
+
+    policy: str
+    image: np.ndarray           # (H, W, 3) linear radiance
+    stats: SimStats             # merged across SMs
+    cycles: float               # max over SMs (they run concurrently)
+    per_sm_cycles: List[float]
+    scene_name: str = ""
+
+    def mean_radiance(self) -> float:
+        return float(self.image.mean())
+
+
+def render_scene(
+    scene,
+    bvh,
+    setup: ScaledSetup,
+    policy: str = "baseline",
+    vtq_config: Optional[VTQConfig] = None,
+    seed: int = 0,
+) -> RenderResult:
+    """Path trace ``scene`` through the selected timing engine."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    config = setup.gpu
+    width, height = setup.image_width, setup.image_height
+    pixels = width * height
+
+    shading = ShadingEngine(scene, bvh, max_bounces=setup.max_bounces, seed=seed)
+    # Sample-major path slots: all of sample 0's pixels, then sample 1's,
+    # and so on — consecutive slots stay screen-coherent within a sample,
+    # which is how a GPU would dispatch multi-spp raygen CTAs too.
+    spp = max(1, setup.samples_per_pixel)
+    paths: List[PathState] = []
+    for sample in range(spp):
+        jitter = sample if spp > 1 else None
+        primaries = scene.camera.primary_rays(width, height, jitter_seed=jitter)
+        paths.extend(
+            shading.make_primary(
+                p, primaries.origins[p], primaries.directions[p], sample=sample
+            )
+            for p in range(pixels)
+        )
+
+    shared_l2 = make_shared_l2(config)
+    sm_stats = [SimStats() for _ in range(config.num_sms)]
+    mems = [MemorySystem(config, sm_stats[i], shared_l2) for i in range(config.num_sms)]
+
+    if vtq_config is None:
+        vtq_config = VTQConfig().scaled_to(config.max_virtual_rays_per_sm)
+
+    if policy == "vtq":
+        driver_cls = _VTQDriver
+    elif policy == "sorted":
+        driver_cls = _SortedDriver
+    else:
+        driver_cls = _WarpDriver
+    per_sm_cycles: List[float] = []
+    next_ray_id = [0]
+
+    for sm in range(config.num_sms):
+        driver = driver_cls(
+            sm, scene, bvh, setup, shading, paths, mems[sm], sm_stats[sm],
+            vtq_config, policy, next_ray_id,
+        )
+        per_sm_cycles.append(driver.run())
+
+    merged = SimStats()
+    for stats in sm_stats:
+        merged.merge(stats)
+    accum = np.zeros((pixels, 3))
+    for path in paths:
+        accum[path.pixel] += path.radiance
+    image = (accum / spp).reshape(height, width, 3)
+    return RenderResult(
+        policy=policy,
+        image=image,
+        stats=merged,
+        cycles=max(per_sm_cycles) if per_sm_cycles else 0.0,
+        per_sm_cycles=per_sm_cycles,
+        scene_name=getattr(scene, "name", ""),
+    )
+
+
+class _DriverBase:
+    """Pixel -> CTA -> warp plumbing shared by all policies."""
+
+    def __init__(
+        self, sm, scene, bvh, setup, shading, paths, mem, stats,
+        vtq_config, policy, ray_id_counter,
+    ):
+        self.sm = sm
+        self.scene = scene
+        self.bvh = bvh
+        self.setup = setup
+        self.shading = shading
+        self.paths = paths
+        self.mem = mem
+        self.stats = stats
+        self.vtq_config = vtq_config
+        self.policy = policy
+        self._ray_id_counter = ray_id_counter
+        self.config = setup.gpu
+
+    def _new_ray_id(self) -> int:
+        rid = self._ray_id_counter[0]
+        self._ray_id_counter[0] += 1
+        return rid
+
+    def _sm_ctas(self) -> List[List[int]]:
+        """Path-slot lists of the CTAs this SM owns (round-robin assignment).
+
+        Slots cover all samples of all pixels (sample-major), so at
+        spp > 1 each sample's screen tiles form their own CTAs.
+        """
+        config = self.config
+        slots = len(self.paths)
+        ctas = []
+        for cta_start in range(0, slots, config.cta_threads):
+            cta_id = cta_start // config.cta_threads
+            if cta_id % config.num_sms == self.sm:
+                ctas.append(list(range(cta_start, min(cta_start + config.cta_threads, slots))))
+        return ctas
+
+    def _primary_cta_warps(self) -> List[tuple]:
+        """``(cta_id, warps)`` for each CTA this SM owns, launch-staggered."""
+        config = self.config
+        out = []
+        for local_idx, pixel_list in enumerate(self._sm_ctas()):
+            cta_id = pixel_list[0] // config.cta_threads
+            # CTAs launch in waves limited by the per-SM CTA slots; each
+            # wave's raygen cost staggers its warps' arrival at the RT unit.
+            wave = local_idx // config.max_cta_per_sm
+            base_ready = (
+                config.cta_launch_cycles
+                + config.raygen_cycles_per_warp
+                + wave * config.raygen_cycles_per_warp
+            )
+            warps = []
+            for w_start in range(0, len(pixel_list), config.warp_size):
+                lane_pixels = pixel_list[w_start : w_start + config.warp_size]
+                rays = [
+                    SimRay(
+                        self._new_ray_id(), p, cta_id, 0,
+                        self.shading.begin_traversal(self.paths[p]),
+                    )
+                    for p in lane_pixels
+                ]
+                warps.append(TraceWarp(rays, cta_id, ready_cycle=float(base_ready)))
+            out.append((cta_id, warps))
+        return out
+
+    def _shade_ray(self, ray: SimRay) -> Optional[SimRay]:
+        """Shade a completed traversal; returns the next bounce's ray or None."""
+        path = self.paths[ray.pixel]
+        if self.shading.shade(path, ray.state):
+            return SimRay(
+                self._new_ray_id(), ray.pixel, ray.cta_id, path.bounce,
+                self.shading.begin_traversal(path),
+            )
+        return None
+
+
+class _WarpDriver(_DriverBase):
+    """Driver for warp-completion engines (baseline, prefetch).
+
+    Without ray virtualization a warp's threads stall in the raygen shader
+    until traversal completes, then shade and issue the next bounce from
+    the same warp — dead lanes stay dead, which is the baseline's SIMT
+    inefficiency on secondary bounces.
+    """
+
+    def run(self) -> float:
+        config = self.config
+        if self.policy == "prefetch":
+            engine = PrefetchRTUnit(self.bvh, config, self.mem, self.stats)
+        else:
+            engine = BaselineRTUnit(self.bvh, config, self.mem, self.stats)
+
+        def on_complete(warp: TraceWarp, cycle: float) -> None:
+            survivors = []
+            for ray in warp.rays:
+                nxt = self._shade_ray(ray)
+                if nxt is not None:
+                    survivors.append(nxt)
+            if survivors:
+                engine.submit(
+                    TraceWarp(
+                        survivors, warp.cta_id,
+                        ready_cycle=cycle + config.shade_cycles_per_warp,
+                    )
+                )
+
+        for _cta_id, warps in self._primary_cta_warps():
+            for warp in warps:
+                engine.submit(warp)
+        return engine.run(on_complete)
+
+
+class _SortedDriver(_DriverBase):
+    """Software ray sorting (Garanzha & Loop 2010) over the baseline unit.
+
+    Primary rays are traced as-is (they are screen-coherent already); each
+    bounce's secondary rays are collected at a bounce barrier, sorted by
+    (direction octant, origin Morton code), re-formed into warps and
+    traced.  The sort is charged per key — the overhead that made the
+    paper prefer treelet queues ("taking almost as long as ray traversal
+    itself").
+    """
+
+    def run(self) -> float:
+        import numpy as np
+
+        from repro.geometry.morton import ray_sort_keys
+        from repro.gpusim.rt_unit import BaselineRTUnit
+
+        config = self.config
+        engine = BaselineRTUnit(self.bvh, config, self.mem, self.stats)
+        bounds = self.scene.mesh.bounds()
+        next_bounce: List[SimRay] = []
+
+        def on_complete(warp: TraceWarp, cycle: float) -> None:
+            for ray in warp.rays:
+                nxt = self._shade_ray(ray)
+                if nxt is not None:
+                    next_bounce.append(nxt)
+
+        for _cta_id, warps in self._primary_cta_warps():
+            for warp in warps:
+                engine.submit(warp)
+        cycle = engine.run(on_complete)
+
+        while next_bounce:
+            rays = next_bounce[:]
+            next_bounce.clear()
+            origins = np.array(
+                [[r.state.ox, r.state.oy, r.state.oz] for r in rays]
+            )
+            directions = np.array(
+                [[r.state.dx, r.state.dy, r.state.dz] for r in rays]
+            )
+            keys = ray_sort_keys(origins, directions, bounds.lo, bounds.hi)
+            order = np.argsort(keys, kind="stable")
+            sort_cost = len(rays) * config.ray_sort_cycles_per_key
+            ready = cycle + config.shade_cycles_per_warp + sort_cost
+            for start in range(0, len(order), config.warp_size):
+                group = [rays[i] for i in order[start : start + config.warp_size]]
+                engine.submit(TraceWarp(group, group[0].cta_id, ready_cycle=ready))
+            cycle = engine.run(on_complete)
+        return cycle
+
+
+class _VTQDriver(_DriverBase):
+    """Driver for the VTQ engine: ray-granular completion + CTA resume.
+
+    Ray virtualization (Section 4.1): a CTA suspends after issuing its
+    rays (state saved to memory), resumes when its last ray finishes
+    (state restored, injected into the CTA scheduler), shades, issues the
+    next bounce's rays and suspends again.
+    """
+
+    def run(self) -> float:
+        config = self.config
+        vtq = self.vtq_config
+        engine = VTQRTUnit(self.bvh, config, vtq, self.mem, self.stats)
+        tracker = CTATracker()
+        state_bytes = cta_state_bytes(config)
+
+        # Streaming a CTA's state occupies the memory path the RT unit
+        # shares; the line-transfer portion of each save/restore shows up
+        # as RT-unit timeline occupancy (the paper's ~10% overhead is
+        # "predominantly from the increased memory accesses to save and
+        # load CTA states").
+        state_lines = (state_bytes + config.line_bytes - 1) // config.line_bytes
+        bandwidth_occupancy = float(config.dram_line_transfer * state_lines)
+
+        def charge_save() -> None:
+            if vtq.virtualization_overheads:
+                self.mem.cta_state_transfer(state_bytes)
+                engine.cycle += bandwidth_occupancy
+            self.stats.cta_saves += 1
+
+        def resume_latency() -> float:
+            self.stats.cta_restores += 1
+            if not vtq.virtualization_overheads:
+                return 0.0
+            restore = self.mem.cta_state_transfer(state_bytes)
+            engine.cycle += bandwidth_occupancy
+            return restore + config.cta_resume_schedule_cycles
+
+        def on_ray_complete(ray: SimRay, cycle: float) -> None:
+            done = tracker.ray_done(ray.cta_id, ray.bounce, ray)
+            if done is None:
+                return
+            # CTA ready: restore state, shade every lane, issue next bounce.
+            latency = resume_latency()
+            survivors = [nxt for nxt in (self._shade_ray(r) for r in done) if nxt]
+            if not survivors:
+                return
+            bounce = survivors[0].bounce
+            tracker.suspend(done[0].cta_id, bounce, len(survivors))
+            charge_save()
+            ready = cycle + latency + config.shade_cycles_per_warp
+            for w_start in range(0, len(survivors), config.warp_size):
+                engine.submit(
+                    TraceWarp(
+                        survivors[w_start : w_start + config.warp_size],
+                        done[0].cta_id,
+                        ready_cycle=ready,
+                    )
+                )
+
+        for cta_id, warps in self._primary_cta_warps():
+            total_rays = sum(len(w.rays) for w in warps)
+            tracker.suspend(cta_id, 0, total_rays)
+            charge_save()
+            for warp in warps:
+                engine.submit(warp)
+        return engine.run(on_ray_complete)

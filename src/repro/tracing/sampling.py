@@ -1,0 +1,65 @@
+"""Deterministic hash-based sampling.
+
+Path tracing needs random numbers at each scattering event.  Using a
+sequential RNG would make the image depend on the *order* the timing model
+happens to process rays in — different policies would render different
+images.  Hash-based sampling keyed on (pixel, bounce, dimension) makes
+every policy produce bit-identical images, which the test suite uses as an
+end-to-end functional cross-check of all engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK = 0xFFFFFFFF
+
+
+def _mix(x: int) -> int:
+    """A 32-bit finalizer (murmur3-style avalanche)."""
+    x &= _MASK
+    x ^= x >> 16
+    x = (x * 0x7FEB352D) & _MASK
+    x ^= x >> 15
+    x = (x * 0x846CA68B) & _MASK
+    x ^= x >> 16
+    return x
+
+
+def hash_float(pixel: int, bounce: int, dim: int, seed: int = 0) -> float:
+    """A deterministic uniform sample in [0, 1) keyed on the path position."""
+    h = (
+        (pixel & _MASK) * 0x9E3779B1
+        ^ ((bounce + 1) & _MASK) * 0x85EBCA77
+        ^ ((dim + 1) & _MASK) * 0xC2B2AE3D
+        ^ (seed & _MASK) * 0x27D4EB2F
+    )
+    return _mix(h) / 4294967296.0
+
+
+class HashSampler:
+    """Drop-in ``rng.uniform`` provider backed by :func:`hash_float`.
+
+    Compatible with :func:`repro.scenes.materials.scatter`, which expects a
+    numpy-Generator-like ``uniform(low, high, size)`` method.  Each call
+    consumes consecutive dimensions of the (pixel, bounce) slot.
+    """
+
+    def __init__(self, pixel: int, bounce: int, seed: int = 0):
+        self.pixel = pixel
+        self.bounce = bounce
+        self.seed = seed
+        self._dim = 0
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        if size is None:
+            u = hash_float(self.pixel, self.bounce, self._dim, self.seed)
+            self._dim += 1
+            return low + (high - low) * u
+        n = int(np.prod(size)) if not np.isscalar(size) else int(size)
+        out = np.empty(n)
+        for i in range(n):
+            out[i] = hash_float(self.pixel, self.bounce, self._dim, self.seed)
+            self._dim += 1
+        out = low + (high - low) * out
+        return out.reshape(size) if not np.isscalar(size) else out

@@ -1,0 +1,28 @@
+"""A Vulkan-ray-tracing-style pipeline API over the simulated GPU.
+
+The paper's programming model (its Figure 2) is the Vulkan/DXR ray
+tracing pipeline: a *raygen* shader issues ``traceRayEXT()`` calls and
+stalls until traversal completes; *closest-hit* or *miss* shaders run on
+the result; control returns to the raygen shader.
+
+This package exposes exactly that shape to Python users:
+
+* a raygen shader is a **generator** that ``yield``s
+  :class:`TraceCall`s and is resumed with :class:`HitInfo` — the
+  suspension at ``yield`` is literally the thread stalling at
+  ``traceRayEXT()`` (and, under the VTQ policy, literally the CTA being
+  virtualized away);
+* closest-hit and miss shaders are plain callbacks that may mutate the
+  per-thread payload before the raygen resumes;
+* :meth:`RayTracingPipeline.launch` runs a width x height grid of raygen
+  threads through any of the timing engines and returns both the
+  functional output and the timing statistics.
+
+``examples/ambient_occlusion.py`` shows a complete renderer written
+against this API.
+"""
+
+from repro.vkrt.types import HitInfo, LaunchResult, TraceCall
+from repro.vkrt.pipeline import RayTracingPipeline
+
+__all__ = ["TraceCall", "HitInfo", "LaunchResult", "RayTracingPipeline"]

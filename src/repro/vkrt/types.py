@@ -1,0 +1,84 @@
+"""Data types of the pipeline API: trace calls, hit records, results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TraceCall:
+    """One ``traceRayEXT()`` invocation yielded by a raygen shader.
+
+    ``mode`` selects the traversal semantics:
+
+    * ``"closest"`` — standard closest-hit query (the default).
+    * ``"all"``     — any-hit collection: :class:`HitInfo.all_hits` lists
+      every intersection in ``[tmin, tmax]`` (used for shadows-with-
+      transparency, containment parity, range scans).
+    """
+
+    origin: Tuple[float, float, float]
+    direction: Tuple[float, float, float]
+    tmin: float = 1e-4
+    tmax: float = float("inf")
+    mode: str = "closest"
+
+    def __post_init__(self):
+        if self.mode not in ("closest", "all"):
+            raise ValueError(f"unknown trace mode {self.mode!r}")
+        if self.tmax < self.tmin:
+            raise ValueError("tmax must be >= tmin")
+
+
+@dataclass
+class HitInfo:
+    """What a finished traversal reports back to the shaders.
+
+    ``position``/``normal``/``material_id`` are resolved lazily by the
+    pipeline from the scene mesh for closest hits; ``all_hits`` is filled
+    for ``mode="all"`` traces.
+    """
+
+    hit: bool
+    t: float = float("inf")
+    prim_id: int = -1
+    position: Optional[np.ndarray] = None
+    normal: Optional[np.ndarray] = None
+    material_id: int = 0
+    all_hits: Optional[List[Tuple[int, float]]] = None
+
+    @property
+    def hit_count(self) -> int:
+        if self.all_hits is not None:
+            return len(self.all_hits)
+        return 1 if self.hit else 0
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one pipeline launch."""
+
+    payloads: List[Any]           # per-thread payloads, launch order
+    cycles: float                 # max over SMs
+    per_sm_cycles: List[float]
+    stats: Any                    # merged SimStats
+    policy: str
+    width: int = 0
+    height: int = 0
+
+    def image(self, channel_fn=None) -> np.ndarray:
+        """Assemble payloads into an image.
+
+        ``channel_fn(payload)`` maps each payload to an RGB triple (or a
+        scalar); by default the payload itself is used.
+        """
+        values = [
+            channel_fn(p) if channel_fn is not None else p for p in self.payloads
+        ]
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 1:
+            return arr.reshape(self.height, self.width)
+        return arr.reshape(self.height, self.width, -1)

@@ -1,0 +1,56 @@
+"""Shared fixtures: deterministic meshes and prebuilt scene BVHs."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.geometry import TriangleMesh
+
+
+def random_soup(n: int, seed: int = 0, extent: float = 10.0, tri_size: float = 0.5):
+    """A deterministic random triangle soup of ``n`` triangles."""
+    rng = np.random.default_rng(seed)
+    anchors = rng.uniform(-extent, extent, size=(n, 1, 3))
+    offsets = rng.uniform(-tri_size, tri_size, size=(n, 3, 3))
+    vertices = (anchors + offsets).reshape(-1, 3)
+    indices = np.arange(3 * n).reshape(n, 3)
+    return TriangleMesh(vertices, indices)
+
+
+def quad_mesh(size: float = 1.0, z: float = 0.0):
+    """Two triangles forming a square in the z = const plane."""
+    s = size
+    vertices = np.array([[-s, -s, z], [s, -s, z], [s, s, z], [-s, s, z]])
+    indices = np.array([[0, 1, 2], [0, 2, 3]])
+    return TriangleMesh(vertices, indices)
+
+
+def grid_mesh(nx: int = 8, ny: int = 8, size: float = 4.0, z: float = 0.0):
+    """A tessellated plane with ``2 * nx * ny`` triangles."""
+    xs = np.linspace(-size, size, nx + 1)
+    ys = np.linspace(-size, size, ny + 1)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    vertices = np.stack([gx.ravel(), gy.ravel(), np.full(gx.size, z)], axis=1)
+    indices = []
+    for i in range(nx):
+        for j in range(ny):
+            a = i * (ny + 1) + j
+            b = (i + 1) * (ny + 1) + j
+            indices.append([a, b, a + 1])
+            indices.append([b, b + 1, a + 1])
+    return TriangleMesh(vertices, np.asarray(indices))
+
+
+@pytest.fixture(scope="session")
+def soup_mesh():
+    return random_soup(200, seed=42)
+
+
+@pytest.fixture(scope="session")
+def soup_bvh(soup_mesh):
+    return build_scene_bvh(soup_mesh, treelet_budget_bytes=1024)
+
+
+@pytest.fixture(scope="session")
+def plane_bvh():
+    return build_scene_bvh(grid_mesh(8, 8), treelet_budget_bytes=1024)

@@ -1,0 +1,88 @@
+"""Tests for the Section 2.4 analytical model."""
+
+import pytest
+
+from repro.analytic import (
+    RayTrace,
+    analytical_speedup,
+    collect_workload_traces,
+    concurrency_sweep,
+)
+from repro.analytic.model import trace_one_ray
+from repro.bvh import build_scene_bvh
+from repro.gpusim.config import default_setup
+from repro.scenes import load_scene
+
+from tests.test_bvh_traversal import make_rays
+
+
+class TestRayTrace:
+    def test_trace_records_treelets(self, soup_bvh):
+        origins, directions = make_rays(soup_bvh, 4, seed=1)
+        trace = trace_one_ray(soup_bvh, origins[0], directions[0])
+        assert trace.visits == len(trace.treelets)
+        assert all(0 <= t < soup_bvh.treelet_count for t in trace.treelets)
+
+    def test_unique_treelets(self):
+        trace = RayTrace([1, 1, 2, 3, 2])
+        assert trace.unique_treelets() == {1, 2, 3}
+        assert trace.visits == 5
+
+
+class TestAnalyticalSpeedup:
+    def make_traces(self):
+        # 8 rays, each visiting treelet 0 five times: perfect sharing.
+        return [RayTrace([0] * 5) for _ in range(8)]
+
+    def test_perfect_sharing(self):
+        traces = self.make_traces()
+        # batch of 8: baseline = 40 visits; treelets = 1 unique * 10 items
+        s = analytical_speedup(traces, 8, items_per_treelet=10, memory_latency=100)
+        assert s == pytest.approx(40 / 10)
+
+    def test_no_sharing_batches_of_one(self):
+        traces = self.make_traces()
+        s1 = analytical_speedup(traces, 1, items_per_treelet=10, memory_latency=100)
+        s8 = analytical_speedup(traces, 8, items_per_treelet=10, memory_latency=100)
+        assert s8 == pytest.approx(8 * s1)
+
+    def test_monotone_in_concurrency(self):
+        traces = [RayTrace([i % 3] * 4) for i in range(30)]
+        values = [
+            analytical_speedup(traces, c, items_per_treelet=5) for c in (1, 2, 5, 30)
+        ]
+        assert values == sorted(values)
+
+    def test_empty_traces(self):
+        assert analytical_speedup([], 8, 10) == 1.0
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            analytical_speedup([RayTrace([0])], 0, 10)
+
+    def test_latency_cancels(self):
+        traces = self.make_traces()
+        a = analytical_speedup(traces, 4, 10, memory_latency=100)
+        b = analytical_speedup(traces, 4, 10, memory_latency=471)
+        assert a == pytest.approx(b)
+
+
+class TestWorkloadSweep:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        setup = default_setup(fast=True)
+        scene = load_scene("BUNNY", scale=setup.scene_scale)
+        bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+        traces = collect_workload_traces(scene, bvh, 8, 8, max_bounces=2)
+        return bvh, traces
+
+    def test_traces_cover_all_primaries(self, workload):
+        _, traces = workload
+        assert len(traces) >= 64  # primaries plus secondaries
+
+    def test_sweep_monotone(self, workload):
+        bvh, traces = workload
+        sweep = concurrency_sweep(traces, bvh, (4, 16, 64))
+        values = [sweep[4], sweep[16], sweep[64]]
+        assert values == sorted(values)
+        assert all(v > 0 for v in values)

@@ -1,0 +1,74 @@
+"""Tests for the compressed-leaf codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bvh import CompressedLeafCodec
+
+from tests.conftest import random_soup
+
+
+class TestSizing:
+    def test_triangle_bytes_16bit(self):
+        codec = CompressedLeafCodec(bits=16)
+        assert codec.triangle_bytes() == (9 * 16 + 7) // 8  # 18 bytes
+
+    def test_triangle_bytes_8bit(self):
+        assert CompressedLeafCodec(bits=8).triangle_bytes() == 9
+
+    def test_leaf_bytes(self):
+        codec = CompressedLeafCodec(bits=16, header_bytes=20)
+        assert codec.leaf_bytes(4) == 20 + 4 * 18
+
+    def test_leaf_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedLeafCodec().leaf_bytes(-1)
+
+    def test_bits_range_validated(self):
+        with pytest.raises(ValueError):
+            CompressedLeafCodec(bits=2)
+        with pytest.raises(ValueError):
+            CompressedLeafCodec(bits=30)
+
+    def test_compression_ratio_below_one(self):
+        assert CompressedLeafCodec(bits=16).compression_ratio() < 1.0
+
+
+class TestRoundTrip:
+    def test_roundtrip_error_within_bound(self):
+        mesh = random_soup(50, seed=1)
+        tris = mesh.triangle_vertices()
+        codec = CompressedLeafCodec(bits=16)
+        assert codec.max_error(tris) <= codec.error_bound(tris) + 1e-12
+
+    def test_more_bits_less_error(self):
+        tris = random_soup(30, seed=2).triangle_vertices()
+        err8 = CompressedLeafCodec(bits=8).max_error(tris)
+        err16 = CompressedLeafCodec(bits=16).max_error(tris)
+        assert err16 <= err8
+
+    def test_empty_input(self):
+        codec = CompressedLeafCodec()
+        codes, origin, scale = codec.encode(np.zeros((0, 3, 3)))
+        assert codes.shape == (0, 3, 3)
+        assert codec.max_error(np.zeros((0, 3, 3))) == 0.0
+
+    def test_degenerate_single_point(self):
+        tri = np.zeros((1, 3, 3))
+        codec = CompressedLeafCodec(bits=8)
+        assert codec.max_error(tri) == 0.0
+
+    def test_codes_within_range(self):
+        tris = random_soup(20, seed=3).triangle_vertices()
+        codec = CompressedLeafCodec(bits=10)
+        codes, _, _ = codec.encode(tris)
+        assert codes.min() >= 0
+        assert codes.max() <= (1 << 10) - 1
+
+    @settings(max_examples=25)
+    @given(st.integers(4, 20), st.integers(1, 30))
+    def test_property_bound_holds(self, bits, n):
+        tris = random_soup(n, seed=bits * 100 + n).triangle_vertices()
+        codec = CompressedLeafCodec(bits=bits)
+        assert codec.max_error(tris) <= codec.error_bound(tris) + 1e-9

@@ -1,0 +1,96 @@
+"""Tests for the LBVH (Morton-order) builder."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bvh import build_scene_bvh, full_traverse
+from repro.bvh.lbvh import build_lbvh_binary, build_scene_bvh_lbvh
+from repro.bvh.stats import sah_cost
+from repro.geometry import TriangleMesh, rays_triangle_soup_intersect
+
+from tests.conftest import grid_mesh, random_soup
+from tests.test_bvh_builder import check_invariants
+from tests.test_bvh_traversal import make_rays
+
+
+class TestBinaryLBVH:
+    def test_invariants_on_soup(self):
+        check_invariants(build_lbvh_binary(random_soup(200, seed=61)))
+
+    def test_invariants_on_grid(self):
+        check_invariants(build_lbvh_binary(grid_mesh(10, 10)))
+
+    def test_single_triangle(self):
+        mesh = TriangleMesh(
+            np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0.0]]), np.array([[0, 1, 2]])
+        )
+        bvh = build_lbvh_binary(mesh)
+        assert bvh.node_count == 1
+        check_invariants(bvh)
+
+    def test_identical_centroids_terminate(self):
+        tri = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0.0]])
+        vertices = np.tile(tri, (30, 1))
+        mesh = TriangleMesh(vertices, np.arange(90).reshape(30, 3))
+        check_invariants(build_lbvh_binary(mesh))
+
+    def test_empty_mesh_rejected(self):
+        mesh = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            build_lbvh_binary(mesh)
+
+    def test_max_leaf_size_respected(self):
+        bvh = build_lbvh_binary(random_soup(100, seed=62), max_leaf_size=2)
+        for i in range(bvh.node_count):
+            if bvh.is_leaf(i):
+                assert bvh.prim_count[i] <= 2
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_lbvh_binary(random_soup(10, seed=1), max_leaf_size=0)
+
+
+class TestSceneLBVH:
+    def test_traversal_matches_bruteforce(self):
+        mesh = random_soup(180, seed=63)
+        bvh = build_scene_bvh_lbvh(mesh, treelet_budget_bytes=1024)
+        origins, directions = make_rays(bvh, 40, seed=64)
+        tris = mesh.triangle_vertices()
+        idx, t = rays_triangle_soup_intersect(
+            origins, directions, tris, np.full(40, 1e-4), np.full(40, np.inf)
+        )
+        for i in range(40):
+            rec = full_traverse(bvh, origins[i], directions[i])
+            assert rec.hit == (idx[i] >= 0)
+            if rec.hit:
+                assert rec.t == pytest.approx(t[i], rel=1e-9, abs=1e-9)
+
+    def test_sah_quality_worse_than_sah_builder(self):
+        """LBVH trades quality for build speed; SAH must not lose to it."""
+        mesh = random_soup(300, seed=65)
+        sah = build_scene_bvh(mesh, treelet_budget_bytes=1024)
+        lbvh = build_scene_bvh_lbvh(mesh, treelet_budget_bytes=1024)
+        assert sah_cost(sah) <= sah_cost(lbvh) * 1.1
+
+    def test_same_downstream_structures(self):
+        mesh = random_soup(120, seed=66)
+        bvh = build_scene_bvh_lbvh(mesh, treelet_budget_bytes=512)
+        assert bvh.treelet_count >= 2
+        assert bvh.layout.total_bytes > 0
+        bvh.wide.validate()
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(4, 80), st.integers(0, 1000))
+    def test_property_matches_oracle(self, n, seed):
+        mesh = random_soup(n, seed=seed)
+        bvh = build_scene_bvh_lbvh(mesh, treelet_budget_bytes=512)
+        origins, directions = make_rays(bvh, 4, seed=seed + 1)
+        tris = mesh.triangle_vertices()
+        idx, t = rays_triangle_soup_intersect(
+            origins, directions, tris, np.full(4, 1e-4), np.full(4, np.inf)
+        )
+        for i in range(4):
+            rec = full_traverse(bvh, origins[i], directions[i])
+            assert rec.hit == (idx[i] >= 0)

@@ -1,0 +1,134 @@
+"""Tests for BVH refitting and Morton sorting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.bvh.refit import bounds_inflation, refit_scene_bvh, refit_wide_bvh
+from repro.bvh.traversal import full_traverse
+from repro.geometry import TriangleMesh, rays_triangle_soup_intersect
+from repro.geometry.morton import (
+    direction_octant,
+    morton3d,
+    morton_codes,
+    quantize_points,
+    ray_sort_keys,
+)
+
+from tests.conftest import random_soup
+from tests.test_bvh_traversal import make_rays
+
+
+def deform(mesh, amplitude, seed=0):
+    rng = np.random.default_rng(seed)
+    wobble = amplitude * rng.normal(size=mesh.vertices.shape)
+    return TriangleMesh(mesh.vertices + wobble, mesh.indices, mesh.material_ids)
+
+
+class TestRefit:
+    @pytest.fixture(scope="class")
+    def original(self):
+        return build_scene_bvh(random_soup(250, seed=41), treelet_budget_bytes=1024)
+
+    def test_topology_preserved(self, original):
+        refitted = refit_scene_bvh(original, mesh=deform(original.mesh, 0.3))
+        assert refitted.node_count == original.node_count
+        assert refitted.leaf_count == original.leaf_count
+        assert refitted.treelet_count == original.treelet_count
+        assert np.array_equal(
+            refitted.layout.item_address, original.layout.item_address
+        )
+
+    def test_bounds_contain_deformed_triangles(self, original):
+        mesh = deform(original.mesh, 0.5, seed=2)
+        wide = refit_wide_bvh(original.wide, mesh)
+        tri_bounds = mesh.triangle_bounds()
+        for node in range(wide.node_count):
+            for child, is_leaf, bounds in wide.node_children(node):
+                if is_leaf:
+                    prims = wide.leaf_primitives(child)
+                    assert np.all(tri_bounds[prims, 0:3] >= bounds[:3] - 1e-9)
+                    assert np.all(tri_bounds[prims, 3:6] <= bounds[3:] + 1e-9)
+
+    def test_traversal_correct_after_refit(self, original):
+        mesh = deform(original.mesh, 0.4, seed=3)
+        refitted = refit_scene_bvh(original, mesh=mesh)
+        origins, directions = make_rays(refitted, 48, seed=4)
+        tris = mesh.triangle_vertices()
+        oracle_idx, oracle_t = rays_triangle_soup_intersect(
+            origins, directions, tris, np.full(48, 1e-4), np.full(48, np.inf)
+        )
+        for i in range(48):
+            rec = full_traverse(refitted, origins[i], directions[i])
+            assert rec.hit == (oracle_idx[i] >= 0)
+            if rec.hit:
+                assert rec.t == pytest.approx(oracle_t[i], rel=1e-9, abs=1e-9)
+
+    def test_refit_by_vertices(self, original):
+        new_vertices = original.mesh.vertices + 0.1
+        refitted = refit_scene_bvh(original, new_vertices=new_vertices)
+        assert np.allclose(refitted.mesh.vertices, new_vertices)
+
+    def test_identity_refit_zero_inflation(self, original):
+        refitted = refit_scene_bvh(original, new_vertices=original.mesh.vertices)
+        assert bounds_inflation(original, refitted) == pytest.approx(0.0, abs=1e-9)
+
+    def test_inflation_grows_with_deformation(self, original):
+        small = refit_scene_bvh(original, mesh=deform(original.mesh, 0.1, seed=5))
+        large = refit_scene_bvh(original, mesh=deform(original.mesh, 1.0, seed=5))
+        assert bounds_inflation(original, large) > bounds_inflation(original, small)
+
+    def test_argument_validation(self, original):
+        with pytest.raises(ValueError):
+            refit_scene_bvh(original)
+        with pytest.raises(ValueError):
+            refit_scene_bvh(
+                original,
+                new_vertices=original.mesh.vertices,
+                mesh=original.mesh,
+            )
+        with pytest.raises(ValueError):
+            refit_scene_bvh(original, new_vertices=np.zeros((3, 3)))
+
+    def test_topology_mismatch_rejected(self, original):
+        other = random_soup(10, seed=9)
+        with pytest.raises(ValueError):
+            refit_wide_bvh(original.wide, other)
+
+
+class TestMorton:
+    def test_morton3d_interleaves(self):
+        # x=1 -> bit 0, y=1 -> bit 1, z=1 -> bit 2
+        assert morton3d(np.array([1]), np.array([0]), np.array([0]))[0] == 1
+        assert morton3d(np.array([0]), np.array([1]), np.array([0]))[0] == 2
+        assert morton3d(np.array([0]), np.array([0]), np.array([1]))[0] == 4
+
+    def test_morton_locality(self):
+        """Adjacent cells differ less than distant cells on average."""
+        a = morton3d(np.array([5]), np.array([5]), np.array([5]))[0]
+        b = morton3d(np.array([6]), np.array([5]), np.array([5]))[0]
+        c = morton3d(np.array([900]), np.array([900]), np.array([900]))[0]
+        assert abs(int(a) - int(b)) < abs(int(a) - int(c))
+
+    def test_quantize_clamps(self):
+        q = quantize_points(
+            np.array([[-5.0, 0.5, 2.0]]), np.zeros(3), np.ones(3), bits=10
+        )
+        assert q[0, 0] == 0
+        assert q[0, 2] == 1023
+
+    def test_codes_unique_for_distinct_cells(self):
+        pts = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]])
+        codes = morton_codes(pts, np.zeros(3), np.ones(3))
+        assert codes[0] != codes[1]
+
+    def test_direction_octant(self):
+        d = np.array([[1.0, 1, 1], [-1, 1, 1], [1, -1, 1], [1, 1, -1], [-1, -1, -1]])
+        assert direction_octant(d).tolist() == [0, 1, 2, 4, 7]
+
+    def test_sort_keys_octant_dominates(self):
+        origins = np.array([[0.9, 0.9, 0.9], [0.0, 0.0, 0.0]])
+        directions = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+        keys = ray_sort_keys(origins, directions, np.zeros(3), np.ones(3))
+        # Octant 0 sorts before octant 1 despite the larger Morton code.
+        assert keys[0] < keys[1]

@@ -1,0 +1,62 @@
+"""Tests for BVH quality statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.bvh.stats import describe, leaf_depths, sah_cost
+
+from tests.conftest import grid_mesh, random_soup
+
+
+@pytest.fixture(scope="module")
+def bvh():
+    return build_scene_bvh(random_soup(300, seed=51), treelet_budget_bytes=1024)
+
+
+class TestDescribe:
+    def test_counts_consistent(self, bvh):
+        stats = describe(bvh)
+        assert stats.node_count == bvh.node_count
+        assert stats.leaf_count == bvh.leaf_count
+        assert stats.triangle_count == 300
+
+    def test_depths_positive_and_bounded(self, bvh):
+        depths = leaf_depths(bvh)
+        assert len(depths) == bvh.leaf_count
+        assert min(depths) >= 2  # a leaf hangs off at least the root
+        assert max(depths) <= 40
+
+    def test_mean_depth_between_min_max(self, bvh):
+        stats = describe(bvh)
+        depths = leaf_depths(bvh)
+        assert min(depths) <= stats.mean_depth <= max(depths)
+
+    def test_leaf_sizes(self, bvh):
+        stats = describe(bvh)
+        assert 1 <= stats.mean_leaf_size <= stats.max_leaf_size
+        assert stats.max_leaf_size <= 8  # default BuildConfig max_leaf_size=4 (+merge slack)
+
+    def test_child_count_in_range(self, bvh):
+        stats = describe(bvh)
+        assert 1.0 <= stats.mean_child_count <= 4.0
+
+    def test_sah_cost_positive(self, bvh):
+        assert sah_cost(bvh) > 0
+
+    def test_sah_cost_scales_with_intersection_cost(self, bvh):
+        cheap = sah_cost(bvh, intersection_cost=0.5)
+        expensive = sah_cost(bvh, intersection_cost=2.0)
+        assert expensive > cheap
+
+    def test_better_bvh_has_lower_sah(self):
+        """A structured grid should cost less per ray than a random soup
+        of the same triangle count."""
+        soup = build_scene_bvh(random_soup(128, seed=3), treelet_budget_bytes=1024)
+        grid = build_scene_bvh(grid_mesh(8, 8), treelet_budget_bytes=1024)
+        assert sah_cost(grid) < sah_cost(soup)
+
+    def test_as_dict_round(self, bvh):
+        d = describe(bvh).as_dict()
+        assert d["treelet_count"] == bvh.treelet_count
+        assert 0 < d["mean_treelet_fill"] <= 1.5

@@ -1,0 +1,127 @@
+"""Tests for treelet partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_binary_bvh, collapse_to_wide, partition_treelets
+from repro.bvh.treelets import item_sizes, _item_children
+
+from tests.conftest import grid_mesh, random_soup
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return collapse_to_wide(build_binary_bvh(random_soup(500, seed=11)), 4)
+
+
+STRATEGIES = ["pack", "subtree"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestPartitionCommon:
+    def test_every_item_assigned(self, wide, strategy):
+        part = partition_treelets(wide, budget_bytes=2048, strategy=strategy)
+        assert np.all(part.treelet_of_item >= 0)
+        assert len(part.treelet_of_item) == wide.node_count + wide.leaf_count
+
+    def test_items_partitioned_exactly_once(self, wide, strategy):
+        part = partition_treelets(wide, budget_bytes=2048, strategy=strategy)
+        all_members = [i for members in part.treelet_items for i in members]
+        assert sorted(all_members) == list(range(len(part.treelet_of_item)))
+
+    def test_budget_respected(self, wide, strategy):
+        budget = 2048
+        part = partition_treelets(wide, budget_bytes=budget, strategy=strategy)
+        sizes = item_sizes(wide, 64, 48, 16)
+        for tid, members in enumerate(part.treelet_items):
+            total = int(sizes[members].sum())
+            assert total == part.treelet_bytes[tid]
+            # Only a treelet forced to hold one oversized unit may overflow.
+            if total > budget:
+                assert len(members) <= 3  # one node plus its leaf children
+
+    def test_smaller_budget_more_treelets(self, wide, strategy):
+        small = partition_treelets(wide, budget_bytes=1024, strategy=strategy)
+        large = partition_treelets(wide, budget_bytes=8192, strategy=strategy)
+        assert small.treelet_count > large.treelet_count
+
+    def test_huge_budget_single_treelet(self, wide, strategy):
+        part = partition_treelets(wide, budget_bytes=1 << 30, strategy=strategy)
+        assert part.treelet_count == 1
+
+    def test_root_in_treelet_zero(self, wide, strategy):
+        part = partition_treelets(wide, budget_bytes=2048, strategy=strategy)
+        assert part.treelet_of_node(0) == 0
+
+    def test_invalid_budget_rejected(self, wide, strategy):
+        with pytest.raises(ValueError):
+            partition_treelets(wide, budget_bytes=0, strategy=strategy)
+
+    def test_stats_keys(self, wide, strategy):
+        part = partition_treelets(wide, budget_bytes=2048, strategy=strategy)
+        stats = part.stats()
+        assert stats["treelet_count"] == part.treelet_count
+        assert 0 < stats["fill_ratio"] <= 1.5
+
+    def test_plane_mesh_partition(self, strategy):
+        wide_plane = collapse_to_wide(build_binary_bvh(grid_mesh(12, 12)), 4)
+        part = partition_treelets(wide_plane, budget_bytes=1024, strategy=strategy)
+        assert part.treelet_count >= 2
+
+
+class TestPackStrategy:
+    def test_fill_ratio_near_full(self, wide):
+        """Pack strategy fills every treelet except the last nearly full."""
+        part = partition_treelets(wide, budget_bytes=2048, strategy="pack")
+        sizes = item_sizes(wide, 64, 48, 16)
+        max_item = int(sizes.max())
+        for total in part.treelet_bytes[:-1]:
+            # Each treelet stopped only because the next item did not fit.
+            assert total + max_item > 2048 or total <= 2048
+
+    def test_mean_fill_high(self, wide):
+        part = partition_treelets(wide, budget_bytes=2048, strategy="pack")
+        assert part.stats()["fill_ratio"] > 0.7
+
+    def test_members_in_dfs_prefix_order(self, wide):
+        """Treelet ids are non-decreasing along the DFS item order."""
+        part = partition_treelets(wide, budget_bytes=2048, strategy="pack")
+        flat = [i for members in part.treelet_items for i in members]
+        tids = [part.treelet_of_item[i] for i in flat]
+        assert tids == sorted(tids)
+
+
+class TestSubtreeStrategy:
+    def test_treelets_are_connected(self, wide):
+        part = partition_treelets(wide, budget_bytes=2048, strategy="subtree")
+        for tid, members in enumerate(part.treelet_items):
+            member_set = set(members)
+            root = members[0]
+            reached = set()
+            stack = [root]
+            while stack:
+                item = stack.pop()
+                if item in reached:
+                    continue
+                reached.add(item)
+                for child in _item_children(wide, item):
+                    if child in member_set:
+                        stack.append(child)
+            assert reached == member_set, f"treelet {tid} disconnected"
+
+    def test_leaf_lookup_helpers(self, wide):
+        part = partition_treelets(wide, budget_bytes=2048, strategy="subtree")
+        assert part.treelet_of_leaf(0) == part.treelet_of_item[wide.node_count]
+
+    def test_leaf_blocks_share_parent_treelet(self, wide):
+        part = partition_treelets(wide, budget_bytes=2048, strategy="subtree")
+        for node in range(wide.node_count):
+            for k in range(int(wide.child_count[node])):
+                if wide.child_is_leaf[node, k]:
+                    leaf_item = wide.node_count + int(wide.child_index[node, k])
+                    assert part.treelet_of_item[leaf_item] == part.treelet_of_item[node]
+
+
+def test_unknown_strategy_rejected(wide):
+    with pytest.raises(ValueError):
+        partition_treelets(wide, budget_bytes=2048, strategy="bogus")

@@ -1,0 +1,78 @@
+"""Tests for the 4-wide collapse."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_binary_bvh, collapse_to_wide
+
+from tests.conftest import grid_mesh, quad_mesh, random_soup
+
+
+class TestCollapse:
+    def test_width_bounds(self):
+        binary = build_binary_bvh(random_soup(100, seed=1))
+        wide = collapse_to_wide(binary, 4)
+        assert np.all(wide.child_count >= 1)
+        assert np.all(wide.child_count <= 4)
+        wide.validate()
+
+    def test_width_two_equivalent_topology(self):
+        binary = build_binary_bvh(random_soup(60, seed=2))
+        wide = collapse_to_wide(binary, 2)
+        wide.validate()
+
+    def test_width_eight(self):
+        binary = build_binary_bvh(random_soup(60, seed=2))
+        wide = collapse_to_wide(binary, 8)
+        wide.validate()
+        # Wider trees need no more nodes than narrower trees.
+        assert wide.node_count <= collapse_to_wide(binary, 4).node_count
+
+    def test_invalid_width_rejected(self):
+        binary = build_binary_bvh(quad_mesh())
+        with pytest.raises(ValueError):
+            collapse_to_wide(binary, 1)
+
+    def test_single_leaf_root(self):
+        binary = build_binary_bvh(quad_mesh())
+        wide = collapse_to_wide(binary, 4)
+        wide.validate()
+        assert wide.node_count >= 1
+
+    def test_all_primitives_covered(self):
+        binary = build_binary_bvh(random_soup(123, seed=3))
+        wide = collapse_to_wide(binary, 4)
+        prims = []
+        for leaf in range(wide.leaf_count):
+            prims.extend(wide.leaf_primitives(leaf).tolist())
+        assert sorted(prims) == list(range(123))
+
+    def test_child_bounds_contain_leaf_triangles(self):
+        binary = build_binary_bvh(grid_mesh(6, 6))
+        wide = collapse_to_wide(binary, 4)
+        for node in range(wide.node_count):
+            for child, is_leaf, bounds in wide.node_children(node):
+                if is_leaf:
+                    tri = wide.leaf_triangles(child).reshape(-1, 3)
+                    assert np.all(tri >= bounds[:3] - 1e-9)
+                    assert np.all(tri <= bounds[3:] + 1e-9)
+
+    def test_leaf_triangles_shape(self):
+        binary = build_binary_bvh(random_soup(40, seed=4))
+        wide = collapse_to_wide(binary, 4)
+        tris = wide.leaf_triangles(0)
+        assert tris.ndim == 3 and tris.shape[1:] == (3, 3)
+
+    def test_collapse_reduces_node_count(self):
+        binary = build_binary_bvh(random_soup(400, seed=5))
+        wide = collapse_to_wide(binary, 4)
+        interior_binary = int(np.sum(binary.prim_count == 0))
+        assert wide.node_count < interior_binary
+
+    def test_empty_bvh_rejected(self):
+        binary = build_binary_bvh(quad_mesh())
+        binary.left = np.zeros(0, dtype=np.int64)
+        binary.right = np.zeros(0, dtype=np.int64)
+        binary.prim_count = np.zeros(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            collapse_to_wide(binary, 4)

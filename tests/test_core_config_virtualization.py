@@ -1,0 +1,98 @@
+"""Tests for VTQConfig and the CTA virtualization tracker."""
+
+import pytest
+
+from repro.core import CTATracker, VTQConfig, cta_state_bytes
+from repro.gpusim.config import paper_config
+
+
+class TestVTQConfig:
+    def test_defaults_match_paper(self):
+        c = VTQConfig()
+        assert c.queue_threshold == 128
+        assert c.repack_threshold == 22
+        assert c.count_table_entries == 600
+        assert c.queue_table_entries == 128
+        assert c.rays_per_queue_entry == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VTQConfig(queue_threshold=0)
+        with pytest.raises(ValueError):
+            VTQConfig(repack_threshold=40)
+        with pytest.raises(ValueError):
+            VTQConfig(divergence_threshold=0)
+        with pytest.raises(ValueError):
+            VTQConfig(count_table_entries=0)
+
+    def test_scaled_to_preserves_ratio(self):
+        c = VTQConfig().scaled_to(1024)
+        assert c.queue_threshold == 32  # 128 * (1024/4096)
+
+    def test_scaled_to_minimum(self):
+        c = VTQConfig().scaled_to(64)
+        assert c.queue_threshold == 8
+
+    def test_scaled_to_validates(self):
+        with pytest.raises(ValueError):
+            VTQConfig().scaled_to(0)
+
+    def test_naive_disables_optimizations(self):
+        c = VTQConfig().naive()
+        assert not c.group_underpopulated
+        assert not c.repack_enabled
+        assert c.queue_threshold == 1
+
+
+class TestCTAStateBytes:
+    def test_matches_config_formula(self):
+        config = paper_config()
+        assert cta_state_bytes(config) == config.cta_state_bytes()
+
+    def test_scales_with_registers(self):
+        from dataclasses import replace
+
+        small = paper_config()
+        big = replace(small, raygen_registers_per_thread=20)
+        assert cta_state_bytes(big) > cta_state_bytes(small)
+
+
+class TestCTATracker:
+    def test_resume_on_last_ray(self):
+        t = CTATracker()
+        t.suspend(1, 0, 3)
+        assert t.ray_done(1, 0, "a") is None
+        assert t.ray_done(1, 0, "b") is None
+        done = t.ray_done(1, 0, "c")
+        assert done == ["a", "b", "c"]
+        assert t.pending_ctas() == 0
+
+    def test_bounces_tracked_independently(self):
+        t = CTATracker()
+        t.suspend(1, 0, 1)
+        t.suspend(1, 1, 1)
+        assert t.ray_done(1, 1, "x") == ["x"]
+        assert t.pending_ctas() == 1
+
+    def test_double_suspend_rejected(self):
+        t = CTATracker()
+        t.suspend(1, 0, 1)
+        with pytest.raises(ValueError):
+            t.suspend(1, 0, 1)
+
+    def test_zero_rays_rejected(self):
+        with pytest.raises(ValueError):
+            CTATracker().suspend(1, 0, 0)
+
+    def test_unknown_completion_rejected(self):
+        with pytest.raises(KeyError):
+            CTATracker().ray_done(9, 0, "x")
+
+    def test_counters(self):
+        t = CTATracker()
+        t.suspend(1, 0, 2)
+        t.suspend(2, 0, 1)
+        assert t.outstanding_rays() == 3
+        t.ray_done(2, 0, "x")
+        assert t.saves == 2
+        assert t.restores == 1

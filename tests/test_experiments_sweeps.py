@@ -1,0 +1,62 @@
+"""Tests for the design-space sweep utilities."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments import default_context
+from repro.experiments.sweeps import (
+    sweep_gpu_param,
+    sweep_scenes,
+    sweep_vtq_param,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    base = default_context(fast=True)
+    return ExperimentContext(
+        setup=base.setup, scene_list=("WKND",), use_disk_cache=False
+    )
+
+
+class TestVTQSweep:
+    def test_rows_per_value(self, ctx):
+        out = sweep_vtq_param("WKND", ctx, "queue_threshold", (8, 64))
+        assert len(out["rows"]) == 2
+        assert out["rows"][0][0] == "8"
+        assert out["headers"][0] == "value"
+
+    def test_metrics_parse(self, ctx):
+        out = sweep_vtq_param("WKND", ctx, "repack_threshold", (8, 22))
+        for row in out["rows"]:
+            assert float(row[2].rstrip("x")) > 0
+            assert 0 <= float(row[3]) <= 1
+            assert 0 <= float(row[4]) <= 1
+
+    def test_unknown_param_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            sweep_vtq_param("WKND", ctx, "not_a_field", (1,))
+
+
+class TestGPUSweep:
+    def test_l1_sweep(self, ctx):
+        out = sweep_gpu_param("WKND", ctx, "l1_bytes", (1024, 4096))
+        assert len(out["rows"]) == 2
+
+    def test_unknown_param_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            sweep_gpu_param("WKND", ctx, "bogus", (1,))
+
+    def test_bigger_l1_not_slower(self, ctx):
+        out = sweep_gpu_param("WKND", ctx, "l1_bytes", (512, 8192),
+                              policy="baseline")
+        small = float(out["rows"][0][1].replace(",", ""))
+        large = float(out["rows"][1][1].replace(",", ""))
+        assert large <= small * 1.05
+
+
+class TestSceneSweep:
+    def test_one_row_per_scene(self, ctx):
+        out = sweep_scenes(ctx)
+        assert len(out["rows"]) == 1
+        assert out["rows"][0][0] == "WKND"

@@ -1,0 +1,37 @@
+"""Whole-suite integration checks (slow; run with ``-m slow``)."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.gpusim.config import ScaledSetup, scaled_config
+from repro.scenes import load_scene, scene_names
+from repro.tracing import render_scene
+
+
+@pytest.mark.slow
+class TestEverySceneEveryPolicy:
+    def test_policies_agree_on_every_scene(self):
+        """Cross-policy image identity on all 16 scenes (small scale)."""
+        setup = ScaledSetup(
+            gpu=scaled_config(num_sms=2),
+            image_width=12,
+            image_height=12,
+            scene_scale=0.3,
+            max_bounces=2,
+        )
+        for name in scene_names(include_extra=True):
+            scene = load_scene(name, scale=setup.scene_scale)
+            bvh = build_scene_bvh(
+                scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes
+            )
+            images = {}
+            for policy in ("baseline", "prefetch", "sorted", "vtq"):
+                result = render_scene(scene, bvh, setup, policy=policy)
+                images[policy] = result.image
+                assert result.cycles > 0, (name, policy)
+            base = images["baseline"]
+            for policy, image in images.items():
+                assert np.array_equal(image, base), (name, policy)
+            # Every scene must produce some light (emissive or sky).
+            assert base.max() > 0, name

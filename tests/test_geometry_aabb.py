@@ -1,0 +1,154 @@
+"""Unit and property tests for AABB."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import AABB, union_bounds
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+point = st.tuples(finite, finite, finite)
+
+
+def box_from(p, q):
+    p, q = np.asarray(p), np.asarray(q)
+    return AABB(np.minimum(p, q), np.maximum(p, q))
+
+
+class TestBasics:
+    def test_empty_box_is_empty(self):
+        assert AABB.empty().is_empty()
+
+    def test_default_constructor_is_empty(self):
+        assert AABB().is_empty()
+
+    def test_point_box_is_not_empty(self):
+        assert not AABB([0, 0, 0], [0, 0, 0]).is_empty()
+
+    def test_from_points(self):
+        box = AABB.from_points(np.array([[0, 0, 0], [1, 2, 3], [-1, 0, 1]]))
+        assert np.array_equal(box.lo, [-1, 0, 0])
+        assert np.array_equal(box.hi, [1, 2, 3])
+
+    def test_from_no_points_is_empty(self):
+        assert AABB.from_points(np.zeros((0, 3))).is_empty()
+
+    def test_contains_point(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.contains_point([0.5, 0.5, 0.5])
+        assert box.contains_point([0, 0, 0])  # boundary
+        assert not box.contains_point([1.5, 0.5, 0.5])
+
+    def test_surface_area_unit_cube(self):
+        assert AABB([0, 0, 0], [1, 1, 1]).surface_area() == pytest.approx(6.0)
+
+    def test_volume_unit_cube(self):
+        assert AABB([0, 0, 0], [1, 1, 1]).volume() == pytest.approx(1.0)
+
+    def test_empty_measures_are_zero(self):
+        empty = AABB.empty()
+        assert empty.surface_area() == 0.0
+        assert empty.volume() == 0.0
+        assert np.array_equal(empty.extent(), np.zeros(3))
+
+    def test_longest_axis(self):
+        assert AABB([0, 0, 0], [3, 1, 2]).longest_axis() == 0
+        assert AABB([0, 0, 0], [1, 5, 2]).longest_axis() == 1
+
+    def test_centroid(self):
+        assert np.allclose(AABB([0, 0, 0], [2, 4, 6]).centroid(), [1, 2, 3])
+
+    def test_expanded(self):
+        grown = AABB([0, 0, 0], [1, 1, 1]).expanded(0.5)
+        assert np.allclose(grown.lo, [-0.5] * 3)
+        assert np.allclose(grown.hi, [1.5] * 3)
+
+    def test_expanded_empty_stays_empty(self):
+        assert AABB.empty().expanded(1.0).is_empty()
+
+    def test_as_array_roundtrip(self):
+        box = AABB([0, 1, 2], [3, 4, 5])
+        arr = box.as_array()
+        assert np.array_equal(arr, [0, 1, 2, 3, 4, 5])
+
+    def test_repr_mentions_empty(self):
+        assert "empty" in repr(AABB.empty())
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(AABB([0, 0, 0], [1, 1, 1]))
+
+
+class TestCombination:
+    def test_union_with_empty_is_identity(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.union(AABB.empty()) == box
+        assert AABB.empty().union(box) == box
+
+    def test_union_point(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).union_point([2, -1, 0.5])
+        assert np.array_equal(box.lo, [0, -1, 0])
+        assert np.array_equal(box.hi, [2, 1, 1])
+
+    def test_union_bounds_empty_iterable(self):
+        assert union_bounds([]).is_empty()
+
+    def test_union_bounds_many(self):
+        boxes = [AABB([i, 0, 0], [i + 1, 1, 1]) for i in range(5)]
+        combined = union_bounds(boxes)
+        assert np.array_equal(combined.lo, [0, 0, 0])
+        assert np.array_equal(combined.hi, [5, 1, 1])
+
+    def test_overlaps(self):
+        a = AABB([0, 0, 0], [2, 2, 2])
+        b = AABB([1, 1, 1], [3, 3, 3])
+        c = AABB([5, 5, 5], [6, 6, 6])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert not a.overlaps(AABB.empty())
+
+    def test_touching_boxes_overlap(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([1, 0, 0], [2, 1, 1])
+        assert a.overlaps(b)
+
+    def test_contains_box(self):
+        outer = AABB([0, 0, 0], [10, 10, 10])
+        inner = AABB([1, 1, 1], [2, 2, 2])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(AABB.empty())
+
+
+class TestProperties:
+    @given(point, point)
+    def test_union_is_commutative(self, p, q):
+        a = box_from(p, (0, 0, 0))
+        b = box_from(q, (1, 1, 1))
+        assert a.union(b) == b.union(a)
+
+    @given(point, point, point)
+    def test_union_is_associative(self, p, q, r):
+        a = box_from(p, (0, 0, 0))
+        b = box_from(q, (0, 0, 0))
+        c = box_from(r, (0, 0, 0))
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(point, point)
+    def test_union_contains_both(self, p, q):
+        a = box_from(p, (0, 0, 0))
+        b = box_from(q, (0, 0, 0))
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    @given(point, point)
+    def test_union_surface_area_monotone(self, p, q):
+        a = box_from(p, (0, 0, 0))
+        b = box_from(q, (0, 0, 0))
+        u = a.union(b)
+        assert u.surface_area() >= a.surface_area() - 1e-9
+        assert u.surface_area() >= b.surface_area() - 1e-9
+
+    @given(point)
+    def test_point_in_own_box(self, p):
+        assert AABB.from_points(np.array([p])).contains_point(p)

@@ -1,0 +1,179 @@
+"""Tests for the vectorized intersection kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    ray_aabb_intersect,
+    ray_triangles_intersect,
+    rays_aabbs_intersect,
+    rays_triangle_soup_intersect,
+)
+
+UNIT_BOX = np.array([[0.0, 0, 0, 1, 1, 1]])
+
+
+def inv(d):
+    d = np.asarray(d, dtype=np.float64)
+    with np.errstate(divide="ignore", over="ignore"):
+        return np.where(np.abs(d) < 1e-12, np.copysign(np.inf, d + 1e-300), 1.0 / d)
+
+
+class TestRayAABB:
+    def test_hit_through_center(self):
+        hit, t = ray_aabb_intersect(
+            np.array([0.5, 0.5, -1.0]), inv([0, 0, 1.0]), UNIT_BOX, 0.0, np.inf
+        )
+        assert hit[0]
+        assert t[0] == pytest.approx(1.0)
+
+    def test_miss_to_the_side(self):
+        hit, _ = ray_aabb_intersect(
+            np.array([5.0, 5.0, -1.0]), inv([0, 0, 1.0]), UNIT_BOX, 0.0, np.inf
+        )
+        assert not hit[0]
+
+    def test_origin_inside_box(self):
+        hit, t = ray_aabb_intersect(
+            np.array([0.5, 0.5, 0.5]), inv([1.0, 0, 0]), UNIT_BOX, 0.0, np.inf
+        )
+        assert hit[0]
+        assert t[0] == pytest.approx(0.0)
+
+    def test_behind_origin_misses(self):
+        hit, _ = ray_aabb_intersect(
+            np.array([0.5, 0.5, 5.0]), inv([0, 0, 1.0]), UNIT_BOX, 0.0, np.inf
+        )
+        assert not hit[0]
+
+    def test_tmax_clips_hit(self):
+        hit, _ = ray_aabb_intersect(
+            np.array([0.5, 0.5, -10.0]), inv([0, 0, 1.0]), UNIT_BOX, 0.0, 5.0
+        )
+        assert not hit[0]
+
+    def test_axis_parallel_ray_on_face_plane(self):
+        # Ray in the z=0 face plane, parallel to x: still counts as a hit.
+        hit, _ = ray_aabb_intersect(
+            np.array([-1.0, 0.5, 0.0]), inv([1.0, 0, 0]), UNIT_BOX, 0.0, np.inf
+        )
+        assert hit[0]
+
+    def test_many_boxes_at_once(self):
+        boxes = np.array(
+            [[0, 0, 0, 1, 1, 1], [2, 0, 0, 3, 1, 1], [0, 5, 0, 1, 6, 1.0]]
+        )
+        hit, t = ray_aabb_intersect(
+            np.array([-1.0, 0.5, 0.5]), inv([1.0, 0, 0]), boxes, 0.0, np.inf
+        )
+        assert list(hit) == [True, True, False]
+        assert t[0] < t[1]
+
+
+class TestRaysAABBs:
+    def test_per_ray_boxes(self):
+        origins = np.array([[0.5, 0.5, -1.0], [10.0, 10, 10]])
+        dirs = np.array([[0, 0, 1.0], [0, 0, 1.0]])
+        boxes = np.stack([UNIT_BOX.repeat(2, axis=0), UNIT_BOX.repeat(2, axis=0)])
+        hit, _ = rays_aabbs_intersect(
+            origins, inv(dirs), boxes, np.zeros(2), np.full(2, np.inf)
+        )
+        assert hit[0].all()
+        assert not hit[1].any()
+
+
+TRI = np.array([[[0.0, 0, 0], [1, 0, 0], [0, 1, 0]]])
+
+
+class TestRayTriangle:
+    def test_hit_centroid(self):
+        idx, t, u, v = ray_triangles_intersect(
+            np.array([0.25, 0.25, -1.0]), np.array([0.0, 0, 1]), TRI, 0.0, np.inf
+        )
+        assert idx == 0
+        assert t == pytest.approx(1.0)
+        assert u == pytest.approx(0.25)
+        assert v == pytest.approx(0.25)
+
+    def test_miss_outside(self):
+        idx, t, _, _ = ray_triangles_intersect(
+            np.array([0.9, 0.9, -1.0]), np.array([0.0, 0, 1]), TRI, 0.0, np.inf
+        )
+        assert idx == -1
+        assert np.isinf(t)
+
+    def test_parallel_ray_misses(self):
+        idx, _, _, _ = ray_triangles_intersect(
+            np.array([0.0, 0.0, 1.0]), np.array([1.0, 0, 0]), TRI, 0.0, np.inf
+        )
+        assert idx == -1
+
+    def test_closest_of_two(self):
+        tris = np.array(
+            [
+                [[0.0, 0, 5], [1, 0, 5], [0, 1, 5]],
+                [[0.0, 0, 2], [1, 0, 2], [0, 1, 2]],
+            ]
+        )
+        idx, t, _, _ = ray_triangles_intersect(
+            np.array([0.2, 0.2, 0.0]), np.array([0.0, 0, 1]), tris, 0.0, np.inf
+        )
+        assert idx == 1
+        assert t == pytest.approx(2.0)
+
+    def test_tmin_skips_near_hit(self):
+        idx, t, _, _ = ray_triangles_intersect(
+            np.array([0.2, 0.2, -1.0]), np.array([0.0, 0, 1]), TRI, 2.0, np.inf
+        )
+        assert idx == -1
+
+    def test_empty_triangle_set(self):
+        idx, t, _, _ = ray_triangles_intersect(
+            np.zeros(3), np.array([0.0, 0, 1]), np.zeros((0, 3, 3)), 0.0, np.inf
+        )
+        assert idx == -1
+
+    def test_soup_oracle_shapes(self):
+        origins = np.array([[0.25, 0.25, -1.0], [5, 5, -1.0]])
+        dirs = np.tile([0, 0, 1.0], (2, 1))
+        idx, t = rays_triangle_soup_intersect(
+            origins, dirs, TRI, np.zeros(2), np.full(2, np.inf)
+        )
+        assert idx[0] == 0 and idx[1] == -1
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(
+        st.tuples(
+            st.floats(-3, 3), st.floats(-3, 3), st.floats(-3, 3)
+        ),
+        st.tuples(
+            st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)
+        ).filter(lambda d: sum(abs(x) for x in d) > 1e-3),
+    )
+    def test_point_on_segment_inside_box_implies_hit(self, origin, direction):
+        """If the midpoint of the ray segment is in the box, the slab test hits."""
+        origin = np.asarray(origin)
+        direction = np.asarray(direction, dtype=np.float64)
+        direction = direction / np.linalg.norm(direction)
+        mid = origin + 2.0 * direction
+        box = np.concatenate([mid - 0.5, mid + 0.5])[None, :]
+        hit, t = ray_aabb_intersect(origin, inv(direction), box, 0.0, 10.0)
+        assert hit[0]
+        assert t[0] <= 2.0 + 1e-9
+
+    @settings(max_examples=50)
+    @given(st.floats(0.01, 0.98), st.floats(0.01, 0.98))
+    def test_barycentric_interior_hits(self, u, v):
+        if u + v >= 0.99:
+            v = 0.99 - u
+        target = TRI[0][0] * (1 - u - v) + TRI[0][1] * u + TRI[0][2] * v
+        origin = target + np.array([0, 0, -3.0])
+        idx, t, uu, vv = ray_triangles_intersect(
+            origin, np.array([0.0, 0, 1]), TRI, 0.0, np.inf
+        )
+        assert idx == 0
+        assert uu == pytest.approx(u, abs=1e-9)
+        assert vv == pytest.approx(v, abs=1e-9)

@@ -1,0 +1,83 @@
+"""Tests for Ray and RayBatch."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Ray, RayBatch
+
+
+class TestRay:
+    def test_direction_normalized(self):
+        ray = Ray([0, 0, 0], [0, 0, 10])
+        assert np.allclose(ray.direction, [0, 0, 1])
+
+    def test_at(self):
+        ray = Ray([1, 2, 3], [1, 0, 0])
+        assert np.allclose(ray.at(5.0), [6, 2, 3])
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Ray([0, 0, 0], [0, 0, 0])
+
+    def test_negative_tmin_rejected(self):
+        with pytest.raises(ValueError):
+            Ray([0, 0, 0], [1, 0, 0], tmin=-1.0)
+
+    def test_tmax_before_tmin_rejected(self):
+        with pytest.raises(ValueError):
+            Ray([0, 0, 0], [1, 0, 0], tmin=1.0, tmax=0.5)
+
+    def test_inv_direction_finite_axis(self):
+        ray = Ray([0, 0, 0], [2, 0, 0])
+        inv = ray.inv_direction()
+        assert inv[0] == pytest.approx(1.0)
+        assert np.isinf(inv[1]) and np.isinf(inv[2])
+
+    def test_repr_contains_fields(self):
+        assert "origin" in repr(Ray([0, 0, 0], [1, 0, 0]))
+
+
+class TestRayBatch:
+    def test_len_and_defaults(self):
+        batch = RayBatch(np.zeros((4, 3)), np.tile([0, 0, 1.0], (4, 1)))
+        assert len(batch) == 4
+        assert np.all(batch.tmax == np.inf)
+        assert np.all(batch.tmin == 1e-4)
+
+    def test_directions_normalized(self):
+        batch = RayBatch(np.zeros((2, 3)), np.array([[0, 0, 5.0], [3.0, 0, 0]]))
+        assert np.allclose(np.linalg.norm(batch.directions, axis=1), 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RayBatch(np.zeros((2, 3)), np.zeros((3, 3)) + 1)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            RayBatch(np.zeros((2, 3)), np.array([[1.0, 0, 0], [0, 0, 0]]))
+
+    def test_bad_tmin_shape_rejected(self):
+        with pytest.raises(ValueError):
+            RayBatch(np.zeros((2, 3)), np.ones((2, 3)), tmin=np.zeros(3))
+
+    def test_extract_single_ray(self):
+        batch = RayBatch(np.array([[1, 2, 3.0]]), np.array([[0, 1, 0.0]]))
+        ray = batch.ray(0)
+        assert isinstance(ray, Ray)
+        assert np.allclose(ray.origin, [1, 2, 3])
+
+    def test_concatenate(self):
+        a = RayBatch(np.zeros((2, 3)), np.tile([1.0, 0, 0], (2, 1)))
+        b = RayBatch(np.ones((3, 3)), np.tile([0, 1.0, 0], (3, 1)))
+        merged = RayBatch.concatenate([a, b])
+        assert len(merged) == 5
+        assert np.allclose(merged.origins[2:], 1.0)
+
+    def test_concatenate_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            RayBatch.concatenate([])
+
+    def test_inv_directions_safe(self):
+        batch = RayBatch(np.zeros((1, 3)), np.array([[0, 1.0, 0]]))
+        inv = batch.inv_directions()
+        assert np.isinf(inv[0, 0]) and inv[0, 1] == pytest.approx(1.0)

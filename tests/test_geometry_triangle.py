@@ -1,0 +1,103 @@
+"""Tests for TriangleMesh."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import TriangleMesh
+
+from tests.conftest import quad_mesh, random_soup
+
+
+class TestConstruction:
+    def test_counts(self):
+        mesh = quad_mesh()
+        assert mesh.triangle_count == 2
+        assert mesh.vertex_count == 4
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]))
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, -1]]))
+
+    def test_default_material_ids(self):
+        mesh = quad_mesh()
+        assert np.array_equal(mesh.material_ids, [0, 0])
+
+    def test_material_ids_shape_checked(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(
+                np.zeros((3, 3)), np.array([[0, 1, 2]]), material_ids=np.array([0, 1])
+            )
+
+    def test_empty_mesh(self):
+        mesh = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        assert mesh.triangle_count == 0
+        assert mesh.bounds().is_empty()
+
+
+class TestDerivedData:
+    def test_triangle_bounds_contain_vertices(self):
+        mesh = random_soup(50, seed=1)
+        bounds = mesh.triangle_bounds()
+        tri = mesh.triangle_vertices()
+        assert np.all(bounds[:, None, 0:3] <= tri + 1e-12)
+        assert np.all(tri <= bounds[:, None, 3:6] + 1e-12)
+
+    def test_centroids_are_means(self):
+        mesh = quad_mesh(1.0)
+        c = mesh.triangle_centroids()
+        assert np.allclose(c[0], mesh.triangle_vertices()[0].mean(axis=0))
+
+    def test_normals_unit_length(self):
+        mesh = random_soup(30, seed=2)
+        n = mesh.triangle_normals()
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+
+    def test_degenerate_normal_is_zero(self):
+        mesh = TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        assert np.allclose(mesh.triangle_normals(), 0.0)
+
+    def test_quad_surface_area(self):
+        mesh = quad_mesh(1.0)  # 2x2 square
+        assert mesh.surface_area() == pytest.approx(4.0)
+
+    def test_bounds(self):
+        mesh = quad_mesh(2.0, z=1.0)
+        box = mesh.bounds()
+        assert np.allclose(box.lo, [-2, -2, 1])
+        assert np.allclose(box.hi, [2, 2, 1])
+
+
+class TestComposition:
+    def test_transformed_translation(self):
+        mesh = quad_mesh()
+        m = np.eye(4)
+        m[0:3, 3] = [10, 0, 0]
+        moved = mesh.transformed(m)
+        assert np.allclose(moved.vertices[:, 0], mesh.vertices[:, 0] + 10)
+
+    def test_transformed_requires_4x4(self):
+        with pytest.raises(ValueError):
+            quad_mesh().transformed(np.eye(3))
+
+    def test_merge(self):
+        a = quad_mesh()
+        b = quad_mesh(z=5.0)
+        merged = TriangleMesh.merge([a, b])
+        assert merged.triangle_count == 4
+        assert merged.indices.max() == merged.vertex_count - 1
+
+    def test_merge_empty_list(self):
+        merged = TriangleMesh.merge([])
+        assert merged.triangle_count == 0
+
+    def test_merge_skips_empty_meshes(self):
+        empty = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        merged = TriangleMesh.merge([empty, quad_mesh()])
+        assert merged.triangle_count == 2
+
+    def test_repr(self):
+        assert "triangles=2" in repr(quad_mesh())

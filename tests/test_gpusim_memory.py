@@ -1,0 +1,162 @@
+"""Tests for the memory system's routing, latency and accounting rules."""
+
+import pytest
+
+from repro.gpusim import AccessKind, MemorySystem, SimStats
+from repro.gpusim.config import GPUConfig, scaled_config
+from repro.gpusim.memory import make_shared_l2, ray_data_reserve_bytes
+
+
+@pytest.fixture
+def mem():
+    config = scaled_config()
+    stats = SimStats()
+    return MemorySystem(config, stats), config, stats
+
+
+class TestBVHAccess:
+    def test_cold_miss_costs_dram(self, mem):
+        m, config, stats = mem
+        assert m.access(10, AccessKind.BVH, 0.0) == config.dram_latency
+        assert stats.dram_accesses["bvh"] == 1
+
+    def test_l1_hit_after_fill(self, mem):
+        m, config, _ = mem
+        m.access(10, AccessKind.BVH, 0.0)
+        assert m.access(10, AccessKind.BVH, 1.0) == config.l1_latency
+
+    def test_l2_hit_after_l1_eviction(self, mem):
+        m, config, _ = mem
+        m.access(10, AccessKind.BVH, 0.0)
+        # Thrash the L1 (fully associative LRU) without exceeding the L2.
+        for line in range(1000, 1000 + m.l1.capacity_lines):
+            m.access(line, AccessKind.BVH, 0.0)
+        assert not m.l1.contains(10)
+        if m.l2.contains(10):
+            assert m.access(10, AccessKind.BVH, 0.0) == config.l2_latency
+
+    def test_timeline_records_bvh_only(self, mem):
+        m, _, stats = mem
+        m.access(10, AccessKind.BVH, 0.0)
+        m.access(11, AccessKind.QUEUE_TABLE, 0.0)
+        total = sum(stats.l1_bvh_timeline.hits.values()) + sum(
+            stats.l1_bvh_timeline.misses.values()
+        )
+        assert total == 1
+
+    def test_access_lines_takes_max_and_counts_misses(self, mem):
+        m, config, _ = mem
+        m.access(20, AccessKind.BVH, 0.0)  # warm line 20
+        latency, misses = m.access_lines([20, 21], AccessKind.BVH, 1.0)
+        assert latency == config.dram_latency  # line 21 cold dominates
+        assert misses == 1
+
+    def test_access_lines_all_hits(self, mem):
+        m, config, _ = mem
+        m.access(30, AccessKind.BVH, 0.0)
+        latency, misses = m.access_lines([30], AccessKind.BVH, 1.0)
+        assert latency == config.l1_latency
+        assert misses == 0
+
+    def test_l1_miss_hook_fires_on_bvh_miss_only(self, mem):
+        m, _, _ = mem
+        seen = []
+        m.l1_miss_hook = seen.append
+        m.access(40, AccessKind.BVH, 0.0)   # miss -> hook
+        m.access(40, AccessKind.BVH, 0.0)   # hit -> no hook
+        m.access(41, AccessKind.QUEUE_TABLE, 0.0)  # non-BVH -> no hook
+        assert seen == [40]
+
+    def test_ray_data_kind_rejected(self, mem):
+        m, _, _ = mem
+        with pytest.raises(ValueError):
+            m.access(1, AccessKind.RAY_DATA, 0.0)
+
+
+class TestRayData:
+    def test_in_reserve_hits_l2(self, mem):
+        m, config, _ = mem
+        assert m.ray_data_access(0, 0.0) == config.l2_latency
+
+    def test_traffic_counted(self, mem):
+        m, config, stats = mem
+        m.ray_data_access(0, 0.0)
+        assert stats.traffic_bytes["ray_data"] == config.ray_record_bytes
+
+    def test_overflow_goes_to_dram(self):
+        config = scaled_config(cache_divisor=8)  # small L2, big ray budget
+        stats = SimStats()
+        m = MemorySystem(config, stats)
+        capacity = ray_data_reserve_bytes(config) // config.ray_record_bytes
+        assert capacity < config.max_virtual_rays_per_sm
+        assert m.ray_data_access(capacity + 1, 0.0) == config.dram_latency
+
+
+class TestCTAState:
+    def test_streams_to_dram(self, mem):
+        m, config, stats = mem
+        latency = m.access(99, AccessKind.CTA_STATE, 0.0)
+        assert latency == config.dram_latency
+        assert stats.traffic_bytes["dram"] == config.line_bytes
+
+    def test_transfer_cost_scales_with_bytes(self, mem):
+        m, config, _ = mem
+        small = m.cta_state_transfer(64)
+        large = m.cta_state_transfer(6400)
+        assert large > small
+
+    def test_transfer_traffic(self, mem):
+        m, config, stats = mem
+        m.cta_state_transfer(100)
+        lines = (100 + config.line_bytes - 1) // config.line_bytes
+        assert stats.dram_accesses["cta_state"] == lines
+
+
+class TestTreeletFetch:
+    def test_burst_installs_lines(self, mem):
+        m, config, _ = mem
+        lines = list(range(40, 60))
+        m.fetch_treelet(lines, 0.0)
+        assert all(m.l1.contains(line) for line in lines)
+
+    def test_burst_latency_grows_with_lines(self, mem):
+        m, _, _ = mem
+        short = m.fetch_treelet(range(100, 104), 0.0)
+        m.l1.flush()
+        m.l2.flush()
+        long = m.fetch_treelet(range(200, 260), 0.0)
+        assert long > short
+
+    def test_resident_lines_free(self, mem):
+        m, _, _ = mem
+        m.fetch_treelet(range(10, 20), 0.0)
+        assert m.fetch_treelet(range(10, 20), 1.0) == 0.0
+
+    def test_l2_resident_burst_cheaper(self, mem):
+        m, config, _ = mem
+        lines = list(range(300, 310))
+        m.fetch_treelet(lines, 0.0)
+        m.l1.flush()  # still in L2
+        latency = m.fetch_treelet(lines, 1.0)
+        assert latency == config.l2_latency + config.dram_line_transfer * len(lines)
+
+    def test_fetch_counts_stat(self, mem):
+        m, _, stats = mem
+        m.fetch_treelet(range(400, 410), 0.0)
+        assert stats.treelet_fetch_lines == 10
+
+
+class TestSharedL2:
+    def test_two_sms_share_lines(self):
+        config = scaled_config()
+        l2 = make_shared_l2(config)
+        s0, s1 = SimStats(), SimStats()
+        m0 = MemorySystem(config, s0, l2)
+        m1 = MemorySystem(config, s1, l2)
+        m0.access(77, AccessKind.BVH, 0.0)
+        # SM 1's L1 misses but the shared L2 hits.
+        assert m1.access(77, AccessKind.BVH, 0.0) == config.l2_latency
+
+    def test_reserve_capped_at_half(self):
+        config = scaled_config(cache_divisor=8)
+        assert ray_data_reserve_bytes(config) <= config.l2_bytes // 2

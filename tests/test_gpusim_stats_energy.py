@@ -1,0 +1,130 @@
+"""Tests for statistics collection and the energy model."""
+
+import pytest
+
+from repro.gpusim import EnergyModel, SimStats, TraversalMode
+from repro.gpusim.stats import WindowedRate
+
+
+class TestWindowedRate:
+    def test_series_orders_windows(self):
+        w = WindowedRate(window_cycles=100)
+        w.record(250, hit=False)
+        w.record(50, hit=True)
+        series = w.series()
+        assert [s[0] for s in series] == [0, 200]
+
+    def test_miss_rate_values(self):
+        w = WindowedRate(window_cycles=100)
+        w.record(10, True)
+        w.record(20, False)
+        w.record(30, False)
+        assert w.series()[0][1] == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert WindowedRate().series() == []
+
+
+class TestSimStats:
+    def test_miss_rate(self):
+        s = SimStats()
+        s.record_cache("l1", "bvh", True)
+        s.record_cache("l1", "bvh", False)
+        assert s.miss_rate("l1", "bvh") == pytest.approx(0.5)
+
+    def test_miss_rate_no_accesses(self):
+        assert SimStats().miss_rate("l1") == 0.0
+
+    def test_simt_efficiency(self):
+        s = SimStats()
+        s.record_simt(32, 32)
+        s.record_simt(16, 32)
+        assert s.simt_efficiency() == pytest.approx(0.75)
+
+    def test_simt_efficiency_empty(self):
+        assert SimStats().simt_efficiency() == 0.0
+
+    def test_mode_fractions_sum_to_one(self):
+        s = SimStats()
+        s.record_mode(TraversalMode.INITIAL_RAY_STATIONARY, 10, 1)
+        s.record_mode(TraversalMode.TREELET_STATIONARY, 30, 3)
+        s.record_mode(TraversalMode.FINAL_RAY_STATIONARY, 60, 6)
+        assert sum(s.mode_cycle_fractions().values()) == pytest.approx(1.0)
+        assert s.mode_cycle_fractions()[TraversalMode.TREELET_STATIONARY] == pytest.approx(0.3)
+        assert s.mode_test_fractions()[TraversalMode.FINAL_RAY_STATIONARY] == pytest.approx(0.6)
+
+    def test_mode_fractions_empty(self):
+        fracs = SimStats().mode_cycle_fractions()
+        assert all(v == 0.0 for v in fracs.values())
+
+    def test_prefetch_unused_fraction(self):
+        s = SimStats()
+        s.prefetch_lines = 100
+        s.prefetch_unused_lines = 43
+        assert s.prefetch_unused_fraction() == pytest.approx(0.43)
+        assert SimStats().prefetch_unused_fraction() == 0.0
+
+    def test_merge_combines_counts_and_maxes_cycles(self):
+        a, b = SimStats(), SimStats()
+        a.total_cycles = 100
+        b.total_cycles = 250
+        a.record_cache("l1", "bvh", True)
+        b.record_cache("l1", "bvh", False)
+        a.rays_traced = 5
+        b.rays_traced = 7
+        a.merge(b)
+        assert a.total_cycles == 250
+        assert a.cache_accesses[("l1", "bvh")] == 2
+        assert a.rays_traced == 12
+
+    def test_merge_timelines(self):
+        a, b = SimStats(), SimStats()
+        a.l1_bvh_timeline.record(10, True)
+        b.l1_bvh_timeline.record(10, False)
+        a.merge(b)
+        assert a.l1_bvh_timeline.series()[0][1] == pytest.approx(0.5)
+
+
+class TestEnergyModel:
+    def make_stats(self):
+        s = SimStats()
+        for _ in range(100):
+            s.record_cache("l1", "bvh", True)
+        for _ in range(20):
+            s.record_cache("l2", "bvh", False)
+        s.dram_accesses["bvh"] = 20
+        s.dram_accesses["cta_state"] = 5
+        s.triangle_tests = 50
+        s.node_visits = 80
+        s.leaf_visits = 20
+        s.traffic_bytes["ray_data"] = 320
+        return s
+
+    def test_breakdown_positive(self):
+        out = EnergyModel().compute(self.make_stats())
+        assert out.total > 0
+        assert out.l1 > 0 and out.dram > 0
+
+    def test_cta_state_separated_from_dram(self):
+        out = EnergyModel().compute(self.make_stats())
+        assert out.cta_state == pytest.approx(5 * 64.0)
+        assert out.virtualization == out.cta_state
+
+    def test_dram_dominates_sram(self):
+        out = EnergyModel().compute(self.make_stats())
+        assert out.dram > out.l1
+
+    def test_as_dict_total_consistent(self):
+        out = EnergyModel().compute(self.make_stats())
+        d = out.as_dict()
+        assert d["total"] == pytest.approx(
+            sum(v for k, v in d.items() if k != "total")
+        )
+
+    def test_custom_costs(self):
+        model = EnergyModel({**{k: 0.0 for k in EnergyModel().costs}, "l1_access": 2.0})
+        out = model.compute(self.make_stats())
+        assert out.total == pytest.approx(out.l1)
+
+    def test_empty_stats_zero(self):
+        assert EnergyModel().compute(SimStats()).total == 0.0

@@ -1,0 +1,126 @@
+"""Tests for RT-unit activity timelines and chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.core import VTQConfig, VTQRTUnit
+from repro.gpusim import BaselineRTUnit, MemorySystem, SimStats, TraceWarp
+from repro.gpusim.config import scaled_config
+from repro.gpusim.timeline import (
+    ActivityTimeline,
+    Span,
+    merge_timelines,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+from tests.test_core_rt_unit_vtq import make_sim_rays, submit_all
+
+
+class TestSpanBasics:
+    def test_duration(self):
+        assert Span("a", "c", 10.0, 25.0).duration == 15.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Span("a", "c", 10.0, 5.0)
+
+    def test_category_totals(self):
+        t = ActivityTimeline()
+        t.record("a", "x", 0, 10)
+        t.record("b", "x", 10, 15)
+        t.record("c", "y", 15, 16)
+        assert t.total_by_category() == {"x": 15.0, "y": 1.0}
+        assert t.busy_cycles() == 16.0
+
+    def test_merge_orders_by_start(self):
+        a = ActivityTimeline(sm=0)
+        b = ActivityTimeline(sm=1)
+        a.record("late", "x", 100, 110)
+        b.record("early", "x", 5, 7)
+        merged = merge_timelines([a, b])
+        assert [s.name for s in merged] == ["early", "late"]
+
+
+class TestEngineIntegration:
+    def test_vtq_records_phases(self, soup_bvh):
+        config = scaled_config()
+        stats = SimStats()
+        engine = VTQRTUnit(
+            soup_bvh, config, VTQConfig(queue_threshold=8),
+            MemorySystem(config, stats), stats,
+        )
+        engine.timeline = ActivityTimeline()
+        submit_all(engine, make_sim_rays(soup_bvh, 192, seed=81))
+        engine.run(lambda r, c: None)
+        categories = engine.timeline.total_by_category()
+        assert "initial_ray_stationary" in categories
+        assert engine.timeline.busy_cycles() <= engine.cycle + 1e-9
+
+    def test_vtq_spans_cover_mode_cycles(self, soup_bvh):
+        """Span durations agree with the stats' per-mode attribution to
+        within the unattributed scheduling slack."""
+        config = scaled_config()
+        stats = SimStats()
+        engine = VTQRTUnit(
+            soup_bvh, config, VTQConfig(queue_threshold=8),
+            MemorySystem(config, stats), stats,
+        )
+        engine.timeline = ActivityTimeline()
+        submit_all(engine, make_sim_rays(soup_bvh, 128, seed=82))
+        engine.run(lambda r, c: None)
+        from repro.gpusim.stats import TraversalMode
+
+        spans = engine.timeline.total_by_category()
+        modes = stats.mode_cycles
+        total_spans = sum(spans.values())
+        total_modes = sum(modes[m] for m in TraversalMode)
+        assert total_spans >= total_modes - 1e-6
+
+    def test_baseline_records_warps(self, soup_bvh):
+        config = scaled_config()
+        stats = SimStats()
+        engine = BaselineRTUnit(soup_bvh, config, MemorySystem(config, stats), stats)
+        engine.timeline = ActivityTimeline(sm=3)
+        engine.submit(TraceWarp(make_sim_rays(soup_bvh, 16, seed=83), 0))
+        engine.submit(TraceWarp(make_sim_rays(soup_bvh, 16, seed=84), 1))
+        engine.run()
+        assert len(engine.timeline) == 2
+        assert all(s.sm == 3 for s in engine.timeline.spans)
+
+    def test_no_timeline_by_default(self, soup_bvh):
+        config = scaled_config()
+        stats = SimStats()
+        engine = BaselineRTUnit(soup_bvh, config, MemorySystem(config, stats), stats)
+        engine.submit(TraceWarp(make_sim_rays(soup_bvh, 8, seed=85), 0))
+        engine.run()  # must not fail without a timeline
+
+
+class TestChromeExport:
+    def make_spans(self):
+        t = ActivityTimeline(sm=2)
+        t.record("warp", "ray_stationary", 0, 1365, {"rays": 32})
+        t.record("treelet 5", "treelet_stationary", 1365, 2730)
+        return t.spans
+
+    def test_event_fields(self):
+        doc = to_chrome_trace(self.make_spans())
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        first = events[0]
+        assert first["ph"] == "X"
+        assert first["tid"] == 2
+        assert first["dur"] == pytest.approx(1.0)  # 1365 cycles at 1365 MHz
+        assert first["args"] == {"rays": 32}
+
+    def test_cycles_per_us_validated(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(self.make_spans(), cycles_per_us=0)
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self.make_spans(), path)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+        assert doc["otherData"]["source"].startswith("repro")

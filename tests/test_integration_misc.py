@@ -1,0 +1,138 @@
+"""Cross-module integration tests and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.core.config import VTQConfig
+from repro.gpusim.config import ScaledSetup, default_setup, scaled_config
+from repro.scenes import load_scene
+from repro.tracing import render_scene
+
+
+@pytest.fixture(scope="module")
+def wknd():
+    setup = default_setup(fast=True)
+    scene = load_scene("WKND", scale=setup.scene_scale)
+    bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
+    return scene, bvh, setup
+
+
+class TestResolutions:
+    def test_non_square_image(self, wknd):
+        scene, bvh, setup = wknd
+        rect = ScaledSetup(
+            gpu=setup.gpu, image_width=12, image_height=20,
+            scene_scale=setup.scene_scale, max_bounces=2,
+        )
+        result = render_scene(scene, bvh, rect, policy="baseline")
+        assert result.image.shape == (20, 12, 3)
+
+    def test_single_pixel(self, wknd):
+        scene, bvh, setup = wknd
+        tiny = ScaledSetup(
+            gpu=setup.gpu, image_width=1, image_height=1,
+            scene_scale=setup.scene_scale, max_bounces=1,
+        )
+        for policy in ("baseline", "vtq"):
+            result = render_scene(scene, bvh, tiny, policy=policy)
+            assert result.image.shape == (1, 1, 3)
+
+    def test_pixels_not_multiple_of_cta(self, wknd):
+        """A ragged final CTA (fewer threads than cta_threads) must work."""
+        scene, bvh, setup = wknd
+        ragged = ScaledSetup(
+            gpu=setup.gpu, image_width=9, image_height=9,  # 81 pixels, CTA=64
+            scene_scale=setup.scene_scale, max_bounces=2,
+        )
+        a = render_scene(scene, bvh, ragged, policy="baseline")
+        b = render_scene(scene, bvh, ragged, policy="vtq")
+        assert np.array_equal(a.image, b.image)
+
+
+class TestStatsAggregation:
+    def test_cycles_is_max_of_sms(self, wknd):
+        scene, bvh, setup = wknd
+        result = render_scene(scene, bvh, setup, policy="vtq")
+        assert result.cycles == max(result.per_sm_cycles)
+        assert len(result.per_sm_cycles) == setup.gpu.num_sms
+
+    def test_ray_accounting_consistent(self, wknd):
+        """Traced rays >= pixels; node visits >= rays (each ray visits
+        at least the root)."""
+        scene, bvh, setup = wknd
+        result = render_scene(scene, bvh, setup, policy="baseline")
+        assert result.stats.rays_traced >= setup.pixels
+        assert result.stats.node_visits >= result.stats.rays_traced * 0.5
+
+    def test_energy_fields_complete(self, wknd):
+        from repro.gpusim.energy import EnergyModel
+
+        scene, bvh, setup = wknd
+        result = render_scene(scene, bvh, setup, policy="vtq")
+        breakdown = EnergyModel().compute(
+            result.stats, sm_cycles=sum(result.per_sm_cycles)
+        )
+        d = breakdown.as_dict()
+        assert d["static"] > 0
+        assert d["total"] == pytest.approx(sum(v for k, v in d.items() if k != "total"))
+
+
+class TestVTQEdgeConfigs:
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_current_treelets=1),
+        dict(queue_table_entries=1),
+        dict(count_table_entries=1),
+        dict(divergence_threshold=32),
+        dict(repack_threshold=1),
+        dict(repack_threshold=32),
+    ])
+    def test_extreme_configs_render_correctly(self, wknd, kwargs):
+        scene, bvh, setup = wknd
+        reference = render_scene(scene, bvh, setup, policy="baseline")
+        result = render_scene(
+            scene, bvh, setup, policy="vtq", vtq_config=VTQConfig(**kwargs)
+        )
+        assert np.array_equal(result.image, reference.image)
+
+    def test_tiny_virtual_budget(self, wknd):
+        from dataclasses import replace
+
+        scene, bvh, setup = wknd
+        capped = ScaledSetup(
+            gpu=replace(setup.gpu, max_virtual_rays_per_sm=32),
+            image_width=setup.image_width,
+            image_height=setup.image_height,
+            scene_scale=setup.scene_scale,
+            max_bounces=setup.max_bounces,
+        )
+        reference = render_scene(scene, bvh, setup, policy="baseline")
+        result = render_scene(
+            scene, bvh, capped, policy="vtq",
+            vtq_config=VTQConfig().scaled_to(32),
+        )
+        assert np.array_equal(result.image, reference.image)
+
+
+class TestSortedPolicy:
+    def test_sorted_image_identical(self, wknd):
+        scene, bvh, setup = wknd
+        a = render_scene(scene, bvh, setup, policy="baseline")
+        b = render_scene(scene, bvh, setup, policy="sorted")
+        assert np.array_equal(a.image, b.image)
+
+    def test_sort_cost_charged(self, wknd):
+        """A higher per-key sort cost must slow the sorted policy down."""
+        from dataclasses import replace
+
+        scene, bvh, setup = wknd
+        cheap = render_scene(scene, bvh, setup, policy="sorted")
+        pricey_setup = ScaledSetup(
+            gpu=replace(setup.gpu, ray_sort_cycles_per_key=500),
+            image_width=setup.image_width,
+            image_height=setup.image_height,
+            scene_scale=setup.scene_scale,
+            max_bounces=setup.max_bounces,
+        )
+        pricey = render_scene(scene, bvh, pricey_setup, policy="sorted")
+        assert pricey.cycles > cheap.cycles

@@ -1,0 +1,66 @@
+"""Tests for report exporting (CSV / JSON / text files)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.report import export, format_table, to_csv, to_json
+
+SAMPLE = {
+    "title": "Sample figure",
+    "headers": ["scene", "speedup"],
+    "rows": [["BUNNY", "1.5"], ["LANDS", "1.9"]],
+}
+
+
+class TestCSV:
+    def test_roundtrip(self):
+        text = to_csv(SAMPLE)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["scene", "speedup"]
+        assert rows[1] == ["BUNNY", "1.5"]
+        assert len(rows) == 3
+
+    def test_handles_commas_in_cells(self):
+        table = {"headers": ["a"], "rows": [["1,234"]], "title": "t"}
+        rows = list(csv.reader(io.StringIO(to_csv(table))))
+        assert rows[1] == ["1,234"]
+
+
+class TestJSON:
+    def test_roundtrip(self):
+        data = json.loads(to_json(SAMPLE))
+        assert data["title"] == "Sample figure"
+        assert data["rows"][1] == ["LANDS", "1.9"]
+
+    def test_series_included(self):
+        table = dict(SAMPLE, series={"baseline": [0.5, 0.6]})
+        data = json.loads(to_json(table))
+        assert data["series"]["baseline"] == [0.5, 0.6]
+
+    def test_nested_simt_table(self):
+        table = dict(
+            SAMPLE,
+            simt_table={"title": "s", "headers": ["v"], "rows": [["0.8"]]},
+        )
+        data = json.loads(to_json(table))
+        assert data["simt_table"]["rows"] == [["0.8"]]
+
+
+class TestExport:
+    @pytest.mark.parametrize("suffix,checker", [
+        (".csv", lambda t: "scene,speedup" in t),
+        (".json", lambda t: json.loads(t)["title"] == "Sample figure"),
+        (".txt", lambda t: "Sample figure" in t and "|" in t),
+    ])
+    def test_suffix_selects_format(self, tmp_path, suffix, checker):
+        path = tmp_path / f"out{suffix}"
+        export(SAMPLE, path)
+        assert checker(path.read_text())
+
+    def test_text_matches_format_table(self, tmp_path):
+        path = tmp_path / "out.txt"
+        export(SAMPLE, path)
+        assert path.read_text().rstrip("\n") == format_table(SAMPLE)

@@ -1,0 +1,244 @@
+"""Tests for the general tree-query workloads (Section 8 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bvh.traversal import init_traversal, single_step
+from repro.rtquery import MeshClassifier, RangeIndex, time_queries
+from repro.scenes import icosphere
+
+from tests.conftest import random_soup
+
+
+class TestCollectAllHits:
+    def test_all_hits_recorded(self, plane_bvh):
+        """A ray through the tessellated plane crosses exactly once."""
+        state = init_traversal(
+            plane_bvh, [0.3, 0.4, -5.0], [0, 0, 1.0], tmin=0.0,
+            collect_all_hits=True,
+        )
+        while single_step(plane_bvh, state) is not None:
+            pass
+        assert len(state.all_hits) == 1
+
+    def test_tmax_limits_segment(self, plane_bvh):
+        state = init_traversal(
+            plane_bvh, [0.3, 0.4, -5.0], [0, 0, 1.0], tmin=0.0, tmax=1.0,
+            collect_all_hits=True,
+        )
+        while single_step(plane_bvh, state) is not None:
+            pass
+        assert state.all_hits == []
+
+    def test_no_pruning_in_all_mode(self, soup_bvh):
+        """Collect-all must see at least as many hits as closest-hit sees."""
+        from tests.test_bvh_traversal import make_rays
+
+        origins, directions = make_rays(soup_bvh, 16, seed=3)
+        for i in range(16):
+            all_state = init_traversal(
+                soup_bvh, origins[i], directions[i], tmin=1e-4,
+                collect_all_hits=True,
+            )
+            while single_step(soup_bvh, all_state) is not None:
+                pass
+            closest = init_traversal(soup_bvh, origins[i], directions[i])
+            while single_step(soup_bvh, closest) is not None:
+                pass
+            if closest.hit_prim >= 0:
+                prims = {p for p, _ in all_state.all_hits}
+                assert closest.hit_prim in prims
+                # The closest hit is the minimum-t entry of the full set.
+                t_min = min(t for _, t in all_state.all_hits)
+                assert t_min == pytest.approx(closest.t_hit)
+
+
+class TestRangeIndex:
+    def test_matches_oracle(self):
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(0, 1000, 300)
+        index = RangeIndex(keys)
+        for lo, hi in ((100, 200), (0, 1000), (999, 999.5), (-50, 20)):
+            assert index.range_query(lo, hi) == index.oracle_query(lo, hi)
+
+    def test_duplicates_counted(self):
+        index = RangeIndex([5.0, 5.0, 5.0, 9.0])
+        assert index.range_count(4, 6) == 3
+
+    def test_empty_range(self):
+        index = RangeIndex([1.0, 2.0, 3.0])
+        assert index.range_query(10, 20) == []
+
+    def test_boundary_inclusive(self):
+        index = RangeIndex([10.0, 20.0, 30.0])
+        assert index.range_query(10, 30) == [0, 1, 2]
+
+    def test_invalid_range_rejected(self):
+        index = RangeIndex([1.0])
+        with pytest.raises(ValueError):
+            index.range_query(5, 2)
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            RangeIndex([])
+
+    def test_integer_keys(self):
+        index = RangeIndex(range(100))
+        assert index.range_count(10, 19.5) == 10
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=80),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+    def test_property_matches_oracle(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        index = RangeIndex([float(k) for k in keys])
+        assert index.range_query(lo, hi) == index.oracle_query(lo, hi)
+
+
+class TestMeshClassifier:
+    @pytest.fixture(scope="class")
+    def sphere(self):
+        return MeshClassifier(icosphere(3, radius=2.0))
+
+    def test_center_inside(self, sphere):
+        assert sphere.contains([0.0, 0.0, 0.0])
+
+    def test_far_point_outside(self, sphere):
+        assert not sphere.contains([10.0, 0.0, 0.0])
+
+    def test_many_points_against_radius(self, sphere):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(-3, 3, (100, 3))
+        flags = sphere.classify_points(points)
+        radii = np.linalg.norm(points, axis=1)
+        # The icosphere approximates the sphere; stay away from the skin.
+        clear = np.abs(radii - 2.0) > 0.2
+        assert np.array_equal(flags[clear], (radii < 2.0)[clear])
+
+    def test_empty_mesh_rejected(self):
+        from repro.geometry import TriangleMesh
+
+        with pytest.raises(ValueError):
+            MeshClassifier(TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), int)))
+
+
+class TestTimingDriver:
+    @pytest.mark.parametrize("policy", ["baseline", "prefetch", "vtq"])
+    def test_policies_agree_functionally(self, policy):
+        index = RangeIndex(np.linspace(0, 100, 200))
+        queries = [(i * 3.0, i * 3.0 + 20.0) for i in range(32)]
+
+        def factory(i):
+            return index.make_query_state(*queries[i], ray_id=i)
+
+        result = time_queries(index.bvh, factory, len(queries), policy=policy)
+        assert result.cycles > 0
+        for i, state in enumerate(result.states):
+            got = sorted(p for p, _ in state.all_hits)
+            assert got == index.oracle_query(*queries[i])
+
+    def test_vtq_groups_queries(self):
+        """Batched point queries exercise the treelet machinery."""
+        classifier = MeshClassifier(icosphere(3, radius=2.0))
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-2.5, 2.5, (128, 3))
+
+        def factory(i):
+            return classifier.make_query_state(points[i], ray_id=i)
+
+        base = time_queries(classifier.bvh, factory, 128, policy="baseline")
+        vtq = time_queries(classifier.bvh, factory, 128, policy="vtq")
+        flags_base = [MeshClassifier.classify_state(s) for s in base.states]
+        flags_vtq = [MeshClassifier.classify_state(s) for s in vtq.states]
+        assert flags_base == flags_vtq
+        assert vtq.stats.rays_traced == 128
+
+    def test_invalid_inputs(self):
+        index = RangeIndex([1.0])
+        with pytest.raises(ValueError):
+            time_queries(index.bvh, lambda i: None, 0)
+        with pytest.raises(ValueError):
+            time_queries(index.bvh, lambda i: None, 1, policy="bogus")
+
+
+class TestNeighborIndex:
+    from repro.rtquery import NeighborIndex  # noqa: F401 (import check)
+
+    def make_index(self, n=200, radius=0.5, seed=4):
+        from repro.rtquery import NeighborIndex
+
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-5, 5, (n, 3))
+        return NeighborIndex(points, radius), points
+
+    def test_matches_oracle(self):
+        index, points = self.make_index()
+        rng = np.random.default_rng(5)
+        for q in rng.uniform(-5, 5, (40, 3)):
+            assert index.within_radius(q) == index.oracle_within_radius(q)
+
+    def test_query_at_data_point(self):
+        index, points = self.make_index()
+        got = index.within_radius(points[17])
+        assert 17 in got
+        assert got == index.oracle_within_radius(points[17])
+
+    def test_far_query_empty(self):
+        index, _ = self.make_index()
+        assert index.within_radius([100.0, 100.0, 100.0]) == []
+
+    def test_candidates_superset_of_neighbors(self):
+        index, _ = self.make_index(radius=1.0)
+        rng = np.random.default_rng(6)
+        for q in rng.uniform(-5, 5, (20, 3)):
+            state = index.make_query_state(q)
+            from repro.bvh.traversal import single_step
+
+            while single_step(index.bvh, state) is not None:
+                pass
+            candidates = set(index.candidates_from_state(state))
+            assert set(index.oracle_within_radius(q)) <= candidates
+
+    def test_validation(self):
+        from repro.rtquery import NeighborIndex
+
+        with pytest.raises(ValueError):
+            NeighborIndex(np.zeros((0, 3)), 1.0)
+        with pytest.raises(ValueError):
+            NeighborIndex(np.zeros((4, 2)), 1.0)
+        with pytest.raises(ValueError):
+            NeighborIndex(np.zeros((4, 3)), 0.0)
+
+    def test_through_timing_engine(self):
+        """Neighbor queries run through the VTQ engine like any rays."""
+        index, points = self.make_index(n=300, radius=0.8, seed=7)
+        rng = np.random.default_rng(8)
+        queries = rng.uniform(-5, 5, (64, 3))
+
+        def factory(i):
+            return index.make_query_state(queries[i], ray_id=i)
+
+        result = time_queries(index.bvh, factory, len(queries), policy="vtq")
+        assert result.cycles > 0
+        for i, state in enumerate(result.states):
+            got = index.within_radius(queries[i], state=state)
+            assert got == index.oracle_within_radius(queries[i])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(5, 60),
+        st.floats(0.2, 2.0),
+        st.integers(0, 500),
+    )
+    def test_property_matches_oracle(self, n, radius, seed):
+        from repro.rtquery import NeighborIndex
+
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-3, 3, (n, 3))
+        index = NeighborIndex(points, radius)
+        q = rng.uniform(-3, 3, 3)
+        assert index.within_radius(q) == index.oracle_within_radius(q)

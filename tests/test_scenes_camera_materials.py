@@ -1,0 +1,139 @@
+"""Tests for the camera and material/scattering models."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import Camera, Material, MaterialTable, scatter
+from repro.scenes.materials import cosine_hemisphere, reflect
+
+
+class TestCamera:
+    def test_basis_orthonormal(self):
+        cam = Camera((0, -5, 2), (0, 0, 0))
+        r, u, f = cam.basis()
+        for v in (r, u, f):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert abs(np.dot(r, u)) < 1e-12
+        assert abs(np.dot(r, f)) < 1e-12
+
+    def test_ray_count(self):
+        cam = Camera((0, -5, 0), (0, 0, 0))
+        batch = cam.primary_rays(8, 6)
+        assert len(batch) == 48
+
+    def test_center_ray_points_forward(self):
+        cam = Camera((0, -5, 0), (0, 5, 0))
+        # Odd resolution: the middle pixel's center is the optical axis.
+        ray = cam.pixel_ray(1, 1, 3, 3)
+        assert np.allclose(ray.direction, [0, 1, 0], atol=1e-12)
+
+    def test_rays_shared_origin(self):
+        cam = Camera((1, 2, 3), (0, 0, 0))
+        batch = cam.primary_rays(4, 4)
+        assert np.allclose(batch.origins, [1, 2, 3])
+
+    def test_jitter_determinism(self):
+        cam = Camera((0, -5, 0), (0, 0, 0))
+        a = cam.primary_rays(4, 4, jitter_seed=7)
+        b = cam.primary_rays(4, 4, jitter_seed=7)
+        assert np.array_equal(a.directions, b.directions)
+        c = cam.primary_rays(4, 4, jitter_seed=8)
+        assert not np.array_equal(a.directions, c.directions)
+
+    def test_y_flip(self):
+        """Row 0 must be the top of the image (+up direction)."""
+        cam = Camera((0, -5, 0), (0, 0, 0), up=(0, 0, 1))
+        top = cam.pixel_ray(0, 0, 3, 3)
+        bottom = cam.pixel_ray(0, 2, 3, 3)
+        assert top.direction[2] > bottom.direction[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera((0, 0, 0), (0, 0, 0))
+        with pytest.raises(ValueError):
+            Camera((0, 0, 0), (0, 0, 5), up=(0, 0, 1))
+        with pytest.raises(ValueError):
+            Camera((0, -1, 0), (0, 0, 0), fov_degrees=190)
+        cam = Camera((0, -1, 0), (0, 0, 0))
+        with pytest.raises(ValueError):
+            cam.primary_rays(0, 4)
+
+
+class TestMaterial:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Material(mirror=1.5)
+        with pytest.raises(ValueError):
+            Material(albedo=(2.0, 0, 0))
+        with pytest.raises(ValueError):
+            Material(emission=(-1.0, 0, 0))
+
+    def test_is_emissive(self):
+        assert Material(emission=(1, 0, 0)).is_emissive()
+        assert not Material().is_emissive()
+
+    def test_table_add_and_get(self):
+        table = MaterialTable()
+        idx = table.add(Material(name="x"))
+        assert table[idx].name == "x"
+        assert len(table) == 2  # default + added
+
+
+class _FixedRng:
+    """Deterministic stand-in for numpy Generator."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        if size is None:
+            return low + (high - low) * self.values.pop(0)
+        out = np.array([self.values.pop(0) for _ in range(int(np.prod(size)))])
+        return low + (high - low) * out.reshape(size)
+
+
+class TestScatter:
+    def test_reflect(self):
+        out = reflect(np.array([1.0, -1.0, 0.0]), np.array([0.0, 1.0, 0.0]))
+        assert np.allclose(out, [1.0, 1.0, 0.0])
+
+    def test_cosine_hemisphere_in_upper_half(self):
+        rng = np.random.default_rng(1)
+        n = np.array([0.0, 0.0, 1.0])
+        for _ in range(50):
+            d = cosine_hemisphere(n, rng)
+            assert np.dot(d, n) >= -1e-12
+            assert np.linalg.norm(d) == pytest.approx(1.0, abs=1e-9)
+
+    def test_mirror_scatter(self):
+        material = Material(mirror=1.0)
+        direction = np.array([0.0, 0.0, -1.0])
+        normal = np.array([0.0, 0.0, 1.0])
+        out, throughput = scatter(material, direction, normal, _FixedRng([0.0]))
+        assert np.allclose(out, [0, 0, 1.0])
+        assert np.allclose(throughput, 1.0)
+
+    def test_diffuse_scatter_away_from_surface(self):
+        material = Material(albedo=(0.5, 0.5, 0.5))
+        direction = np.array([0.0, 0.0, -1.0])
+        normal = np.array([0.0, 0.0, 1.0])
+        out, throughput = scatter(
+            material, direction, normal, _FixedRng([0.9, 0.3, 0.7])
+        )
+        assert np.dot(out, normal) > 0
+        assert np.allclose(throughput, 0.5)
+
+    def test_normal_flipped_toward_ray(self):
+        """Backfacing normals must still scatter into the ray's hemisphere."""
+        material = Material()
+        direction = np.array([0.0, 0.0, -1.0])
+        normal = np.array([0.0, 0.0, -1.0])  # backfacing
+        out, _ = scatter(material, direction, normal, _FixedRng([0.9, 0.3, 0.7]))
+        assert out[2] > 0
+
+    def test_pure_emitter_ends_path(self):
+        material = Material(albedo=(0, 0, 0), emission=(5, 5, 5))
+        out, throughput = scatter(
+            material, np.array([0.0, 0, -1]), np.array([0.0, 0, 1]), _FixedRng([0.9])
+        )
+        assert out is None

@@ -1,0 +1,163 @@
+"""Tests for the synthetic LumiBench suite."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.scenes import (
+    ALL_SCENES,
+    EXTRA_SCENES,
+    TABLE2_SCENES,
+    load_scene,
+    scene_names,
+    scene_spec,
+)
+
+
+class TestSpecs:
+    def test_fourteen_table2_scenes(self):
+        assert len(TABLE2_SCENES) == 14
+
+    def test_table2_names_match_paper(self):
+        expected = [
+            "BUNNY", "SPNZA", "CHSNT", "REF", "CRNVL", "BATH", "PARTY",
+            "SPRNG", "LANDS", "FRST", "PARK", "FOX", "CAR", "ROBOT",
+        ]
+        assert [s.name for s in TABLE2_SCENES] == expected
+
+    def test_table2_paper_sizes_ascending(self):
+        sizes = [s.paper_bvh_mb for s in TABLE2_SCENES]
+        assert sizes == sorted(sizes)
+
+    def test_extra_scenes_are_smallest(self):
+        """Fig. 5: WKND and SHIP have the smallest BVHs."""
+        smallest_table2 = min(s.paper_bvh_mb for s in TABLE2_SCENES)
+        assert all(s.paper_bvh_mb < smallest_table2 for s in EXTRA_SCENES)
+
+    def test_all_scenes_sorted(self):
+        sizes = [s.paper_bvh_mb for s in ALL_SCENES]
+        assert sizes == sorted(sizes)
+
+    def test_scene_spec_lookup(self):
+        assert scene_spec("LANDS").name == "LANDS"
+        with pytest.raises(KeyError):
+            scene_spec("NOPE")
+
+    def test_scene_names_order(self):
+        names = scene_names()
+        assert names[0] == "BUNNY" and names[-1] == "ROBOT"
+        assert "WKND" in scene_names(include_extra=True)
+
+    def test_target_triangles_monotone_in_size(self):
+        targets = [s.target_triangles(1.0) for s in TABLE2_SCENES]
+        assert targets == sorted(targets)
+
+    def test_target_triangles_scales(self):
+        spec = scene_spec("BUNNY")
+        assert spec.target_triangles(2.0) > spec.target_triangles(1.0)
+
+
+class TestLoadScene:
+    @pytest.mark.parametrize("name", ["BUNNY", "SPNZA", "FRST", "WKND"])
+    def test_deterministic(self, name):
+        a = load_scene(name, scale=0.3)
+        b = load_scene(name, scale=0.3)
+        assert np.array_equal(a.mesh.vertices, b.mesh.vertices)
+        assert a.camera.position == b.camera.position
+
+    def test_budget_hit_closely(self):
+        for name in ("BUNNY", "REF", "BATH"):
+            scene = load_scene(name, scale=0.5)
+            target = scene.spec.target_triangles(0.5)
+            assert abs(scene.mesh.triangle_count - target) / target < 0.1
+
+    def test_indoor_scenes_have_lights(self):
+        scene = load_scene("SPNZA", scale=0.3)
+        emissive = [
+            m for m in range(len(scene.materials))
+            if scene.materials[m].is_emissive()
+        ]
+        assert emissive
+        assert scene.sky_emission == (0, 0, 0)
+
+    def test_outdoor_scenes_have_sky(self):
+        scene = load_scene("LANDS", scale=0.3)
+        assert any(c > 0 for c in scene.sky_emission)
+
+    def test_mirror_scene_has_mirrors(self):
+        scene = load_scene("REF", scale=0.3)
+        assert any(
+            scene.materials[m].mirror > 0.5 for m in range(len(scene.materials))
+        )
+
+    def test_material_ids_in_range(self):
+        for name in ("CRNVL", "ROBOT"):
+            scene = load_scene(name, scale=0.3)
+            assert scene.mesh.material_ids.max() < len(scene.materials)
+
+    def test_summary_fields(self):
+        scene = load_scene("BUNNY", scale=0.3)
+        s = scene.summary()
+        assert s["name"] == "BUNNY"
+        assert s["triangles"] == scene.mesh.triangle_count
+
+
+@pytest.mark.slow
+class TestSuiteOrdering:
+    def test_bvh_sizes_strictly_ascending(self):
+        """The reproduction's Table 2 must preserve the paper's ordering."""
+        prev = 0.0
+        for name in scene_names(include_extra=True):
+            scene = load_scene(name, scale=0.4)
+            bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=2048)
+            assert bvh.size_megabytes() > prev, name
+            prev = bvh.size_megabytes()
+
+
+class TestSceneFamilies:
+    """Per-family character checks at small scale."""
+
+    @pytest.mark.parametrize("name,needs_mirror", [
+        ("REF", True), ("BATH", True), ("CAR", True),
+        ("BUNNY", False), ("FRST", False),
+    ])
+    def test_mirror_materials_where_expected(self, name, needs_mirror):
+        scene = load_scene(name, scale=0.3)
+        has_mirror = any(
+            scene.materials[m].mirror > 0.2 for m in range(len(scene.materials))
+        )
+        assert has_mirror == needs_mirror
+
+    @pytest.mark.parametrize("name", ["SPNZA", "REF", "BATH", "PARTY", "WKND"])
+    def test_indoor_cameras_inside_bounds(self, name):
+        scene = load_scene(name, scale=0.3)
+        assert scene.mesh.bounds().contains_point(
+            np.asarray(scene.camera.position)
+        ), "indoor cameras must sit inside the room"
+
+    @pytest.mark.parametrize("name", ["CHSNT", "FRST", "PARK"])
+    def test_foliage_scenes_use_leaf_material(self, name):
+        scene = load_scene(name, scale=0.3)
+        names = {scene.materials[m].name for m in range(len(scene.materials))}
+        assert "leaf" in names
+
+    def test_mech_scene_spreads_geometry(self):
+        """The regression that made ROBOT degenerate: geometry must spread
+        across the scene volume, not cluster at the center."""
+        scene = load_scene("ROBOT", scale=0.5)
+        centroids = scene.mesh.triangle_centroids()
+        extent = scene.mesh.bounds().extent()
+        spread = centroids.std(axis=0) / np.maximum(extent, 1e-9)
+        assert spread[:2].min() > 0.1
+
+    @pytest.mark.parametrize("name", ["CRNVL", "SHIP", "PARTY"])
+    def test_cloth_scenes_have_many_materials(self, name):
+        scene = load_scene(name, scale=0.3)
+        assert len(scene.materials) >= 3
+
+    def test_every_scene_has_valid_geometry(self):
+        from repro.scenes.validate import validate_mesh
+
+        for name in ("BUNNY", "REF", "LANDS", "ROBOT", "WKND", "SHIP"):
+            report = validate_mesh(load_scene(name, scale=0.3).mesh)
+            assert report.nan_vertices == 0, name

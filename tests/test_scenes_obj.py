@@ -1,0 +1,96 @@
+"""Tests for the OBJ loader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.scenes.obj import dumps_obj, load_obj, loads_obj, save_obj
+
+from tests.conftest import quad_mesh, random_soup
+
+CUBE_FRAGMENT = """
+# a triangle and a quad
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+f 1 2 3
+f 1 2 3 4
+"""
+
+
+class TestLoad:
+    def test_triangle_and_quad_fan(self):
+        mesh, _ = loads_obj(CUBE_FRAGMENT)
+        # 1 triangle + quad fan-triangulated into 2.
+        assert mesh.triangle_count == 3
+        assert mesh.vertex_count == 4
+
+    def test_negative_indices(self):
+        text = "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n"
+        mesh, _ = loads_obj(text)
+        assert mesh.indices.tolist() == [[0, 1, 2]]
+
+    def test_slash_forms_ignored(self):
+        text = "v 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nvt 0 0\nf 1/1/1 2/1/1 3/1/1\n"
+        mesh, _ = loads_obj(text)
+        assert mesh.triangle_count == 1
+
+    def test_usemtl_groups(self):
+        text = (
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nv 1 1 0\n"
+            "usemtl red\nf 1 2 3\nusemtl blue\nf 2 4 3\n"
+        )
+        mesh, materials = loads_obj(text)
+        assert materials == {"red": 0, "blue": 1}
+        assert mesh.material_ids.tolist() == [0, 1]
+
+    def test_comments_and_blank_lines(self):
+        text = "\n# header\nv 0 0 0 # trailing\nv 1 0 0\nv 0 1 0\n\nf 1 2 3\n"
+        mesh, _ = loads_obj(text)
+        assert mesh.triangle_count == 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            loads_obj("v 0 0\nf 1 2 3\n")  # short vertex
+        with pytest.raises(ValueError):
+            loads_obj("v 0 0 0\nf 1 2\n")  # short face
+        with pytest.raises(ValueError):
+            loads_obj("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n")  # out of range
+        with pytest.raises(ValueError):
+            loads_obj("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n")  # zero index
+        with pytest.raises(ValueError):
+            loads_obj("v 0 0 0\nv 1 0 0\nv 0 1 0\nf a b c\n")  # junk
+        with pytest.raises(ValueError):
+            loads_obj("v 0 0 0\n")  # no faces
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        mesh = random_soup(40, seed=71)
+        mesh.material_ids[:] = np.arange(40) % 3
+        text = dumps_obj(mesh, precision=17)
+        back, materials = loads_obj(text)
+        assert back.triangle_count == mesh.triangle_count
+        assert len(materials) == 3
+        # Triangles survive (possibly reordered by material grouping).
+        orig = {tuple(np.round(t.ravel(), 9)) for t in mesh.triangle_vertices()}
+        got = {tuple(np.round(t.ravel(), 9)) for t in back.triangle_vertices()}
+        assert orig == got
+
+    def test_file_roundtrip(self, tmp_path):
+        mesh = quad_mesh()
+        path = tmp_path / "quad.obj"
+        save_obj(mesh, path)
+        back, _ = load_obj(path)
+        assert back.triangle_count == 2
+
+    def test_loaded_mesh_renders(self, tmp_path):
+        """A loaded OBJ goes straight into the BVH pipeline."""
+        from repro.bvh import build_scene_bvh, full_traverse
+
+        save_obj(quad_mesh(2.0), tmp_path / "m.obj")
+        mesh, _ = load_obj(tmp_path / "m.obj")
+        bvh = build_scene_bvh(mesh, treelet_budget_bytes=512)
+        rec = full_traverse(bvh, [0.3, 0.4, -5.0], [0, 0, 1.0])
+        assert rec.hit
+        assert rec.t == pytest.approx(5.0)

@@ -1,0 +1,133 @@
+"""Tests for procedural mesh primitives."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import (
+    blob,
+    box,
+    cloth,
+    column,
+    cylinder,
+    icosphere,
+    scatter_instances,
+    terrain,
+    tree,
+)
+
+
+class TestBox:
+    def test_triangle_count(self):
+        assert box().triangle_count == 12
+
+    def test_bounds(self):
+        b = box(center=(1, 2, 3), size=(2, 4, 6))
+        bounds = b.bounds()
+        assert np.allclose(bounds.lo, [0, 0, 0])
+        assert np.allclose(bounds.hi, [2, 4, 6])
+
+    def test_material_id(self):
+        assert np.all(box(material_id=5).material_ids == 5)
+
+    def test_surface_area(self):
+        assert box(size=(1, 1, 1)).surface_area() == pytest.approx(6.0)
+
+
+class TestIcosphere:
+    def test_face_counts(self):
+        assert icosphere(0).triangle_count == 20
+        assert icosphere(1).triangle_count == 80
+        assert icosphere(2).triangle_count == 320
+
+    def test_vertices_on_sphere(self):
+        mesh = icosphere(2, radius=3.0, center=(1, 0, 0))
+        r = np.linalg.norm(mesh.vertices - np.array([1, 0, 0]), axis=1)
+        assert np.allclose(r, 3.0)
+
+    def test_negative_subdivisions_rejected(self):
+        with pytest.raises(ValueError):
+            icosphere(-1)
+
+    def test_watertight_edges(self):
+        """Every edge of the icosphere is shared by exactly two faces."""
+        mesh = icosphere(1)
+        edges = {}
+        for tri in mesh.indices:
+            for a, b in ((0, 1), (1, 2), (2, 0)):
+                key = tuple(sorted((tri[a], tri[b])))
+                edges[key] = edges.get(key, 0) + 1
+        assert all(v == 2 for v in edges.values())
+
+
+class TestBlob:
+    def test_deterministic(self):
+        a = blob(2, seed=5)
+        b = blob(2, seed=5)
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_seed_changes_shape(self):
+        a = blob(2, seed=5)
+        b = blob(2, seed=6)
+        assert not np.array_equal(a.vertices, b.vertices)
+
+    def test_bumpiness_zero_is_sphere(self):
+        mesh = blob(2, radius=2.0, bumpiness=0.0)
+        r = np.linalg.norm(mesh.vertices, axis=1)
+        assert np.allclose(r, 2.0)
+
+
+class TestCylinder:
+    def test_capped_has_more_triangles(self):
+        assert cylinder(capped=True).triangle_count > cylinder(capped=False).triangle_count
+
+    def test_side_count(self):
+        assert cylinder(segments=8, capped=False).triangle_count == 16
+
+    def test_min_segments(self):
+        with pytest.raises(ValueError):
+            cylinder(segments=2)
+
+    def test_height_bounds(self):
+        mesh = cylinder(radius=1, height=4)
+        bounds = mesh.bounds()
+        assert bounds.lo[2] == pytest.approx(-2)
+        assert bounds.hi[2] == pytest.approx(2)
+
+
+class TestTerrain:
+    def test_triangle_count(self):
+        assert terrain(10).triangle_count == 200
+
+    def test_deterministic(self):
+        assert np.array_equal(terrain(8, seed=3).vertices, terrain(8, seed=3).vertices)
+
+    def test_height_bounded(self):
+        mesh = terrain(12, size=10.0, height=2.0, seed=1)
+        assert np.abs(mesh.vertices[:, 2]).max() <= 2.0 + 1e-9
+
+
+class TestCompound:
+    def test_column_parts(self):
+        assert column().triangle_count > cylinder().triangle_count
+
+    def test_cloth_center(self):
+        mesh = cloth(4, 4, center=(5, 5, 5))
+        assert np.allclose(mesh.bounds().centroid()[:2], [5, 5], atol=1.0)
+
+    def test_tree_has_trunk_and_leaves(self):
+        mesh = tree(leaf_count=10, trunk_material=1, leaf_material=2)
+        assert 1 in mesh.material_ids
+        assert 2 in mesh.material_ids
+        assert mesh.triangle_count == 16 + 10  # 8-seg uncapped trunk + leaves
+
+    def test_scatter_instances_count(self):
+        base = box()
+        scattered = scatter_instances(base, 7, area=20.0, seed=1)
+        assert scattered.triangle_count == 7 * 12
+
+    def test_scatter_ground_fn(self):
+        base = box(size=(0.1, 0.1, 0.1))
+        scattered = scatter_instances(
+            base, 5, area=10.0, seed=2, ground_fn=lambda x, y: 100.0
+        )
+        assert scattered.vertices[:, 2].min() > 90.0

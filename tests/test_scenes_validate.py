@@ -1,0 +1,97 @@
+"""Tests for mesh validation and cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import TriangleMesh
+from repro.scenes.validate import clean_mesh, triangle_areas, validate_mesh
+
+from tests.conftest import quad_mesh, random_soup
+
+
+def with_defects():
+    """A mesh with one good, one degenerate and one NaN triangle."""
+    vertices = np.array(
+        [
+            [0, 0, 0], [1, 0, 0], [0, 1, 0],          # good
+            [2, 2, 2], [2, 2, 2], [2, 2, 2],          # degenerate
+            [np.nan, 0, 0], [1, 1, 1], [2, 0, 0],     # NaN
+            [9, 9, 9],                                # unused vertex
+        ]
+    )
+    indices = np.array([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+    return TriangleMesh(vertices, indices)
+
+
+class TestValidate:
+    def test_clean_mesh_reports_ok(self):
+        report = validate_mesh(quad_mesh())
+        assert report.ok
+        assert report.issues == []
+        assert "OK" in report.summary()
+
+    def test_detects_all_defects(self):
+        report = validate_mesh(with_defects())
+        assert not report.ok
+        assert report.nan_vertices == 1
+        assert report.degenerate_triangles == 2  # zero-area + NaN triangle
+        assert report.unused_vertices == 1
+        assert "degenerate" in report.summary()
+
+    def test_duplicates_detected(self):
+        mesh = quad_mesh()
+        doubled = TriangleMesh(
+            mesh.vertices, np.vstack([mesh.indices, mesh.indices[:1]])
+        )
+        report = validate_mesh(doubled)
+        assert report.duplicate_triangles == 1
+
+    def test_duplicate_detection_order_insensitive(self):
+        mesh = quad_mesh()
+        rotated = mesh.indices[0][[1, 2, 0]]
+        doubled = TriangleMesh(mesh.vertices, np.vstack([mesh.indices, rotated]))
+        assert validate_mesh(doubled).duplicate_triangles == 1
+
+    def test_empty_mesh(self):
+        mesh = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        report = validate_mesh(mesh)
+        assert report.triangle_count == 0
+
+    def test_areas_match_surface(self):
+        mesh = random_soup(20, seed=95)
+        assert triangle_areas(mesh).sum() == pytest.approx(mesh.surface_area())
+
+
+class TestClean:
+    def test_drops_bad_triangles(self):
+        cleaned = clean_mesh(with_defects())
+        assert cleaned.triangle_count == 1
+        assert validate_mesh(cleaned).ok
+        assert validate_mesh(cleaned).unused_vertices == 0
+
+    def test_clean_is_idempotent_on_good_mesh(self):
+        mesh = random_soup(30, seed=96)
+        cleaned = clean_mesh(mesh)
+        assert cleaned.triangle_count == mesh.triangle_count
+        assert np.allclose(
+            sorted(triangle_areas(cleaned)), sorted(triangle_areas(mesh))
+        )
+
+    def test_all_bad_raises(self):
+        vertices = np.zeros((3, 3))
+        mesh = TriangleMesh(vertices, np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            clean_mesh(mesh)
+
+    def test_empty_raises(self):
+        mesh = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            clean_mesh(mesh)
+
+    def test_cleaned_mesh_builds_and_renders(self):
+        from repro.bvh import build_scene_bvh, full_traverse
+
+        cleaned = clean_mesh(with_defects())
+        bvh = build_scene_bvh(cleaned, treelet_budget_bytes=512)
+        rec = full_traverse(bvh, [0.2, 0.2, -5.0], [0, 0, 1.0])
+        assert rec.hit

@@ -1,0 +1,212 @@
+"""Tests for sampling, shading and the end-to-end render drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.gpusim.config import default_setup
+from repro.scenes import load_scene
+from repro.tracing import HashSampler, ShadingEngine, hash_float, render_scene
+from repro.tracing.render import POLICIES
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    return default_setup(fast=True)
+
+
+@pytest.fixture(scope="module")
+def bunny(small_setup):
+    scene = load_scene("BUNNY", scale=small_setup.scene_scale)
+    bvh = build_scene_bvh(
+        scene.mesh, treelet_budget_bytes=small_setup.gpu.treelet_bytes
+    )
+    return scene, bvh
+
+
+class TestHashSampling:
+    def test_deterministic(self):
+        assert hash_float(5, 1, 2) == hash_float(5, 1, 2)
+
+    def test_in_unit_interval(self):
+        values = [hash_float(p, b, d) for p in range(20) for b in range(4) for d in range(4)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_distinct_keys_differ(self):
+        assert hash_float(1, 0, 0) != hash_float(2, 0, 0)
+        assert hash_float(1, 0, 0) != hash_float(1, 1, 0)
+        assert hash_float(1, 0, 0) != hash_float(1, 0, 1)
+
+    def test_roughly_uniform(self):
+        values = np.array([hash_float(p, 0, 0) for p in range(2000)])
+        assert 0.45 < values.mean() < 0.55
+        assert values.min() < 0.05 and values.max() > 0.95
+
+    def test_sampler_consumes_dimensions(self):
+        s = HashSampler(3, 1)
+        a = s.uniform()
+        b = s.uniform()
+        assert a != b
+
+    def test_sampler_fresh_instance_replays(self):
+        a = HashSampler(3, 1).uniform()
+        b = HashSampler(3, 1).uniform()
+        assert a == b
+
+    def test_sampler_vector(self):
+        out = HashSampler(3, 1).uniform(0, 1, 2)
+        assert out.shape == (2,)
+
+
+class TestShadingEngine:
+    def test_miss_collects_sky(self, bunny):
+        scene, bvh = bunny
+        engine = ShadingEngine(scene, bvh)
+        path = engine.make_primary(0, [1000.0, 0, 0], [1.0, 0, 0])
+        state = engine.begin_traversal(path)
+        from repro.bvh.traversal import single_step
+
+        while single_step(bvh, state) is not None:
+            pass
+        assert engine.shade(path, state) is False
+        assert not path.alive
+        assert np.allclose(path.radiance, scene.sky_emission)
+
+    def test_max_bounces_enforced(self, bunny):
+        scene, bvh = bunny
+        engine = ShadingEngine(scene, bvh, max_bounces=0)
+        # A ray straight into the scene hits; with 0 max bounces it must stop.
+        center = scene.mesh.bounds().centroid()
+        path = engine.make_primary(0, center + np.array([0, 0, 50.0]), [0, 0, -1.0])
+        state = engine.begin_traversal(path)
+        from repro.bvh.traversal import single_step
+
+        while single_step(bvh, state) is not None:
+            pass
+        if state.hit_prim >= 0:
+            assert engine.shade(path, state) is False
+
+    def test_trace_path_terminates(self, bunny):
+        scene, bvh = bunny
+        engine = ShadingEngine(scene, bvh, max_bounces=3)
+        rgb = engine.trace_path(0, [0, 0, 30.0], [0, 0, -1.0])
+        assert rgb.shape == (3,)
+        assert np.all(rgb >= 0)
+
+
+class TestRenderScene:
+    def test_unknown_policy_rejected(self, bunny, small_setup):
+        scene, bvh = bunny
+        with pytest.raises(ValueError):
+            render_scene(scene, bvh, small_setup, policy="bogus")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_policies_run_and_produce_image(self, bunny, small_setup, policy):
+        scene, bvh = bunny
+        result = render_scene(scene, bvh, small_setup, policy=policy)
+        assert result.image.shape == (
+            small_setup.image_height, small_setup.image_width, 3
+        )
+        assert result.cycles > 0
+        assert np.all(result.image >= 0)
+        assert result.stats.rays_traced >= small_setup.pixels
+
+    def test_images_identical_across_policies(self, bunny, small_setup):
+        """The central functional cross-check: timing policies must not
+        change what gets rendered."""
+        scene, bvh = bunny
+        images = [
+            render_scene(scene, bvh, small_setup, policy=p).image for p in POLICIES
+        ]
+        for img in images[1:]:
+            assert np.array_equal(img, images[0])
+
+    def test_image_matches_functional_oracle(self, bunny, small_setup):
+        scene, bvh = bunny
+        result = render_scene(scene, bvh, small_setup, policy="baseline")
+        engine = ShadingEngine(scene, bvh, max_bounces=small_setup.max_bounces)
+        prim = scene.camera.primary_rays(
+            small_setup.image_width, small_setup.image_height
+        )
+        for pixel in range(0, small_setup.pixels, 37):
+            expected = engine.trace_path(
+                pixel, prim.origins[pixel], prim.directions[pixel]
+            )
+            y, x = divmod(pixel, small_setup.image_width)
+            assert np.allclose(result.image[y, x], expected)
+
+    def test_render_deterministic(self, bunny, small_setup):
+        scene, bvh = bunny
+        a = render_scene(scene, bvh, small_setup, policy="vtq")
+        b = render_scene(scene, bvh, small_setup, policy="vtq")
+        assert np.array_equal(a.image, b.image)
+        assert a.cycles == b.cycles
+
+    def test_vtq_tracks_cta_saves(self, bunny, small_setup):
+        scene, bvh = bunny
+        result = render_scene(scene, bvh, small_setup, policy="vtq")
+        assert result.stats.cta_saves > 0
+        assert result.stats.cta_restores > 0
+
+    def test_per_sm_cycles_length(self, bunny, small_setup):
+        scene, bvh = bunny
+        result = render_scene(scene, bvh, small_setup, policy="baseline")
+        assert len(result.per_sm_cycles) == small_setup.gpu.num_sms
+        assert result.cycles == max(result.per_sm_cycles)
+
+
+class TestSamplesPerPixel:
+    def test_spp_traces_more_rays(self, bunny, small_setup):
+        from dataclasses import replace
+        from repro.gpusim.config import ScaledSetup
+
+        scene, bvh = bunny
+        multi = ScaledSetup(
+            gpu=small_setup.gpu,
+            image_width=small_setup.image_width,
+            image_height=small_setup.image_height,
+            scene_scale=small_setup.scene_scale,
+            max_bounces=small_setup.max_bounces,
+            samples_per_pixel=3,
+        )
+        one = render_scene(scene, bvh, small_setup, policy="baseline")
+        three = render_scene(scene, bvh, multi, policy="baseline")
+        assert three.stats.rays_traced > 2 * one.stats.rays_traced
+
+    def test_spp_images_identical_across_policies(self, bunny, small_setup):
+        from repro.gpusim.config import ScaledSetup
+
+        scene, bvh = bunny
+        multi = ScaledSetup(
+            gpu=small_setup.gpu,
+            image_width=small_setup.image_width,
+            image_height=small_setup.image_height,
+            scene_scale=small_setup.scene_scale,
+            max_bounces=small_setup.max_bounces,
+            samples_per_pixel=2,
+        )
+        images = [
+            render_scene(scene, bvh, multi, policy=p).image
+            for p in ("baseline", "vtq")
+        ]
+        assert np.allclose(images[0], images[1])
+
+    def test_spp_reduces_variance(self, bunny, small_setup):
+        """Averaged samples must pull pixel values toward the mean."""
+        from repro.gpusim.config import ScaledSetup
+
+        scene, bvh = bunny
+        multi = ScaledSetup(
+            gpu=small_setup.gpu,
+            image_width=small_setup.image_width,
+            image_height=small_setup.image_height,
+            scene_scale=small_setup.scene_scale,
+            max_bounces=small_setup.max_bounces,
+            samples_per_pixel=4,
+        )
+        one = render_scene(scene, bvh, small_setup, policy="baseline").image
+        four = render_scene(scene, bvh, multi, policy="baseline").image
+        # Same scene, so overall brightness is comparable...
+        assert abs(four.mean() - one.mean()) < 0.5 * max(one.mean(), 1e-9)
+        # ...but per-pixel variance drops with averaging.
+        assert four.var() <= one.var() * 1.05

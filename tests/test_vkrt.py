@@ -1,0 +1,204 @@
+"""Tests for the Vulkan-style pipeline API."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_scene_bvh
+from repro.gpusim.config import scaled_config
+from repro.scenes import Camera, icosphere
+from repro.vkrt import HitInfo, LaunchResult, RayTracingPipeline, TraceCall
+
+from tests.conftest import grid_mesh
+
+
+@pytest.fixture(scope="module")
+def sphere_bvh():
+    return build_scene_bvh(icosphere(2, radius=2.0), treelet_budget_bytes=1024)
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return Camera((0, -8, 0), (0, 0, 0))
+
+
+def depth_raygen_factory(camera, width, height):
+    batch = camera.primary_rays(width, height)
+
+    def raygen(launch_id, payload):
+        hit = yield TraceCall(
+            tuple(batch.origins[launch_id]), tuple(batch.directions[launch_id])
+        )
+        payload["depth"] = hit.t if hit.hit else 0.0
+
+    return raygen
+
+
+class TestTraceCall:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            TraceCall((0, 0, 0), (1, 0, 0), mode="bogus")
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TraceCall((0, 0, 0), (1, 0, 0), tmin=5.0, tmax=1.0)
+
+    def test_hit_count(self):
+        assert HitInfo(hit=True).hit_count == 1
+        assert HitInfo(hit=False).hit_count == 0
+        assert HitInfo(hit=True, all_hits=[(1, 0.5), (2, 0.7)]).hit_count == 2
+
+
+class TestLaunch:
+    @pytest.mark.parametrize("policy", ["baseline", "prefetch", "vtq"])
+    def test_depth_render(self, sphere_bvh, camera, policy):
+        width = height = 8
+        pipeline = RayTracingPipeline(depth_raygen_factory(camera, width, height))
+        result = pipeline.launch(sphere_bvh, width, height, policy=policy)
+        assert result.cycles > 0
+        depth = result.image(lambda p: p["depth"])
+        assert depth.shape == (height, width)
+        # The sphere fills the image center; corners miss.
+        assert depth[height // 2, width // 2] > 0
+        assert depth[0, 0] == 0.0
+
+    def test_policies_functionally_identical(self, sphere_bvh, camera):
+        width = height = 8
+        images = []
+        for policy in ("baseline", "vtq"):
+            pipeline = RayTracingPipeline(depth_raygen_factory(camera, width, height))
+            result = pipeline.launch(sphere_bvh, width, height, policy=policy)
+            images.append(result.image(lambda p: p["depth"]))
+        assert np.array_equal(images[0], images[1])
+
+    def test_hit_info_resolution(self, sphere_bvh, camera):
+        seen = {}
+
+        def raygen(launch_id, payload):
+            hit = yield TraceCall((0.0, -8.0, 0.0), (0.0, 1.0, 0.0))
+            seen["hit"] = hit
+
+        RayTracingPipeline(raygen).launch(sphere_bvh, 1, 1)
+        hit = seen["hit"]
+        assert hit.hit
+        assert hit.t == pytest.approx(6.0, abs=0.2)  # sphere radius 2 at origin
+        assert np.linalg.norm(hit.position) == pytest.approx(2.0, abs=0.1)
+        assert np.linalg.norm(hit.normal) == pytest.approx(1.0)
+        assert hit.prim_id >= 0
+
+    def test_multi_bounce_generators(self, sphere_bvh):
+        """Threads may trace repeatedly; bounce counts can differ per thread."""
+        bounces_done = []
+
+        def raygen(launch_id, payload):
+            bounces = launch_id % 3 + 1
+            for b in range(bounces):
+                yield TraceCall((0.0, -8.0, 0.0), (0.0, 1.0, 0.0))
+            bounces_done.append(bounces)
+            payload["bounces"] = bounces
+
+        result = RayTracingPipeline(raygen).launch(sphere_bvh, 6, 1, policy="vtq")
+        assert sorted(bounces_done) == [1, 1, 2, 2, 3, 3]
+        assert [p["bounces"] for p in result.payloads] == [1, 2, 3, 1, 2, 3]
+
+    def test_closest_hit_and_miss_callbacks(self, sphere_bvh):
+        events = []
+
+        def raygen(launch_id, payload):
+            direction = (0.0, 1.0, 0.0) if launch_id == 0 else (0.0, -1.0, 0.0)
+            yield TraceCall((0.0, -8.0, 0.0), direction)
+
+        def closest_hit(launch_id, payload, hit):
+            events.append(("hit", launch_id))
+
+        def miss(launch_id, payload, hit):
+            events.append(("miss", launch_id))
+
+        RayTracingPipeline(raygen, closest_hit=closest_hit, miss=miss).launch(
+            sphere_bvh, 2, 1
+        )
+        assert ("hit", 0) in events
+        assert ("miss", 1) in events
+
+    def test_all_mode_traces(self, sphere_bvh):
+        """mode='all' returns every surface crossing (2 for a sphere).
+
+        The ray is offset from the axis so it crosses triangle interiors —
+        a ray through a shared vertex legitimately reports every incident
+        triangle.
+        """
+        seen = {}
+
+        def raygen(launch_id, payload):
+            hit = yield TraceCall(
+                (0.13, -8.0, 0.07), (0.0, 1.0, 0.0), tmin=0.0, mode="all"
+            )
+            seen["hits"] = hit.all_hits
+
+        RayTracingPipeline(raygen).launch(sphere_bvh, 1, 1)
+        assert len(seen["hits"]) == 2
+
+    def test_thread_with_no_traces(self, sphere_bvh):
+        def raygen(launch_id, payload):
+            payload["x"] = launch_id
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        result = RayTracingPipeline(raygen).launch(sphere_bvh, 4, 1)
+        assert [p["x"] for p in result.payloads] == [0, 1, 2, 3]
+
+    def test_payload_factory(self, sphere_bvh):
+        def raygen(launch_id, payload):
+            payload.append(launch_id)
+            return
+            yield  # pragma: no cover
+
+        pipeline = RayTracingPipeline(raygen, make_payload=lambda i: [])
+        result = pipeline.launch(sphere_bvh, 3, 1)
+        assert result.payloads == [[0], [1], [2]]
+
+    def test_launch_validation(self, sphere_bvh):
+        def raygen(launch_id, payload):
+            return
+            yield  # pragma: no cover
+
+        pipeline = RayTracingPipeline(raygen)
+        with pytest.raises(ValueError):
+            pipeline.launch(sphere_bvh, 0, 4)
+        with pytest.raises(ValueError):
+            pipeline.launch(sphere_bvh, 4, 4, policy="bogus")
+
+    def test_image_assembly(self):
+        result = LaunchResult(
+            payloads=[{"v": i} for i in range(6)],
+            cycles=1.0, per_sm_cycles=[1.0], stats=None, policy="baseline",
+            width=3, height=2,
+        )
+        img = result.image(lambda p: p["v"])
+        assert img.shape == (2, 3)
+        assert img[1, 2] == 5
+
+    def test_shadow_ray_pattern(self, camera):
+        """A two-trace shader: primary plus shadow ray toward a light."""
+        plane = build_scene_bvh(grid_mesh(6, 6), treelet_budget_bytes=1024)
+        light = np.array([0.0, 0.0, 50.0])
+        batch = camera.primary_rays(8, 8)
+
+        def raygen(launch_id, payload):
+            hit = yield TraceCall(
+                tuple(batch.origins[launch_id]), tuple(batch.directions[launch_id])
+            )
+            if not hit.hit:
+                payload["lit"] = False
+                return
+            to_light = light - hit.position
+            shadow = yield TraceCall(
+                tuple(hit.position + 1e-3 * to_light / np.linalg.norm(to_light)),
+                tuple(to_light),
+                tmax=float(np.linalg.norm(to_light)),
+            )
+            payload["lit"] = not shadow.hit
+
+        result = RayTracingPipeline(raygen).launch(plane, 8, 8, policy="vtq")
+        # An open plane under a light directly above: every hit is lit.
+        lit = [p.get("lit") for p in result.payloads if "lit" in p]
+        assert lit and all(v in (True, False) for v in lit)
