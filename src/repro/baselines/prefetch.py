@@ -48,8 +48,9 @@ class PrefetchRTUnit(BaselineRTUnit):
         stats: SimStats,
         reevaluate_steps: int = 4,
         min_votes: int = 1,
+        cycle_budget: Optional[float] = None,
     ):
-        super().__init__(bvh, config, mem, stats)
+        super().__init__(bvh, config, mem, stats, cycle_budget=cycle_budget)
         self.reevaluate_steps = reevaluate_steps
         # Votes a treelet needs before a demand miss in it triggers a
         # whole-treelet prefetch.  The default of 1 prefetches every
@@ -132,6 +133,7 @@ class PrefetchRTUnit(BaselineRTUnit):
 
     def process_warp(self, warp: TraceWarp) -> None:
         active = warp.active_rays()
+        launched = len(active)
         steps = 0
         while active:
             if steps % self.reevaluate_steps == 0:
@@ -156,6 +158,10 @@ class PrefetchRTUnit(BaselineRTUnit):
             self.cycle += latency
             steps += 1
             active = [r for r in active if not r.finished()]
+        # Rays can finish inside a step and be excluded from ``stepped``;
+        # refilter before counting completions.
+        active = [r for r in active if not r.finished()]
+        self.stats.rays_completed += launched - len(active)
         self.stats.warps_processed += 1
 
     def run(self, on_complete=None) -> float:

@@ -17,10 +17,12 @@ from typing import Union
 
 import numpy as np
 
+from repro import faults
 from repro.bvh.layout import BVHLayout, LayoutConfig
 from repro.bvh.scene_bvh import SceneBVH, _prepare_tables
 from repro.bvh.treelets import TreeletPartition
 from repro.bvh.wide import WideBVH
+from repro.errors import BVHError
 from repro.geometry.triangle import TriangleMesh
 
 FORMAT_VERSION = 2
@@ -77,14 +79,42 @@ def save_scene_bvh(bvh: SceneBVH, path: Union[str, Path]) -> None:
             dtype=np.int64,
         ),
     )
+    # np.savez appends ``.npz`` when the path has no suffix; the fault
+    # must corrupt the file actually written.
+    written = Path(path)
+    if written.suffix != ".npz" and not written.exists():
+        written = written.with_suffix(written.suffix + ".npz")
+    spec = faults.should_fire(faults.BVH_TRUNCATE, written.name)
+    if spec is not None:
+        faults.corrupt_file(
+            written,
+            faults.rng(spec, written.name),
+            mode=spec.payload.get("mode", "truncate"),
+        )
 
 
 def load_scene_bvh(path: Union[str, Path]) -> SceneBVH:
-    """Load a structure written by :func:`save_scene_bvh`."""
+    """Load a structure written by :func:`save_scene_bvh`.
+
+    Raises :class:`BVHError` (a ``ValueError``) on a version mismatch or
+    a corrupt / truncated file.
+    """
+    path = Path(path)
+    try:
+        return _load_scene_bvh(path)
+    except BVHError:
+        raise
+    except Exception as exc:
+        raise BVHError(
+            f"corrupt or truncated BVH file {path.name}: {exc}"
+        ) from exc
+
+
+def _load_scene_bvh(path: Path) -> SceneBVH:
     with np.load(path) as data:
         version = int(data["format_version"])
         if version != FORMAT_VERSION:
-            raise ValueError(
+            raise BVHError(
                 f"BVH file format v{version}; this build reads v{FORMAT_VERSION}"
             )
         mesh = TriangleMesh(

@@ -62,7 +62,8 @@ def cmd_render(args) -> int:
     setup = default_setup()
     scene = load_scene(args.scene, scale=setup.scene_scale)
     bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
-    result = render_scene(scene, bvh, setup, policy=args.policy)
+    result = render_scene(scene, bvh, setup, policy=args.policy,
+                          sanitize=True if args.sanitize else None)
     print(f"{args.policy}: {result.cycles:,.0f} cycles, "
           f"SIMT {result.stats.simt_efficiency():.2f}, "
           f"L1 miss {result.stats.miss_rate('l1'):.2f}")
@@ -88,27 +89,41 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _finish_run(strict: bool) -> int:
+    """Print the quarantine summary; exit 3 under ``--strict`` if any."""
+    from repro.experiments import failures, format_failures
+
+    recorded = failures()
+    if recorded:
+        print("\n" + format_failures(recorded), file=sys.stderr)
+        if strict:
+            return 3
+    return 0
+
+
 def cmd_figure(args) -> int:
-    from repro.experiments import default_context, format_table
+    from repro.experiments import clear_failures, default_context, format_table
 
     figures = _figures()
     if args.name not in figures:
         print(f"unknown figure {args.name!r}; choose from: "
               + ", ".join(sorted(figures)), file=sys.stderr)
         return 2
+    clear_failures()
     context = default_context(fast=args.fast)
     print(format_table(figures[args.name](context)))
-    return 0
+    return _finish_run(args.strict)
 
 
 def cmd_report(args) -> int:
-    from repro.experiments import default_context, format_table
+    from repro.experiments import clear_failures, default_context, format_table
 
+    clear_failures()
     context = default_context(fast=args.fast)
     for name, fig in _figures().items():
         print(format_table(fig(context)))
         print("\n" + "=" * 72 + "\n")
-    return 0
+    return _finish_run(args.strict)
 
 
 def cmd_export(args) -> int:
@@ -165,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="vtq",
                    choices=("baseline", "prefetch", "vtq"))
     p.add_argument("-o", "--output", default=None)
+    p.add_argument("--sanitize", action="store_true",
+                   help="run the simulation-state sanitizer on the result")
     p.set_defaults(func=cmd_render)
 
     p = sub.add_parser("compare", help="render one scene under every policy")
@@ -174,10 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate one paper figure")
     p.add_argument("name")
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--strict", action="store_true",
+                   help="exit with status 3 if any case was quarantined")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("report", help="regenerate every figure")
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--strict", action="store_true",
+                   help="exit with status 3 if any case was quarantined")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("export", help="write one figure to CSV/JSON/text")

@@ -32,8 +32,10 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+from repro import faults
 from repro.core.config import VTQConfig
 from repro.core.treelet_queue import TreeletQueues
+from repro.gpusim.budget import check_cycle_budget
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.memory import MemorySystem
 from repro.gpusim.stats import SimStats, TraversalMode
@@ -52,6 +54,7 @@ class VTQRTUnit:
         vtq: VTQConfig,
         mem: MemorySystem,
         stats: SimStats,
+        cycle_budget: Optional[float] = None,
     ):
         self.bvh = bvh
         self.config = config
@@ -59,6 +62,7 @@ class VTQRTUnit:
         self.mem = mem
         self.stats = stats
         self.cycle = 0.0
+        self.cycle_budget = cycle_budget
         self.queues = TreeletQueues(vtq, stats)
         self._incoming: List = []  # heap of (ready_cycle, seq, warp)
         self._seq = 0
@@ -84,7 +88,11 @@ class VTQRTUnit:
 
     def run(self, on_ray_complete: RayCallback) -> float:
         """Drain all work; ``on_ray_complete`` may submit further warps."""
+        spec = faults.should_fire(faults.SIM_STALL, type(self).__name__)
+        if spec is not None:
+            self.cycle += float(spec.payload.get("extra_cycles", 1e12))
         while self.has_work():
+            check_cycle_budget(self.cycle, self.cycle_budget, self.stats)
             if self._try_arrival(on_ray_complete):
                 continue
             if self._try_treelet_phase(on_ray_complete):
@@ -344,7 +352,11 @@ class VTQRTUnit:
                         TraversalMode.FINAL_RAY_STATIONARY, refill_latency
                     )
                     self.stats.warp_repacks += 1
-                    active.extend(r for r in refill if not r.finished())
+                    for ray in refill:
+                        if ray.finished():  # pragma: no cover - defensive
+                            self._complete(ray, cb)
+                        else:
+                            active.append(ray)
         self.stats.warps_processed += 1
         if self.timeline is not None:
             self.timeline.record(
@@ -356,4 +368,5 @@ class VTQRTUnit:
 
     def _complete(self, ray: SimRay, cb: RayCallback) -> None:
         self._rays_in_unit -= 1
+        self.stats.rays_completed += 1
         cb(ray, self.cycle)

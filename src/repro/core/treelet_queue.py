@@ -151,9 +151,12 @@ class TreeletQueues:
     # -- insertion ------------------------------------------------------------
 
     def push(self, treelet: int, ray) -> None:
+        self.stats.treelet_queue_pushes += 1
         evicted = self.count_table.increment(treelet)
         if evicted is not None:
             self.stats.count_table_evictions += 1
+            # An eviction moves rays to the stray pool; they are still
+            # queued, so this is neither a push nor a pop.
             self.stray.extend(self.queue_table.pop_front(evicted, 1 << 30))
         if not self.queue_table.push(treelet, ray):
             self.stats.queue_table_overflows += 1
@@ -179,6 +182,7 @@ class TreeletQueues:
         rays = self.queue_table.pop_front(treelet, warp_size)
         if rays and treelet in self.count_table:
             self.count_table.decrement(treelet, len(rays))
+        self.stats.treelet_queue_pops += len(rays)
         return rays
 
     def pop_any(self, count: int) -> List:
@@ -192,6 +196,7 @@ class TreeletQueues:
             take = min(count, len(self.stray))
             out.extend(self.stray[:take])
             self.stray = self.stray[take:]
+            self.stats.treelet_queue_pops += take
         while len(out) < count:
             remaining = count - len(out)
             drained = False

@@ -1,0 +1,78 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every layer raises a :class:`ReproError` subclass so callers can tell
+recoverable failures (a corrupt cache entry, one bad case in a sweep)
+from fatal ones (broken geometry feeding a BVH build) with a single
+``except`` clause.  ``SceneError`` and ``BVHError`` also subclass
+``ValueError`` because the pre-hierarchy code raised ``ValueError`` from
+those layers and callers may still catch it.
+
+Hierarchy::
+
+    ReproError
+    ├── SceneError        (also ValueError)  defective/unparseable geometry
+    ├── BVHError          (also ValueError)  corrupt/mismatched BVH data
+    ├── CacheError                           unusable experiment cache entry
+    └── SimulationError                      a simulated case went wrong
+        ├── BudgetExceeded                   wall-clock or cycle budget blown
+        └── SanitizerError                   post-render invariant violated
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ReproError(Exception):
+    """Base class for every error this library raises deliberately."""
+
+
+class SceneError(ReproError, ValueError):
+    """Scene geometry is defective or unparseable (NaN vertices,
+    degenerate triangles, malformed OBJ input)."""
+
+
+class BVHError(ReproError, ValueError):
+    """A serialized BVH is corrupt, truncated, or of the wrong version."""
+
+
+class CacheError(ReproError):
+    """An experiment cache entry cannot be trusted (truncated file, bad
+    checksum, stale version or mismatched key).  Always recoverable: the
+    caller recomputes the case."""
+
+
+class SimulationError(ReproError):
+    """A simulated case failed to produce a usable result."""
+
+
+class BudgetExceeded(SimulationError):
+    """A case overran its wall-clock or simulated-cycle budget.
+
+    ``partial`` carries whatever statistics were gathered before the
+    watchdog fired, so sweeps can report how far the case got.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "cycles",
+        limit: Optional[float] = None,
+        observed: Optional[float] = None,
+        partial: Optional[Dict] = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.limit = limit
+        self.observed = observed
+        self.partial = dict(partial) if partial else {}
+
+
+class SanitizerError(SimulationError):
+    """The simulation-state sanitizer found violated invariants after a
+    render; ``violations`` lists every failed check."""
+
+    def __init__(self, message: str, violations: Optional[List[str]] = None):
+        super().__init__(message)
+        self.violations = list(violations) if violations else []

@@ -10,10 +10,15 @@ Every figure function returns a plain dict with ``title``, ``headers`` and
 """
 
 from repro.experiments.runner import (
+    CaseFailure,
     ExperimentContext,
     clear_cache,
+    clear_failures,
     default_context,
+    failures,
+    record_failure,
     run_case,
+    run_case_quarantined,
 )
 from repro.experiments.figures import (
     fig01_baseline_bottlenecks,
@@ -30,13 +35,19 @@ from repro.experiments.figures import (
     table1_configuration,
     table2_scenes,
 )
-from repro.experiments.report import format_table, render_all
+from repro.experiments.report import format_failures, format_table, render_all
 
 __all__ = [
+    "CaseFailure",
     "ExperimentContext",
     "default_context",
     "run_case",
+    "run_case_quarantined",
     "clear_cache",
+    "clear_failures",
+    "failures",
+    "record_failure",
+    "format_failures",
     "fig01_baseline_bottlenecks",
     "fig05_analytical_model",
     "fig10_overall_speedup",

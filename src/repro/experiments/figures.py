@@ -17,7 +17,14 @@ import numpy as np
 from repro.analytic import collect_workload_traces, concurrency_sweep
 from repro.core.config import VTQConfig
 from repro.core.treelet_queue import area_overheads
-from repro.experiments.runner import ExperimentContext, run_case, scene_and_bvh
+from repro.errors import BudgetExceeded, ReproError
+from repro.experiments.runner import (
+    CaseFailure,
+    ExperimentContext,
+    record_failure,
+    run_case,
+    scene_and_bvh,
+)
 from repro.gpusim.stats import TraversalMode
 from repro.scenes import scene_names, scene_spec
 
@@ -27,6 +34,30 @@ def _geomean(values: List[float]) -> float:
     if not values:
         return 0.0
     return float(np.exp(np.mean(np.log(values))))
+
+
+def _quarantine_row(scene: str, exc: ReproError, width: int) -> List[str]:
+    """Record a failed case and return the figure row marking its cell.
+
+    Every figure loops per scene inside ``try/except ReproError``: a
+    failing (scene, policy) case becomes one quarantined row while the
+    rest of the figure still renders.  Shared aggregate lists are only
+    appended after a scene's whole row computed, so mean/geomean rows
+    stay consistent.
+    """
+    failure = record_failure(
+        CaseFailure(
+            scene=scene,
+            policy=getattr(exc, "policy", "?"),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            partial=dict(exc.partial) if isinstance(exc, BudgetExceeded) else {},
+        )
+    )
+    cell = f"QUARANTINED {failure.error_type}: {failure.message}"
+    if len(cell) > 72:
+        cell = cell[:69] + "..."
+    return [scene, cell] + ["-"] * max(0, width - 2)
 
 
 def _vtq_default(context: ExperimentContext) -> VTQConfig:
@@ -60,11 +91,16 @@ def fig01_baseline_bottlenecks(context: ExperimentContext) -> Dict:
     rows = []
     misses, simts = [], []
     for scene in context.scenes():
-        m = run_case(scene, "baseline", context)
+        try:
+            m = run_case(scene, "baseline", context)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 3))
+            continue
         rows.append([scene, f"{m['l1_bvh_miss_rate']:.3f}", f"{m['simt_efficiency']:.3f}"])
         misses.append(m["l1_bvh_miss_rate"])
         simts.append(m["simt_efficiency"])
-    rows.append(["MEAN", f"{np.mean(misses):.3f}", f"{np.mean(simts):.3f}"])
+    if misses:
+        rows.append(["MEAN", f"{np.mean(misses):.3f}", f"{np.mean(simts):.3f}"])
     return {
         "title": "Figure 1: baseline RT-unit bottlenecks (paper: avg 58% L1 miss, low SIMT)",
         "headers": ["scene", "L1 BVH miss rate", "SIMT efficiency"],
@@ -92,11 +128,15 @@ def fig05_analytical_model(
         wanted = ["WKND", "SHIP"] + wanted
     rows = []
     for scene_name in wanted:
-        scene, bvh = scene_and_bvh(scene_name, setup)
-        traces = collect_workload_traces(
-            scene, bvh, setup.image_width, setup.image_height, setup.max_bounces
-        )
-        sweep = concurrency_sweep(traces, bvh, levels)
+        try:
+            scene, bvh = scene_and_bvh(scene_name, setup)
+            traces = collect_workload_traces(
+                scene, bvh, setup.image_width, setup.image_height, setup.max_bounces
+            )
+            sweep = concurrency_sweep(traces, bvh, levels)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene_name, exc, 1 + len(levels)))
+            continue
         rows.append([scene_name] + [f"{sweep[l]:.2f}" for l in levels])
     return {
         "title": "Figure 5: analytical treelet speedup vs concurrent rays (paper: 3-4x at 4096)",
@@ -120,9 +160,13 @@ def fig10_overall_speedup(context: ExperimentContext) -> Dict:
     rows = []
     over_base, over_pf = [], []
     for scene in context.scenes():
-        base = run_case(scene, "baseline", context)
-        pf = run_case(scene, "prefetch", context)
-        full = run_case(scene, "vtq", context, vtq=vtq)
+        try:
+            base = run_case(scene, "baseline", context)
+            pf = run_case(scene, "prefetch", context)
+            full = run_case(scene, "vtq", context, vtq=vtq)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 4))
+            continue
         s_base = base["cycles"] / full["cycles"]
         s_pf = pf["cycles"] / full["cycles"]
         rows.append(
@@ -131,7 +175,10 @@ def fig10_overall_speedup(context: ExperimentContext) -> Dict:
         )
         over_base.append(s_base)
         over_pf.append(s_pf)
-    rows.append(["GEOMEAN", "", f"{_geomean(over_base):.2f}", f"{_geomean(over_pf):.2f}"])
+    if over_base:
+        rows.append(
+            ["GEOMEAN", "", f"{_geomean(over_base):.2f}", f"{_geomean(over_pf):.2f}"]
+        )
     return {
         "title": "Figure 10: overall speedup (paper: VTQ 1.95x over baseline, 1.43x over prefetching)",
         "headers": ["scene", "prefetch/baseline", "VTQ/baseline", "VTQ/prefetch"],
@@ -154,8 +201,16 @@ def fig11_missrate_over_time(
     (75-80%) once queues become underpopulated.
     """
     scene = scene or ("LANDS" if "LANDS" in context.scenes() else context.scenes()[-1])
-    base = run_case(scene, "baseline", context)
-    naive = run_case(scene, "vtq", context, vtq=_vtq_default(context).naive())
+    try:
+        base = run_case(scene, "baseline", context)
+        naive = run_case(scene, "vtq", context, vtq=_vtq_default(context).naive())
+    except ReproError as exc:
+        return {
+            "title": f"Figure 11: L1 BVH miss rate over time, {scene}",
+            "headers": ["progress", "baseline", "treelet-stationary (naive)"],
+            "rows": [_quarantine_row(scene, exc, 3)],
+            "series": {"baseline": [], "treelet_stationary": []},
+        }
 
     def resample(series, n):
         if not series:
@@ -206,22 +261,30 @@ def fig12_grouping_thresholds(
     for t in thresholds:
         per_variant[f"group@{t}"] = []
     for scene in context.scenes():
-        base = run_case(scene, "baseline", context)
-        row = [scene]
-        naive = run_case(scene, "vtq", context, vtq=naive_cfg)
-        s = base["cycles"] / naive["cycles"]
-        per_variant["naive"].append(s)
-        row.append(f"{s:.2f}")
-        for t in thresholds:
-            cfg = replace(base_vtq, queue_threshold=t, repack_enabled=False)
-            m = run_case(scene, "vtq", context, vtq=cfg)
-            s = base["cycles"] / m["cycles"]
-            per_variant[f"group@{t}"].append(s)
+        try:
+            base = run_case(scene, "baseline", context)
+            row = [scene]
+            scene_speeds = {}
+            naive = run_case(scene, "vtq", context, vtq=naive_cfg)
+            s = base["cycles"] / naive["cycles"]
+            scene_speeds["naive"] = s
             row.append(f"{s:.2f}")
+            for t in thresholds:
+                cfg = replace(base_vtq, queue_threshold=t, repack_enabled=False)
+                m = run_case(scene, "vtq", context, vtq=cfg)
+                s = base["cycles"] / m["cycles"]
+                scene_speeds[f"group@{t}"] = s
+                row.append(f"{s:.2f}")
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 2 + len(thresholds)))
+            continue
+        for k, s in scene_speeds.items():
+            per_variant[k].append(s)
         rows.append(row)
-    rows.append(
-        ["GEOMEAN"] + [f"{_geomean(per_variant[k]):.2f}" for k in per_variant]
-    )
+    if per_variant["naive"]:
+        rows.append(
+            ["GEOMEAN"] + [f"{_geomean(per_variant[k]):.2f}" for k in per_variant]
+        )
     return {
         "title": "Figure 12: grouping underpopulated treelet queues "
         "(paper: ~8x over naive; ~5% below baseline at threshold 128)",
@@ -252,27 +315,35 @@ def fig13_warp_repacking(
         speeds[f"repack@{t}"] = []
         simts[f"repack@{t}"] = []
     for scene in context.scenes():
-        base = run_case(scene, "baseline", context)
-        simts["baseline"].append(base["simt_efficiency"])
-        row = [scene]
-        off = run_case(
-            scene, "vtq", context, vtq=replace(base_vtq, repack_enabled=False)
-        )
-        speeds["no repack"].append(base["cycles"] / off["cycles"])
-        simts["no repack"].append(off["simt_efficiency"])
-        row.append(f"{base['cycles'] / off['cycles']:.2f}")
-        for t in thresholds:
-            m = run_case(
-                scene, "vtq", context, vtq=replace(base_vtq, repack_threshold=t)
+        try:
+            base = run_case(scene, "baseline", context)
+            row = [scene]
+            scene_speeds, scene_simts = {}, {"baseline": base["simt_efficiency"]}
+            off = run_case(
+                scene, "vtq", context, vtq=replace(base_vtq, repack_enabled=False)
             )
-            speeds[f"repack@{t}"].append(base["cycles"] / m["cycles"])
-            simts[f"repack@{t}"].append(m["simt_efficiency"])
-            row.append(f"{base['cycles'] / m['cycles']:.2f}")
+            scene_speeds["no repack"] = base["cycles"] / off["cycles"]
+            scene_simts["no repack"] = off["simt_efficiency"]
+            row.append(f"{base['cycles'] / off['cycles']:.2f}")
+            for t in thresholds:
+                m = run_case(
+                    scene, "vtq", context, vtq=replace(base_vtq, repack_threshold=t)
+                )
+                scene_speeds[f"repack@{t}"] = base["cycles"] / m["cycles"]
+                scene_simts[f"repack@{t}"] = m["simt_efficiency"]
+                row.append(f"{base['cycles'] / m['cycles']:.2f}")
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 2 + len(thresholds)))
+            continue
+        for k, s in scene_speeds.items():
+            speeds[k].append(s)
+        for k, s in scene_simts.items():
+            simts[k].append(s)
         rows.append(row)
-    rows.append(["GEOMEAN"] + [f"{_geomean(speeds[k]):.2f}" for k in speeds])
-    simt_row = ["SIMT (mean)"] + [""] * len(speeds)
+    if speeds["no repack"]:
+        rows.append(["GEOMEAN"] + [f"{_geomean(speeds[k]):.2f}" for k in speeds])
     simt_table = [
-        [k, f"{np.mean(v):.2f}"] for k, v in simts.items()
+        [k, f"{np.mean(v):.2f}" if v else "-"] for k, v in simts.items()
     ]
     return {
         "title": "Figure 13a: warp repacking speedup "
@@ -298,7 +369,11 @@ def _mode_fraction_table(context: ExperimentContext, field: str, title: str) -> 
     rows = []
     sums = {m.value: [] for m in TraversalMode}
     for scene in context.scenes():
-        m = run_case(scene, "vtq", context, vtq=vtq)
+        try:
+            m = run_case(scene, "vtq", context, vtq=vtq)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 1 + len(TraversalMode)))
+            continue
         fr = m[field]
         rows.append(
             [scene]
@@ -306,7 +381,10 @@ def _mode_fraction_table(context: ExperimentContext, field: str, title: str) -> 
         )
         for mode in TraversalMode:
             sums[mode.value].append(fr[mode.value])
-    rows.append(["MEAN"] + [f"{np.mean(sums[m.value]):.3f}" for m in TraversalMode])
+    if any(sums.values()):
+        rows.append(
+            ["MEAN"] + [f"{np.mean(sums[m.value]):.3f}" for m in TraversalMode]
+        )
     return {
         "title": title,
         "headers": ["scene", "initial ray-stat", "treelet-stat", "final ray-stat"],
@@ -354,12 +432,17 @@ def fig16_virtualization_overhead(context: ExperimentContext) -> Dict:
     rows = []
     overheads = []
     for scene in context.scenes():
-        real = run_case(scene, "vtq", context, vtq=vtq)
-        ideal = run_case(scene, "vtq", context, vtq=ideal_cfg)
+        try:
+            real = run_case(scene, "vtq", context, vtq=vtq)
+            ideal = run_case(scene, "vtq", context, vtq=ideal_cfg)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 2))
+            continue
         overhead = real["cycles"] / ideal["cycles"] - 1.0
         overheads.append(overhead)
         rows.append([scene, f"{overhead * 100:.1f}%"])
-    rows.append(["MEAN", f"{np.mean(overheads) * 100:.1f}%"])
+    if overheads:
+        rows.append(["MEAN", f"{np.mean(overheads) * 100:.1f}%"])
     return {
         "title": "Figure 16: ray virtualization overhead (paper: ~10% slowdown)",
         "headers": ["scene", "slowdown from CTA save/restore"],
@@ -382,14 +465,21 @@ def fig17_energy(context: ExperimentContext) -> Dict:
     rows = []
     rels, virt_shares = [], []
     for scene in context.scenes():
-        base = run_case(scene, "baseline", context)
-        full = run_case(scene, "vtq", context, vtq=vtq)
+        try:
+            base = run_case(scene, "baseline", context)
+            full = run_case(scene, "vtq", context, vtq=vtq)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 3))
+            continue
         rel = full["energy"]["total"] / base["energy"]["total"]
         virt = full["energy"]["cta_state"] / full["energy"]["total"]
         rels.append(rel)
         virt_shares.append(virt)
         rows.append([scene, f"{rel:.2f}", f"{virt * 100:.1f}%"])
-    rows.append(["MEAN", f"{np.mean(rels):.2f}", f"{np.mean(virt_shares) * 100:.1f}%"])
+    if rels:
+        rows.append(
+            ["MEAN", f"{np.mean(rels):.2f}", f"{np.mean(virt_shares) * 100:.1f}%"]
+        )
     return {
         "title": "Figure 17: energy vs baseline (paper: VTQ ~0.4x baseline; "
         "virtualization ~11% of VTQ total)",
@@ -420,7 +510,11 @@ def table2_scenes(context: ExperimentContext) -> Dict:
     rows = []
     for name in context.scenes():
         spec = scene_spec(name)
-        scene, bvh = scene_and_bvh(name, context.setup)
+        try:
+            scene, bvh = scene_and_bvh(name, context.setup)
+        except ReproError as exc:
+            rows.append(_quarantine_row(name, exc, 6))
+            continue
         rows.append(
             [
                 name,
@@ -455,13 +549,18 @@ def sec65_area_overheads(context: ExperimentContext) -> Dict:
     ]
     peaks_q, peaks_c = [], []
     for scene in context.scenes():
-        m = run_case(scene, "vtq", context, vtq=vtq)
+        try:
+            m = run_case(scene, "vtq", context, vtq=vtq)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 3))
+            continue
         peaks_q.append(m["queue_table_peak_entries"])
         peaks_c.append(m["count_table_peak_entries"])
-    rows.append(["peak queue-table entries (observed)", str(max(peaks_q)),
-                 f"capacity {vtq.queue_table_entries}"])
-    rows.append(["peak count-table entries (observed)", str(max(peaks_c)),
-                 f"capacity {vtq.count_table_entries}; paper saw <=549"])
+    if peaks_q:
+        rows.append(["peak queue-table entries (observed)", str(max(peaks_q)),
+                     f"capacity {vtq.queue_table_entries}"])
+        rows.append(["peak count-table entries (observed)", str(max(peaks_c)),
+                     f"capacity {vtq.count_table_entries}; paper saw <=549"])
     return {
         "title": "Section 6.5: area overheads",
         "headers": ["structure", "size / value", "reference"],

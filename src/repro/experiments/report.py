@@ -39,11 +39,36 @@ def format_table(result: Dict) -> str:
     return "\n".join(lines)
 
 
+def format_failures(failures: List) -> str:
+    """Render a failure summary from :func:`repro.experiments.failures`.
+
+    Returns ``""`` when nothing was quarantined, so callers can append it
+    unconditionally.
+    """
+    if not failures:
+        return ""
+    lines = [f"QUARANTINED CASES ({len(failures)})", ""]
+    for f in failures:
+        lines.append(f"  {f.label()}: {f.error_type}: {f.message}")
+        if f.partial:
+            progress = ", ".join(f"{k}={v}" for k, v in sorted(f.partial.items()))
+            lines.append(f"    partial progress: {progress}")
+    return "\n".join(lines)
+
+
 def render_all(context, figures: List[Callable]) -> str:
-    """Run and render a list of figure functions into one report string."""
+    """Run and render a list of figure functions into one report string.
+
+    Quarantined cases recorded during the run are summarized at the end.
+    """
+    from repro.experiments.runner import failures
+
     sections = []
     for fig in figures:
         sections.append(format_table(fig(context)))
+    summary = format_failures(failures())
+    if summary:
+        sections.append(summary)
     return ("\n\n" + "=" * 72 + "\n\n").join(sections)
 
 

@@ -1,4 +1,4 @@
-"""Case runner with scene caching and on-disk result caching.
+"""Case runner with scene caching and hardened on-disk result caching.
 
 A *case* is (scene, policy, VTQ overrides) under an
 :class:`ExperimentContext` (image size, GPU config, scene scale).  Results
@@ -6,28 +6,50 @@ are JSON dicts of scalar metrics plus small series, cached under
 ``.cache/experiments/`` keyed by a hash of everything that affects the
 outcome — so re-running a benchmark that shares cases with an earlier one
 (the baseline run feeds half the figures) is free.
+
+Robustness:
+
+* Cache entries are versioned, keyed and checksummed
+  (``{"version", "key", "checksum", "metrics"}``); a truncated,
+  corrupted, stale or mismatched entry is logged, deleted and recomputed
+  — never trusted, never fatal.
+* Each case runs under an optional :class:`CaseBudget` (wall-clock +
+  simulated-cycle watchdogs, see :mod:`repro.gpusim.budget`).
+* :func:`run_case_quarantined` converts a failing case into a recorded
+  :class:`CaseFailure` so a multi-case sweep completes with the failure
+  marked instead of aborting; :func:`failures` lists what went wrong.
+* The per-process scene/BVH cache is LRU-bounded
+  (``REPRO_SCENE_CACHE_ENTRIES``, default 8) so long sweeps over many
+  scene/scale combinations don't grow memory without limit.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import shutil
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.bvh import build_scene_bvh
 from repro.core.config import VTQConfig
+from repro.errors import BudgetExceeded, CacheError, ReproError, SimulationError
+from repro.gpusim.budget import CaseBudget, budget_from_env, wall_clock_watchdog
 from repro.gpusim.config import GPUConfig, ScaledSetup, default_setup
 from repro.gpusim.energy import EnergyModel
 from repro.gpusim.stats import TraversalMode
 from repro.scenes import load_scene, scene_names
 from repro.tracing import render_scene
 
+logger = logging.getLogger("repro.experiments")
+
 # Bump when simulator semantics change, to invalidate stale cached results.
-RESULTS_VERSION = "6"
+RESULTS_VERSION = "7"
 
 _CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "experiments"
 
@@ -39,9 +61,15 @@ class ExperimentContext:
     setup: ScaledSetup
     scene_list: Tuple[str, ...]
     use_disk_cache: bool = True
+    budget: Optional[CaseBudget] = None
+    sanitize: Optional[bool] = None
 
     def scenes(self) -> List[str]:
         return list(self.scene_list)
+
+    def case_budget(self) -> Optional[CaseBudget]:
+        """The context's budget, falling back to the environment's."""
+        return self.budget if self.budget is not None else budget_from_env()
 
 
 def default_context(fast: bool = False) -> ExperimentContext:
@@ -62,21 +90,38 @@ def default_context(fast: bool = False) -> ExperimentContext:
     return ExperimentContext(setup=setup, scene_list=names)
 
 
-# -- scene/BVH construction is cached per process --------------------------------
+# -- scene/BVH construction is cached per process (LRU-bounded) --------------------
 
-_scene_cache: Dict[Tuple, Tuple] = {}
+_scene_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+
+
+def _scene_cache_limit() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_SCENE_CACHE_ENTRIES", "8")))
+    except ValueError:
+        return 8
 
 
 def scene_and_bvh(name: str, setup: ScaledSetup):
-    """The (Scene, SceneBVH) pair for a case, built once per process."""
+    """The (Scene, SceneBVH) pair for a case, built once per process.
+
+    The cache holds at most ``REPRO_SCENE_CACHE_ENTRIES`` (default 8)
+    pairs, evicting least-recently-used, so sweeps over many scene/scale
+    combinations stay memory-bounded.
+    """
     key = (name, setup.scene_scale, setup.gpu.treelet_bytes, setup.gpu.line_bytes)
-    if key not in _scene_cache:
-        scene = load_scene(name, scale=setup.scene_scale)
-        bvh = build_scene_bvh(
-            scene.mesh,
-            treelet_budget_bytes=setup.gpu.treelet_bytes,
-        )
-        _scene_cache[key] = (scene, bvh)
+    if key in _scene_cache:
+        _scene_cache.move_to_end(key)
+        return _scene_cache[key]
+    scene = load_scene(name, scale=setup.scene_scale)
+    bvh = build_scene_bvh(
+        scene.mesh,
+        treelet_budget_bytes=setup.gpu.treelet_bytes,
+    )
+    _scene_cache[key] = (scene, bvh)
+    limit = _scene_cache_limit()
+    while len(_scene_cache) > limit:
+        _scene_cache.popitem(last=False)
     return _scene_cache[key]
 
 
@@ -101,10 +146,91 @@ def _case_key(scene: str, policy: str, setup: ScaledSetup, vtq: Optional[VTQConf
     return hashlib.sha256(blob).hexdigest()[:24]
 
 
+def _metrics_checksum(metrics: Dict) -> str:
+    blob = json.dumps(metrics, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _read_cache_entry(cache_path: Path, key: str) -> Dict:
+    """Load and verify one cache file; :class:`CacheError` on any defect."""
+    try:
+        with open(cache_path) as f:
+            entry = json.load(f)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CacheError(f"unreadable cache entry {cache_path.name}: {exc}") from exc
+    if not isinstance(entry, dict) or "metrics" not in entry:
+        raise CacheError(f"cache entry {cache_path.name} has unexpected schema")
+    if entry.get("version") != RESULTS_VERSION:
+        raise CacheError(
+            f"cache entry {cache_path.name} is version {entry.get('version')!r}, "
+            f"expected {RESULTS_VERSION!r}"
+        )
+    if entry.get("key") != key:
+        raise CacheError(f"cache entry {cache_path.name} keyed for a different case")
+    metrics = entry["metrics"]
+    if not isinstance(metrics, dict):
+        raise CacheError(f"cache entry {cache_path.name} metrics are not a dict")
+    if entry.get("checksum") != _metrics_checksum(metrics):
+        raise CacheError(f"cache entry {cache_path.name} failed its checksum")
+    return metrics
+
+
+def _write_cache_entry(cache_path: Path, key: str, metrics: Dict) -> None:
+    """Atomically write a versioned, checksummed cache entry."""
+    _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "version": RESULTS_VERSION,
+        "key": key,
+        "checksum": _metrics_checksum(metrics),
+        "metrics": metrics,
+    }
+    tmp = cache_path.with_suffix(".tmp")
+    with open(tmp, "w") as f:
+        json.dump(entry, f)
+    tmp.replace(cache_path)
+
+
 def clear_cache() -> None:
     """Delete all cached experiment results."""
     if _CACHE_DIR.exists():
         shutil.rmtree(_CACHE_DIR)
+
+
+# -- failure quarantine -------------------------------------------------------------
+
+
+@dataclass
+class CaseFailure:
+    """One quarantined case: what failed and why."""
+
+    scene: str
+    policy: str
+    error_type: str
+    message: str
+    partial: Dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        return f"{self.scene}/{self.policy}"
+
+
+_FAILURES: List[CaseFailure] = []
+
+
+def record_failure(failure: CaseFailure) -> CaseFailure:
+    _FAILURES.append(failure)
+    return failure
+
+
+def failures() -> List[CaseFailure]:
+    """Quarantined cases recorded since the last :func:`clear_failures`."""
+    return list(_FAILURES)
+
+
+def clear_failures() -> None:
+    _FAILURES.clear()
+
+
+# -- case execution -----------------------------------------------------------------
 
 
 def run_case(
@@ -113,27 +239,90 @@ def run_case(
     context: ExperimentContext,
     vtq: Optional[VTQConfig] = None,
 ) -> Dict:
-    """Run one case (or fetch it from cache) and return its metric dict."""
+    """Run one case (or fetch it from cache) and return its metric dict.
+
+    A corrupt, truncated or stale cache entry is logged, deleted and
+    recomputed.  When the context carries a :class:`CaseBudget` the case
+    runs under wall-clock and simulated-cycle watchdogs and raises
+    :class:`BudgetExceeded` past either.
+    """
     setup = context.setup
     key = _case_key(scene_name, policy, setup, vtq)
     cache_path = _CACHE_DIR / f"{key}.json"
+    case_label = f"{scene_name}:{policy}"
     if context.use_disk_cache and cache_path.exists():
-        with open(cache_path) as f:
-            return json.load(f)
+        try:
+            return _read_cache_entry(cache_path, key)
+        except CacheError as exc:
+            logger.warning("recomputing %s: %s", case_label, exc)
+            try:
+                cache_path.unlink()
+            except OSError:  # pragma: no cover - racing unlink is fine
+                pass
 
-    scene, bvh = scene_and_bvh(scene_name, setup)
-    result = render_scene(scene, bvh, setup, policy=policy, vtq_config=vtq)
+    try:
+        spec = faults.should_fire(faults.CASE_FAIL, case_label)
+        if spec is not None:
+            raise SimulationError(
+                spec.payload.get("message", f"injected failure for case {case_label}")
+            )
+
+        budget = context.case_budget()
+        wall = budget.wall_seconds if budget else None
+        cycles = budget.max_cycles if budget else None
+        with wall_clock_watchdog(wall, describe=case_label):
+            scene, bvh = scene_and_bvh(scene_name, setup)
+            result = render_scene(
+                scene, bvh, setup, policy=policy, vtq_config=vtq,
+                cycle_budget=cycles, sanitize=context.sanitize,
+            )
+    except ReproError as exc:
+        # Annotate so quarantining callers know which case blew up.
+        exc.scene = scene_name
+        exc.policy = policy
+        raise
     metrics = extract_metrics(result, setup)
     metrics["scene"] = scene_name
     metrics["policy"] = policy
 
     if context.use_disk_cache:
-        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
-        tmp = cache_path.with_suffix(".tmp")
-        with open(tmp, "w") as f:
-            json.dump(metrics, f)
-        tmp.replace(cache_path)
+        _write_cache_entry(cache_path, key, metrics)
+        spec = faults.should_fire(faults.CACHE_CORRUPT, case_label)
+        if spec is not None:
+            faults.corrupt_file(
+                cache_path,
+                faults.rng(spec, case_label),
+                mode=spec.payload.get("mode", "truncate"),
+            )
     return metrics
+
+
+def run_case_quarantined(
+    scene_name: str,
+    policy: str,
+    context: ExperimentContext,
+    vtq: Optional[VTQConfig] = None,
+) -> Tuple[Optional[Dict], Optional[CaseFailure]]:
+    """Run a case, converting failures into a recorded :class:`CaseFailure`.
+
+    Returns ``(metrics, None)`` on success, ``(None, failure)`` when the
+    case raised — the sweep marks the cell and keeps going.
+    """
+    try:
+        return run_case(scene_name, policy, context, vtq), None
+    except ReproError as exc:
+        partial = exc.partial if isinstance(exc, BudgetExceeded) else {}
+        failure = record_failure(
+            CaseFailure(
+                scene=scene_name,
+                policy=policy,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                partial=dict(partial),
+            )
+        )
+        logger.warning("quarantined %s/%s: %s", scene_name, policy, exc)
+        return None, failure
 
 
 def extract_metrics(result, setup: ScaledSetup) -> Dict:
@@ -146,6 +335,7 @@ def extract_metrics(result, setup: ScaledSetup) -> Dict:
         "cycles": result.cycles,
         "per_sm_cycles": result.per_sm_cycles,
         "rays_traced": stats.rays_traced,
+        "rays_completed": stats.rays_completed,
         "warps": stats.warps_processed,
         "simt_efficiency": stats.simt_efficiency(),
         "l1_bvh_miss_rate": stats.miss_rate("l1", "bvh"),

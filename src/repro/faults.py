@@ -1,0 +1,250 @@
+"""Deterministic, seedable fault injection.
+
+Long multi-case sweeps must degrade gracefully when something breaks —
+and the error paths that make that possible need to be *provably*
+exercised, not hoped at.  This module is the single switchboard: code at
+known fault sites asks :func:`should_fire` whether to misbehave, and
+tests install :class:`FaultSpec`\\ s (scoped by a context manager) to
+corrupt cache files, poison meshes with NaNs, truncate BVH blobs, stall
+a simulation past its budget, or break a sanitizer invariant.
+
+Everything is deterministic: a spec's ``seed`` plus the site name and
+access key fully determine both whether a probabilistic fault fires and
+the random bytes any corruption helper uses, so a failing test replays
+exactly.
+
+With no specs installed (the default, including all of production) every
+hook is a cheap no-op returning ``None``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+# -- fault sites -------------------------------------------------------------------
+#
+# Each constant names one place in the library that consults the registry.
+
+CACHE_CORRUPT = "experiments.cache.corrupt"    # damage a result file after writing
+CASE_FAIL = "experiments.case.fail"            # make run_case raise SimulationError
+SIM_STALL = "gpusim.stall"                     # inflate an engine's cycle counter
+STATS_CORRUPT = "gpusim.stats.corrupt"         # break a sanitizer invariant
+MESH_NAN = "scenes.mesh.nan"                   # poison loaded geometry with NaNs
+BVH_TRUNCATE = "bvh.serialize.truncate"        # truncate a saved BVH blob
+
+ALL_SITES = (
+    CACHE_CORRUPT,
+    CASE_FAIL,
+    SIM_STALL,
+    STATS_CORRUPT,
+    MESH_NAN,
+    BVH_TRUNCATE,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One installed fault.
+
+    Attributes
+    ----------
+    site:
+        Which hook fires (one of :data:`ALL_SITES`).
+    match:
+        Substring the site's access key must contain; ``""`` matches all
+        keys.  Keys are site-specific, e.g. ``"SPNZA:vtq"`` for
+        experiment cases or the scene name for mesh poisoning.
+    probability:
+        Chance of firing per distinct key, decided deterministically from
+        ``(seed, site, key)`` — the same key always gets the same verdict.
+    seed:
+        Root of all randomness this spec uses.
+    max_fires:
+        Stop firing after this many hits (``None`` = unlimited).
+    payload:
+        Site-specific parameters (e.g. ``{"mode": "truncate"}`` for file
+        corruption, ``{"invariant": "queues"}`` for stats corruption).
+    """
+
+    site: str
+    match: str = ""
+    probability: float = 1.0
+    seed: int = 0
+    max_fires: Optional[int] = None
+    payload: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.site not in ALL_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of {ALL_SITES}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+
+def _digest(seed: int, site: str, key: str) -> int:
+    blob = f"{seed}|{site}|{key}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def _hash01(seed: int, site: str, key: str) -> float:
+    """A deterministic uniform(0, 1) draw for a (spec, key) pair."""
+    return _digest(seed, site, key) / float(1 << 64)
+
+
+class FaultRegistry:
+    """The set of active faults plus a log of what fired."""
+
+    def __init__(self):
+        self._specs: List[FaultSpec] = []
+        self._fire_counts: Dict[int, int] = {}
+        self.fired: List[Tuple[str, str]] = []  # (site, key) in fire order
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, spec: FaultSpec) -> FaultSpec:
+        self._specs.append(spec)
+        return spec
+
+    def remove(self, spec: FaultSpec) -> None:
+        """Uninstall one spec (no-op when absent)."""
+        try:
+            self._specs.remove(spec)
+        except ValueError:
+            pass
+
+    def clear(self) -> None:
+        self._specs.clear()
+        self._fire_counts.clear()
+        self.fired.clear()
+
+    def enabled(self) -> bool:
+        return bool(self._specs)
+
+    # -- firing ---------------------------------------------------------------------
+
+    def should_fire(self, site: str, key: str = "") -> Optional[FaultSpec]:
+        """The first installed spec that fires for ``(site, key)``, or None.
+
+        Firing is recorded (for test assertions and ``max_fires``).
+        """
+        if not self._specs:
+            return None
+        for spec in self._specs:
+            if spec.site != site:
+                continue
+            if spec.match and spec.match not in key:
+                continue
+            count = self._fire_counts.get(id(spec), 0)
+            if spec.max_fires is not None and count >= spec.max_fires:
+                continue
+            if spec.probability < 1.0 and (
+                _hash01(spec.seed, site, key) >= spec.probability
+            ):
+                continue
+            self._fire_counts[id(spec)] = count + 1
+            self.fired.append((site, key))
+            return spec
+        return None
+
+    def rng(self, spec: FaultSpec, key: str = "") -> np.random.Generator:
+        """The deterministic RNG a firing spec's corruption should use."""
+        return np.random.default_rng(_digest(spec.seed, spec.site, key))
+
+
+_REGISTRY = FaultRegistry()
+
+
+def registry() -> FaultRegistry:
+    return _REGISTRY
+
+
+def install(spec: FaultSpec) -> FaultSpec:
+    return _REGISTRY.install(spec)
+
+
+def clear() -> None:
+    _REGISTRY.clear()
+
+
+def enabled() -> bool:
+    return _REGISTRY.enabled()
+
+
+def should_fire(site: str, key: str = "") -> Optional[FaultSpec]:
+    return _REGISTRY.should_fire(site, key)
+
+
+def rng(spec: FaultSpec, key: str = "") -> np.random.Generator:
+    return _REGISTRY.rng(spec, key)
+
+
+@contextmanager
+def injected(*specs: FaultSpec) -> Iterator[FaultRegistry]:
+    """Install ``specs`` for the duration of a ``with`` block.
+
+    Only the specs installed here are removed on exit, so nesting works.
+    """
+    for spec in specs:
+        _REGISTRY.install(spec)
+    try:
+        yield _REGISTRY
+    finally:
+        for spec in specs:
+            _REGISTRY.remove(spec)
+
+
+# -- corruption helpers ----------------------------------------------------------
+#
+# Shared by the library's fault sites and by tests that damage artifacts
+# directly (e.g. truncating a cache file that an earlier run wrote).
+
+
+def corrupt_file(
+    path: Union[str, Path],
+    generator: np.random.Generator,
+    mode: str = "truncate",
+) -> None:
+    """Deterministically damage a file in place.
+
+    ``truncate`` keeps a random 10-90% prefix; ``garbage`` overwrites a
+    random span with random bytes; ``empty`` leaves a zero-byte file.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if mode == "truncate":
+        keep = int(len(data) * generator.uniform(0.1, 0.9))
+        path.write_bytes(data[:keep])
+    elif mode == "garbage":
+        if not data:
+            return
+        blob = bytearray(data)
+        span = max(1, len(blob) // 4)
+        start = int(generator.integers(0, max(1, len(blob) - span)))
+        blob[start : start + span] = bytes(
+            generator.integers(0, 256, size=span, dtype=np.uint8)
+        )
+        path.write_bytes(bytes(blob))
+    elif mode == "empty":
+        path.write_bytes(b"")
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def poison_mesh_vertices(mesh, generator: np.random.Generator, fraction: float = 0.02):
+    """A copy of ``mesh`` with a fraction of its vertices set to NaN."""
+    from repro.geometry.triangle import TriangleMesh
+
+    vertices = np.array(mesh.vertices, copy=True)
+    count = max(1, int(round(len(vertices) * fraction)))
+    picks = generator.choice(len(vertices), size=min(count, len(vertices)), replace=False)
+    vertices[picks] = np.nan
+    return TriangleMesh(
+        vertices, np.array(mesh.indices, copy=True), np.array(mesh.material_ids, copy=True)
+    )

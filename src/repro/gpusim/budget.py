@@ -1,0 +1,124 @@
+"""Per-case execution budgets: wall-clock and simulated-cycle watchdogs.
+
+A runaway case (a pathological scene/config combination, or a fault
+injected on purpose) must not take a whole sweep down with it.  Two
+independent bounds apply to every case the experiment runner executes:
+
+* a **simulated-cycle budget**, checked cooperatively by every RT-unit
+  engine at each scheduling round, and
+* a **wall-clock budget**, enforced by a SIGALRM timer around the render
+  (skipped silently off the main thread or on platforms without
+  ``SIGALRM``, where only the cycle budget protects).
+
+Both raise :class:`repro.errors.BudgetExceeded` carrying whatever
+partial statistics were gathered, so a sweep can quarantine the case and
+still report how far it got.  Budgets default to *off*; the environment
+variables ``REPRO_WALL_BUDGET_S`` and ``REPRO_CYCLE_BUDGET`` switch them
+on globally.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import BudgetExceeded
+from repro.gpusim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class CaseBudget:
+    """Limits for one experiment case; ``None`` disables a bound."""
+
+    wall_seconds: Optional[float] = None
+    max_cycles: Optional[float] = None
+
+    def __post_init__(self):
+        for name in ("wall_seconds", "max_cycles"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive number, got {raw!r}"
+        ) from None
+
+
+def budget_from_env() -> Optional[CaseBudget]:
+    """The globally-configured budget, or ``None`` when unset."""
+    wall = _env_float("REPRO_WALL_BUDGET_S")
+    cycles = _env_float("REPRO_CYCLE_BUDGET")
+    if wall is None and cycles is None:
+        return None
+    return CaseBudget(wall_seconds=wall, max_cycles=cycles)
+
+
+def partial_stats(stats: SimStats, cycle: float) -> Dict:
+    """The progress snapshot a :class:`BudgetExceeded` carries."""
+    return {
+        "cycles": cycle,
+        "rays_traced": stats.rays_traced,
+        "rays_completed": stats.rays_completed,
+        "warps_processed": stats.warps_processed,
+        "node_visits": stats.node_visits,
+        "triangle_tests": stats.triangle_tests,
+    }
+
+
+def check_cycle_budget(
+    cycle: float, limit: Optional[float], stats: SimStats
+) -> None:
+    """Raise :class:`BudgetExceeded` when ``cycle`` overruns ``limit``."""
+    if limit is not None and cycle > limit:
+        raise BudgetExceeded(
+            f"simulated cycles {cycle:,.0f} exceed budget {limit:,.0f}",
+            kind="cycles",
+            limit=limit,
+            observed=cycle,
+            partial=partial_stats(stats, cycle),
+        )
+
+
+@contextmanager
+def wall_clock_watchdog(seconds: Optional[float], describe: str = "") -> Iterator[None]:
+    """Bound a block's wall-clock time via ``SIGALRM``.
+
+    A no-op when ``seconds`` is ``None``, off the main thread, or on
+    platforms without ``SIGALRM`` — the cycle budget still applies there.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise BudgetExceeded(
+            f"wall clock exceeded {seconds:g}s"
+            + (f" while running {describe}" if describe else ""),
+            kind="wall",
+            limit=seconds,
+            partial={"case": describe} if describe else {},
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

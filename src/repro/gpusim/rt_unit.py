@@ -19,6 +19,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+from repro import faults
+from repro.gpusim.budget import check_cycle_budget
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.memory import MemorySystem
 from repro.gpusim.stats import SimStats, TraversalMode
@@ -37,12 +39,14 @@ class BaselineRTUnit:
         mem: MemorySystem,
         stats: SimStats,
         mode: TraversalMode = TraversalMode.FINAL_RAY_STATIONARY,
+        cycle_budget: Optional[float] = None,
     ):
         self.bvh = bvh
         self.config = config
         self.mem = mem
         self.stats = stats
         self.cycle = 0.0
+        self.cycle_budget = cycle_budget
         self._pending: List = []  # heap of (ready_cycle, seq, warp)
         self._seq = 0
         # Baseline runs have no mode phases; everything is attributed to a
@@ -69,6 +73,7 @@ class BaselineRTUnit:
         """Traverse every ray of ``warp`` to completion (warp buffer = 1)."""
         start = self.cycle
         active = warp.active_rays()
+        launched = len(active)
         while active:
             latency, stepped, _ = warp_step(
                 self.bvh, active, self.mem, self.config, self.stats,
@@ -78,6 +83,10 @@ class BaselineRTUnit:
                 break
             self.cycle += latency
             active = [r for r in active if not r.finished()]
+        # Rays can finish inside a step (all remaining stack entries culled)
+        # and be excluded from ``stepped``; refilter before counting.
+        active = [r for r in active if not r.finished()]
+        self.stats.rays_completed += launched - len(active)
         self.stats.warps_processed += 1
         if self.timeline is not None:
             self.timeline.record(
@@ -92,7 +101,11 @@ class BaselineRTUnit:
         and may call :meth:`submit` to enqueue follow-up warps (shading /
         secondary rays).
         """
+        spec = faults.should_fire(faults.SIM_STALL, type(self).__name__)
+        if spec is not None:
+            self.cycle += float(spec.payload.get("extra_cycles", 1e12))
         while self._pending:
+            check_cycle_budget(self.cycle, self.cycle_budget, self.stats)
             ready, _, warp = heapq.heappop(self._pending)
             if ready > self.cycle:
                 self.cycle = ready  # RT unit idles until the warp arrives

@@ -85,12 +85,15 @@ class SimStats:
     # Totals.
     total_cycles: float = 0.0
     rays_traced: int = 0
+    rays_completed: int = 0
     warps_processed: int = 0
     node_visits: int = 0
     leaf_visits: int = 0
     triangle_tests: int = 0
 
     # Mechanism-specific counters.
+    treelet_queue_pushes: int = 0
+    treelet_queue_pops: int = 0
     warp_repacks: int = 0
     treelet_fetch_lines: int = 0
     prefetch_lines: int = 0
@@ -170,10 +173,13 @@ class SimStats:
             self.mode_tests[mode] += other.mode_tests[mode]
         self.total_cycles = max(self.total_cycles, other.total_cycles)
         self.rays_traced += other.rays_traced
+        self.rays_completed += other.rays_completed
         self.warps_processed += other.warps_processed
         self.node_visits += other.node_visits
         self.leaf_visits += other.leaf_visits
         self.triangle_tests += other.triangle_tests
+        self.treelet_queue_pushes += other.treelet_queue_pushes
+        self.treelet_queue_pops += other.treelet_queue_pops
         self.warp_repacks += other.warp_repacks
         self.treelet_fetch_lines += other.treelet_fetch_lines
         self.prefetch_lines += other.prefetch_lines

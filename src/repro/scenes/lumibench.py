@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
+from repro.errors import SceneError
 from repro.geometry.triangle import TriangleMesh
 from repro.scenes.camera import Camera
 from repro.scenes.materials import Material, MaterialTable
@@ -587,16 +589,39 @@ def _add_clutter(mesh: TriangleMesh, spec: SceneSpec, budget: int) -> TriangleMe
     return TriangleMesh.merge(props)
 
 
-def load_scene(name: str, scale: float = 1.0) -> Scene:
+def load_scene(
+    name: str, scale: float = 1.0, validate: bool = True, clean: bool = False
+) -> Scene:
     """Build scene ``name`` at the given triangle-budget scale.
 
     Deterministic: the same (name, scale) always produces the same mesh.
+    With ``validate`` (the default) defective geometry raises a clear
+    :class:`SceneError` before it can corrupt a BVH build; ``clean=True``
+    repairs the mesh instead by dropping the bad triangles.
     """
     spec = scene_spec(name)
     builder = _BUILDERS[_family_for(spec)]
     budget = spec.target_triangles(scale)
     mesh, materials, sky = builder(spec, budget)
     mesh = _add_clutter(mesh, spec, budget)
+    spec_fault = faults.should_fire(faults.MESH_NAN, name)
+    if spec_fault is not None:
+        mesh = faults.poison_mesh_vertices(
+            mesh,
+            faults.rng(spec_fault, name),
+            fraction=float(spec_fault.payload.get("fraction", 0.02)),
+        )
+    if validate or clean:
+        from repro.scenes.validate import clean_mesh, validate_mesh
+
+        report = validate_mesh(mesh)
+        if not report.ok:
+            if clean:
+                mesh = clean_mesh(mesh)
+            else:
+                raise SceneError(
+                    f"scene {name}: defective geometry ({report.summary()})"
+                )
     camera = _auto_camera(mesh, spec.indoor, spec)
     return Scene(spec=spec, mesh=mesh, camera=camera, materials=materials, sky_emission=sky)
 

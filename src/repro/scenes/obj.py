@@ -14,11 +14,19 @@ from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
+from repro.errors import SceneError
 from repro.geometry.triangle import TriangleMesh
 
 
-def loads_obj(text: str) -> Tuple[TriangleMesh, Dict[str, int]]:
-    """Parse OBJ text into a mesh plus the material-name -> id mapping."""
+def loads_obj(
+    text: str, validate: bool = True, clean: bool = False
+) -> Tuple[TriangleMesh, Dict[str, int]]:
+    """Parse OBJ text into a mesh plus the material-name -> id mapping.
+
+    With ``validate`` (the default) defective geometry raises a clear
+    :class:`SceneError` instead of silently corrupting a downstream BVH
+    build; ``clean=True`` repairs it instead (dropping the bad triangles).
+    """
     vertices: List[List[float]] = []
     faces: List[List[int]] = []
     face_materials: List[int] = []
@@ -33,11 +41,14 @@ def loads_obj(text: str) -> Tuple[TriangleMesh, Dict[str, int]]:
         tag = parts[0]
         if tag == "v":
             if len(parts) < 4:
-                raise ValueError(f"line {line_no}: vertex needs 3 coordinates")
-            vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+                raise SceneError(f"line {line_no}: vertex needs 3 coordinates")
+            try:
+                vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+            except ValueError as exc:
+                raise SceneError(f"line {line_no}: bad vertex coordinate") from exc
         elif tag == "f":
             if len(parts) < 4:
-                raise ValueError(f"line {line_no}: face needs at least 3 vertices")
+                raise SceneError(f"line {line_no}: face needs at least 3 vertices")
             indices = [_face_index(token, len(vertices), line_no) for token in parts[1:]]
             # Fan-triangulate polygons.
             for k in range(1, len(indices) - 1):
@@ -51,12 +62,21 @@ def loads_obj(text: str) -> Tuple[TriangleMesh, Dict[str, int]]:
         # vn / vt / o / g / s / mtllib lines are accepted and ignored.
 
     if not faces:
-        raise ValueError("OBJ contains no faces")
+        raise SceneError("OBJ contains no faces")
     mesh = TriangleMesh(
         np.asarray(vertices, dtype=np.float64),
         np.asarray(faces, dtype=np.int64),
         np.asarray(face_materials, dtype=np.int64),
     )
+    if clean or validate:
+        from repro.scenes.validate import clean_mesh, validate_mesh
+
+        report = validate_mesh(mesh)
+        if not report.ok:
+            if clean:
+                mesh = clean_mesh(mesh)
+            else:
+                raise SceneError(f"OBJ geometry is defective: {report.summary()}")
     return mesh, materials
 
 
@@ -66,21 +86,23 @@ def _face_index(token: str, vertex_count: int, line_no: int) -> int:
     try:
         idx = int(head)
     except ValueError as exc:
-        raise ValueError(f"line {line_no}: bad face index {token!r}") from exc
+        raise SceneError(f"line {line_no}: bad face index {token!r}") from exc
     if idx > 0:
         resolved = idx - 1
     elif idx < 0:
         resolved = vertex_count + idx
     else:
-        raise ValueError(f"line {line_no}: OBJ indices are 1-based, got 0")
+        raise SceneError(f"line {line_no}: OBJ indices are 1-based, got 0")
     if not 0 <= resolved < vertex_count:
-        raise ValueError(f"line {line_no}: face index {idx} out of range")
+        raise SceneError(f"line {line_no}: face index {idx} out of range")
     return resolved
 
 
-def load_obj(path: Union[str, Path]) -> Tuple[TriangleMesh, Dict[str, int]]:
-    """Load an OBJ file from disk."""
-    return loads_obj(Path(path).read_text())
+def load_obj(
+    path: Union[str, Path], validate: bool = True, clean: bool = False
+) -> Tuple[TriangleMesh, Dict[str, int]]:
+    """Load an OBJ file from disk (validated like :func:`loads_obj`)."""
+    return loads_obj(Path(path).read_text(), validate=validate, clean=clean)
 
 
 def dumps_obj(mesh: TriangleMesh, precision: int = 6) -> str:

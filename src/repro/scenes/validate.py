@@ -14,6 +14,7 @@ from typing import List
 
 import numpy as np
 
+from repro.errors import SceneError
 from repro.geometry.triangle import TriangleMesh
 
 _DEGENERATE_AREA = 1e-12
@@ -87,16 +88,17 @@ def validate_mesh(mesh: TriangleMesh) -> MeshReport:
 def clean_mesh(mesh: TriangleMesh) -> TriangleMesh:
     """Drop degenerate / non-finite triangles and unused vertices.
 
-    Raises ``ValueError`` when nothing renderable remains.
+    Raises :class:`SceneError` (a ``ValueError``) when nothing renderable
+    remains.
     """
     if mesh.triangle_count == 0:
-        raise ValueError("mesh has no triangles")
+        raise SceneError("mesh has no triangles")
     finite = np.isfinite(mesh.triangle_vertices()).all(axis=(1, 2))
     areas = np.zeros(mesh.triangle_count)
     areas[finite] = triangle_areas(mesh)[finite]
     keep = finite & (areas > _DEGENERATE_AREA)
     if not np.any(keep):
-        raise ValueError("no renderable triangles remain after cleaning")
+        raise SceneError("no renderable triangles remain after cleaning")
 
     indices = mesh.indices[keep]
     materials = mesh.material_ids[keep]

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.baselines.prefetch import PrefetchRTUnit
 from repro.core.config import VTQConfig
 from repro.core.rt_unit_vtq import VTQRTUnit
@@ -67,8 +68,16 @@ def render_scene(
     policy: str = "baseline",
     vtq_config: Optional[VTQConfig] = None,
     seed: int = 0,
+    cycle_budget: Optional[float] = None,
+    sanitize: Optional[bool] = None,
 ) -> RenderResult:
-    """Path trace ``scene`` through the selected timing engine."""
+    """Path trace ``scene`` through the selected timing engine.
+
+    ``cycle_budget`` bounds each SM's simulated cycles (the engine raises
+    :class:`repro.errors.BudgetExceeded` past it).  ``sanitize`` runs the
+    post-render invariant checks of :mod:`repro.gpusim.sanitize`;
+    ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
+    """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
     config = setup.gpu
@@ -110,7 +119,7 @@ def render_scene(
     for sm in range(config.num_sms):
         driver = driver_cls(
             sm, scene, bvh, setup, shading, paths, mems[sm], sm_stats[sm],
-            vtq_config, policy, next_ray_id,
+            vtq_config, policy, next_ray_id, cycle_budget=cycle_budget,
         )
         per_sm_cycles.append(driver.run())
 
@@ -121,7 +130,7 @@ def render_scene(
     for path in paths:
         accum[path.pixel] += path.radiance
     image = (accum / spp).reshape(height, width, 3)
-    return RenderResult(
+    result = RenderResult(
         policy=policy,
         image=image,
         stats=merged,
@@ -129,6 +138,33 @@ def render_scene(
         per_sm_cycles=per_sm_cycles,
         scene_name=getattr(scene, "name", ""),
     )
+    _apply_stats_fault(result)
+    from repro.gpusim.sanitize import check_render, sanitizer_enabled
+
+    if sanitize or (sanitize is None and sanitizer_enabled()):
+        check_render(result, setup)
+    return result
+
+
+def _apply_stats_fault(result: RenderResult) -> None:
+    """The STATS_CORRUPT fault site: deliberately break one invariant so
+    tests can prove the sanitizer catches it."""
+    key = f"{result.scene_name}:{result.policy}"
+    spec = faults.should_fire(faults.STATS_CORRUPT, key)
+    if spec is None:
+        return
+    invariant = spec.payload.get("invariant", "rays")
+    stats = result.stats
+    if invariant == "rays":
+        stats.rays_completed += 1
+    elif invariant == "queues":
+        stats.treelet_queue_pushes += 7
+    elif invariant == "cache":
+        stats.cache_hits[("l1", "bvh")] = stats.cache_accesses[("l1", "bvh")] + 1
+    elif invariant == "energy":
+        stats.triangle_tests = -abs(stats.triangle_tests) - 1
+    else:
+        raise ValueError(f"unknown stats invariant {invariant!r}")
 
 
 class _DriverBase:
@@ -136,9 +172,10 @@ class _DriverBase:
 
     def __init__(
         self, sm, scene, bvh, setup, shading, paths, mem, stats,
-        vtq_config, policy, ray_id_counter,
+        vtq_config, policy, ray_id_counter, cycle_budget=None,
     ):
         self.sm = sm
+        self.cycle_budget = cycle_budget
         self.scene = scene
         self.bvh = bvh
         self.setup = setup
@@ -222,9 +259,15 @@ class _WarpDriver(_DriverBase):
     def run(self) -> float:
         config = self.config
         if self.policy == "prefetch":
-            engine = PrefetchRTUnit(self.bvh, config, self.mem, self.stats)
+            engine = PrefetchRTUnit(
+                self.bvh, config, self.mem, self.stats,
+                cycle_budget=self.cycle_budget,
+            )
         else:
-            engine = BaselineRTUnit(self.bvh, config, self.mem, self.stats)
+            engine = BaselineRTUnit(
+                self.bvh, config, self.mem, self.stats,
+                cycle_budget=self.cycle_budget,
+            )
 
         def on_complete(warp: TraceWarp, cycle: float) -> None:
             survivors = []
@@ -264,7 +307,10 @@ class _SortedDriver(_DriverBase):
         from repro.gpusim.rt_unit import BaselineRTUnit
 
         config = self.config
-        engine = BaselineRTUnit(self.bvh, config, self.mem, self.stats)
+        engine = BaselineRTUnit(
+            self.bvh, config, self.mem, self.stats,
+            cycle_budget=self.cycle_budget,
+        )
         bounds = self.scene.mesh.bounds()
         next_bounce: List[SimRay] = []
 
@@ -311,7 +357,10 @@ class _VTQDriver(_DriverBase):
     def run(self) -> float:
         config = self.config
         vtq = self.vtq_config
-        engine = VTQRTUnit(self.bvh, config, vtq, self.mem, self.stats)
+        engine = VTQRTUnit(
+            self.bvh, config, vtq, self.mem, self.stats,
+            cycle_budget=self.cycle_budget,
+        )
         tracker = CTATracker()
         state_bytes = cta_state_bytes(config)
 

@@ -1,0 +1,168 @@
+"""Unit tests for the error hierarchy and the fault-injection framework."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import (
+    BVHError,
+    BudgetExceeded,
+    CacheError,
+    ReproError,
+    SanitizerError,
+    SceneError,
+    SimulationError,
+)
+from repro.faults import FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc_type in (SceneError, BVHError, CacheError, SimulationError,
+                         BudgetExceeded, SanitizerError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_scene_and_bvh_errors_stay_value_errors(self):
+        # Pre-hierarchy code raised ValueError from these layers; callers
+        # catching ValueError must keep working.
+        assert issubclass(SceneError, ValueError)
+        assert issubclass(BVHError, ValueError)
+
+    def test_budget_exceeded_carries_context(self):
+        exc = BudgetExceeded(
+            "over", kind="wall", limit=1.5, observed=2.0,
+            partial={"cycles": 10},
+        )
+        assert exc.kind == "wall"
+        assert exc.limit == 1.5
+        assert exc.observed == 2.0
+        assert exc.partial == {"cycles": 10}
+        assert isinstance(exc, SimulationError)
+
+    def test_budget_exceeded_defaults(self):
+        exc = BudgetExceeded("over")
+        assert exc.kind == "cycles"
+        assert exc.partial == {}
+
+    def test_sanitizer_error_lists_violations(self):
+        exc = SanitizerError("bad", violations=["a", "b"])
+        assert exc.violations == ["a", "b"]
+        assert SanitizerError("fine").violations == []
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="no.such.site")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site=faults.CASE_FAIL, probability=1.5)
+
+    def test_all_sites_constructible(self):
+        for site in faults.ALL_SITES:
+            FaultSpec(site=site)
+
+
+class TestRegistry:
+    def test_empty_registry_never_fires(self):
+        assert not faults.enabled()
+        assert faults.should_fire(faults.CASE_FAIL, "any") is None
+
+    def test_fires_and_logs(self):
+        spec = faults.install(FaultSpec(site=faults.CASE_FAIL))
+        assert faults.enabled()
+        assert faults.should_fire(faults.CASE_FAIL, "BUNNY:vtq") is spec
+        assert (faults.CASE_FAIL, "BUNNY:vtq") in faults.registry().fired
+
+    def test_match_filters_keys(self):
+        faults.install(FaultSpec(site=faults.CASE_FAIL, match="SPNZA"))
+        assert faults.should_fire(faults.CASE_FAIL, "BUNNY:vtq") is None
+        assert faults.should_fire(faults.CASE_FAIL, "SPNZA:vtq") is not None
+
+    def test_wrong_site_does_not_fire(self):
+        faults.install(FaultSpec(site=faults.MESH_NAN))
+        assert faults.should_fire(faults.CASE_FAIL, "BUNNY") is None
+
+    def test_max_fires_bounds_hits(self):
+        faults.install(FaultSpec(site=faults.CASE_FAIL, max_fires=2))
+        assert faults.should_fire(faults.CASE_FAIL, "a") is not None
+        assert faults.should_fire(faults.CASE_FAIL, "b") is not None
+        assert faults.should_fire(faults.CASE_FAIL, "c") is None
+
+    def test_probability_is_deterministic_per_key(self):
+        spec = FaultSpec(site=faults.CASE_FAIL, probability=0.5, seed=7)
+        verdicts = {}
+        for trial in range(3):
+            faults.clear()
+            faults.install(spec)
+            for key in ("k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"):
+                fired = faults.should_fire(faults.CASE_FAIL, key) is not None
+                assert verdicts.setdefault(key, fired) == fired
+        # A 0.5-probability fault over 8 keys should not be all-or-nothing.
+        assert 0 < sum(verdicts.values()) < len(verdicts)
+
+    def test_rng_is_deterministic(self):
+        spec = FaultSpec(site=faults.CACHE_CORRUPT, seed=3)
+        a = faults.rng(spec, "k").integers(0, 1 << 30, size=4)
+        b = faults.rng(spec, "k").integers(0, 1 << 30, size=4)
+        c = faults.rng(spec, "other").integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_injected_scopes_specs(self):
+        outer = faults.install(FaultSpec(site=faults.MESH_NAN))
+        with faults.injected(FaultSpec(site=faults.CASE_FAIL)):
+            assert faults.should_fire(faults.CASE_FAIL, "x") is not None
+        assert faults.should_fire(faults.CASE_FAIL, "x") is None
+        # The spec installed outside the context survives it.
+        assert faults.should_fire(faults.MESH_NAN, "x") is outer
+
+
+class TestCorruptionHelpers:
+    def _rng(self):
+        return np.random.default_rng(0)
+
+    def test_truncate_shortens_file(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"x" * 1000)
+        faults.corrupt_file(path, self._rng(), mode="truncate")
+        assert 0 < path.stat().st_size < 1000
+
+    def test_garbage_keeps_length(self, tmp_path):
+        path = tmp_path / "blob"
+        original = bytes(range(256)) * 4
+        path.write_bytes(original)
+        faults.corrupt_file(path, self._rng(), mode="garbage")
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        assert damaged != original
+
+    def test_empty_zeroes_file(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"data")
+        faults.corrupt_file(path, self._rng(), mode="empty")
+        assert path.stat().st_size == 0
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"data")
+        with pytest.raises(ValueError, match="corruption mode"):
+            faults.corrupt_file(path, self._rng(), mode="nonsense")
+
+    def test_poison_mesh_vertices(self):
+        from tests.conftest import random_soup
+
+        mesh = random_soup(50, seed=1)
+        poisoned = faults.poison_mesh_vertices(mesh, self._rng(), fraction=0.1)
+        # The original is untouched; the copy has NaNs.
+        assert np.all(np.isfinite(mesh.vertices))
+        assert np.isnan(poisoned.vertices).any()
+        assert poisoned.vertices.shape == mesh.vertices.shape
