@@ -32,6 +32,37 @@ from repro.bvh.wide import WideBVH, collapse_to_wide
 from repro.geometry.triangle import TriangleMesh
 
 
+class BatchTables:
+    """Padded numpy mirrors of the traversal tables for the batch kernels.
+
+    ``node_boxes[node]`` is ``(W, 6)`` child bounds (same row order as
+    ``node_children[node]``, zero-padded past the child count) and
+    ``leaf_v0/e1/e2[leaf]`` are ``(T, 3)`` triangle data (zero-padded —
+    degenerate, so the triangle kernel rejects padding rows by itself).
+    Fixed-width padding lets a warp's worth of nodes or leaves be gathered
+    with one fancy index instead of per-step concatenation.
+    """
+
+    __slots__ = ("node_boxes", "leaf_v0", "leaf_e1", "leaf_e2")
+
+    def __init__(self, node_children, leaf_tris):
+        width = max((len(c) for c in node_children), default=1)
+        self.node_boxes = np.zeros((len(node_children), max(width, 1), 6))
+        for node, children in enumerate(node_children):
+            for k, child in enumerate(children):
+                self.node_boxes[node, k] = child[4]
+        depth = max((len(t) for t in leaf_tris), default=1)
+        shape = (len(leaf_tris), max(depth, 1), 3)
+        self.leaf_v0 = np.zeros(shape)
+        self.leaf_e1 = np.zeros(shape)
+        self.leaf_e2 = np.zeros(shape)
+        for leaf, tris in enumerate(leaf_tris):
+            for k, (v0, e1, e2, _prim) in enumerate(tris):
+                self.leaf_v0[leaf, k] = v0
+                self.leaf_e1[leaf, k] = e1
+                self.leaf_e2[leaf, k] = e2
+
+
 @dataclass
 class SceneBVH:
     """Acceleration structure plus all tables the simulators need."""
@@ -44,6 +75,9 @@ class SceneBVH:
     leaf_tris: List[List[Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...], int]]]
     item_lines: List[Tuple[int, ...]]
     treelet_lines: List[Tuple[int, ...]]
+    # Lazily-built numpy mirror of node_children / leaf_tris consumed by
+    # the batch intersection kernels (see batch_tables()).
+    batch: Optional[BatchTables] = None
 
     @property
     def node_count(self) -> int:
@@ -70,6 +104,16 @@ class SceneBVH:
 
     def size_megabytes(self) -> float:
         return self.layout.size_megabytes()
+
+    def batch_tables(self) -> BatchTables:
+        """The padded numpy mirror of the traversal tables.
+
+        Built once on first use from the exact float values the scalar
+        tables hold, so the batch kernels see bit-identical inputs.
+        """
+        if self.batch is None:
+            self.batch = BatchTables(self.node_children, self.leaf_tris)
+        return self.batch
 
     def summary(self) -> dict:
         """Scene statistics in the shape of the paper's Table 2 rows."""

@@ -28,24 +28,20 @@ def _figures():
     """Figure registry, imported lazily to keep `scenes` snappy."""
     global _FIGURES
     if not _FIGURES:
-        from repro import experiments as ex
+        from repro.experiments.figures import figure_registry
 
-        _FIGURES = {
-            "table1": ex.table1_configuration,
-            "table2": ex.table2_scenes,
-            "fig1": ex.fig01_baseline_bottlenecks,
-            "fig5": ex.fig05_analytical_model,
-            "fig10": ex.fig10_overall_speedup,
-            "fig11": ex.fig11_missrate_over_time,
-            "fig12": ex.fig12_grouping_thresholds,
-            "fig13": ex.fig13_warp_repacking,
-            "fig14": ex.fig14_mode_cycles,
-            "fig15": ex.fig15_mode_tests,
-            "fig16": ex.fig16_virtualization_overhead,
-            "fig17": ex.fig17_energy,
-            "sec65": ex.sec65_area_overheads,
-        }
+        _FIGURES = figure_registry()
     return _FIGURES
+
+
+def _warm(names, context, jobs) -> None:
+    """Precompute the figures' cases in parallel before the serial replay."""
+    from repro.experiments.parallel import cases_for_figures, jobs_from_env, warm_cases
+
+    if jobs is None:
+        jobs = jobs_from_env()
+    if jobs > 1:
+        warm_cases(cases_for_figures(names, context), context, jobs=jobs)
 
 
 def cmd_scenes(args) -> int:
@@ -111,6 +107,7 @@ def cmd_figure(args) -> int:
         return 2
     clear_failures()
     context = default_context(fast=args.fast)
+    _warm([args.name], context, args.jobs)
     print(format_table(figures[args.name](context)))
     return _finish_run(args.strict)
 
@@ -120,7 +117,9 @@ def cmd_report(args) -> int:
 
     clear_failures()
     context = default_context(fast=args.fast)
-    for name, fig in _figures().items():
+    figures = _figures()
+    _warm(list(figures), context, args.jobs)
+    for name, fig in figures.items():
         print(format_table(fig(context)))
         print("\n" + "=" * 72 + "\n")
     return _finish_run(args.strict)
@@ -193,12 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true")
     p.add_argument("--strict", action="store_true",
                    help="exit with status 3 if any case was quarantined")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("report", help="regenerate every figure")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--strict", action="store_true",
                    help="exit with status 3 if any case was quarantined")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("export", help="write one figure to CSV/JSON/text")

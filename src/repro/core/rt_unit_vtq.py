@@ -63,6 +63,9 @@ class VTQRTUnit:
         self.stats = stats
         self.cycle = 0.0
         self.cycle_budget = cycle_budget
+        # Build the numpy mirrors of the traversal tables up front so the
+        # vectorized warp step never pays the one-time cost mid-run.
+        bvh.batch_tables()
         self.queues = TreeletQueues(vtq, stats)
         self._incoming: List = []  # heap of (ready_cycle, seq, warp)
         self._seq = 0

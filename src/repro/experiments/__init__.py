@@ -7,6 +7,10 @@ Figures 1, 10, 12, 13, 16 and 17).
 
 Every figure function returns a plain dict with ``title``, ``headers`` and
 ``rows`` — render it with :func:`repro.experiments.report.format_table`.
+
+:mod:`repro.experiments.parallel` fans a sweep's cases out across worker
+processes (``REPRO_JOBS``) into the shared disk cache, which the serial
+figure code then replays as cache hits.
 """
 
 from repro.experiments.runner import (
@@ -19,6 +23,14 @@ from repro.experiments.runner import (
     record_failure,
     run_case,
     run_case_quarantined,
+)
+from repro.experiments.parallel import (
+    CaseSpec,
+    cases_for_figure,
+    cases_for_figures,
+    jobs_from_env,
+    run_cases,
+    warm_cases,
 )
 from repro.experiments.figures import (
     fig01_baseline_bottlenecks,
@@ -39,10 +51,16 @@ from repro.experiments.report import format_failures, format_table, render_all
 
 __all__ = [
     "CaseFailure",
+    "CaseSpec",
     "ExperimentContext",
+    "cases_for_figure",
+    "cases_for_figures",
     "default_context",
+    "jobs_from_env",
     "run_case",
     "run_case_quarantined",
+    "run_cases",
+    "warm_cases",
     "clear_cache",
     "clear_failures",
     "failures",

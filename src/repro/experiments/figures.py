@@ -566,3 +566,27 @@ def sec65_area_overheads(context: ExperimentContext) -> Dict:
         "headers": ["structure", "size / value", "reference"],
         "rows": rows,
     }
+
+
+def figure_registry() -> Dict:
+    """Name -> figure function, the single source for CLI and tooling.
+
+    The names are what ``python -m repro figure <name>`` accepts and what
+    :func:`repro.experiments.parallel.cases_for_figure` enumerates cases
+    for.
+    """
+    return {
+        "table1": table1_configuration,
+        "table2": table2_scenes,
+        "fig1": fig01_baseline_bottlenecks,
+        "fig5": fig05_analytical_model,
+        "fig10": fig10_overall_speedup,
+        "fig11": fig11_missrate_over_time,
+        "fig12": fig12_grouping_thresholds,
+        "fig13": fig13_warp_repacking,
+        "fig14": fig14_mode_cycles,
+        "fig15": fig15_mode_tests,
+        "fig16": fig16_virtualization_overhead,
+        "fig17": fig17_energy,
+        "sec65": sec65_area_overheads,
+    }

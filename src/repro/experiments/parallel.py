@@ -1,0 +1,258 @@
+"""Parallel sweep executor: fan cases out across worker processes.
+
+The figure functions in :mod:`repro.experiments.figures` call
+:func:`repro.experiments.runner.run_case` serially — correct, but a full
+report is dozens of independent (scene, policy, VTQ) cases and the
+simulator is CPU-bound pure Python, so a sweep leaves every core but one
+idle.  This module adds the missing layer:
+
+* :class:`CaseSpec` names one case; :func:`cases_for_figure` enumerates
+  the cases each paper figure will request (a mirror of the figure
+  loops — an out-of-date entry degrades to a serial computation, never a
+  wrong result).
+* :func:`run_cases` executes a case list on a ``ProcessPoolExecutor``
+  (``REPRO_JOBS`` workers, default ``os.cpu_count()``), returning results
+  in input order.  Workers run :func:`run_case_quarantined`, so a failing
+  case becomes a recorded :class:`CaseFailure` in the parent; a crashed
+  worker process is likewise converted instead of aborting the sweep.
+* :func:`warm_cases` is the integration point the CLI uses: fan the
+  figure's cases out so every worker writes the shared disk cache, then
+  let the unchanged figure code replay them as cache hits.  The per-case
+  ``flock`` claim in the runner guarantees two workers never simulate the
+  same key twice.
+
+Each worker process keeps its own LRU scene/BVH cache (the module-level
+cache in :mod:`repro.experiments.runner` is per process), so scenes are
+built at most once per worker.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import VTQConfig
+from repro.experiments.runner import (
+    CaseFailure,
+    ExperimentContext,
+    record_failure,
+    run_case_quarantined,
+)
+
+logger = logging.getLogger("repro.experiments.parallel")
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One (scene, policy, VTQ overrides) case of a sweep."""
+
+    scene: str
+    policy: str
+    vtq: Optional[VTQConfig] = None
+
+    def label(self) -> str:
+        suffix = "" if self.vtq is None else "+vtqcfg"
+        return f"{self.scene}/{self.policy}{suffix}"
+
+
+def jobs_from_env() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            logger.warning("ignoring non-integer REPRO_JOBS=%r", raw)
+    return os.cpu_count() or 1
+
+
+def _worker(spec: CaseSpec, context: ExperimentContext):
+    """Pool entry point: run one case quarantined, in a worker process."""
+    return run_case_quarantined(spec.scene, spec.policy, context, vtq=spec.vtq)
+
+
+def run_cases(
+    cases: Sequence[CaseSpec],
+    context: ExperimentContext,
+    jobs: Optional[int] = None,
+    record_failures: bool = True,
+) -> List[Tuple[Optional[Dict], Optional[CaseFailure]]]:
+    """Run every case, fanning out across processes; results in input order.
+
+    Each result is the ``(metrics, failure)`` pair of
+    :func:`run_case_quarantined`.  Failures (including a worker process
+    dying outright) are recorded in the parent via
+    :func:`record_failure` unless ``record_failures`` is False (cache
+    warming passes False so the figure replay records them once, in
+    figure order).
+    """
+    cases = list(cases)
+    if not cases:
+        return []
+    if jobs is None:
+        jobs = jobs_from_env()
+    jobs = max(1, min(int(jobs), len(cases)))
+    if jobs == 1:
+        results = []
+        for spec in cases:
+            try:
+                metrics, failure = run_case_quarantined(
+                    spec.scene, spec.policy, context, vtq=spec.vtq
+                )
+            except Exception as exc:  # non-ReproError: mirror the pool path
+                metrics = None
+                failure = CaseFailure(
+                    scene=spec.scene,
+                    policy=spec.policy,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+                if record_failures:
+                    record_failure(failure)
+            else:
+                if failure is not None and not record_failures:
+                    # run_case_quarantined already recorded it; undo to
+                    # honor the caller (warming must not double-report).
+                    _unrecord(failure)
+            results.append((metrics, failure))
+        return results
+
+    results: List[Optional[Tuple[Optional[Dict], Optional[CaseFailure]]]]
+    results = [None] * len(cases)
+    done = 0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_worker, spec, context): index
+            for index, spec in enumerate(cases)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            spec = cases[index]
+            try:
+                metrics, failure = future.result()
+            except Exception as exc:  # worker process died (or pool broke)
+                metrics = None
+                failure = CaseFailure(
+                    scene=spec.scene,
+                    policy=spec.policy,
+                    error_type=type(exc).__name__,
+                    message=f"worker crashed: {exc}",
+                )
+            # Quarantine records live in the worker's memory; re-record in
+            # the parent so `failures()` reflects the whole sweep.
+            if failure is not None and record_failures:
+                record_failure(failure)
+            results[index] = (metrics, failure)
+            done += 1
+            logger.info(
+                "parallel sweep %d/%d %s%s",
+                done, len(cases), spec.label(),
+                "" if failure is None else f" [quarantined: {failure.error_type}]",
+            )
+    return results  # type: ignore[return-value]
+
+
+def _unrecord(failure: CaseFailure) -> None:
+    from repro.experiments import runner
+
+    try:
+        runner._FAILURES.remove(failure)
+    except ValueError:  # pragma: no cover - already cleared elsewhere
+        pass
+
+
+def warm_cases(
+    cases: Sequence[CaseSpec],
+    context: ExperimentContext,
+    jobs: Optional[int] = None,
+) -> int:
+    """Precompute cases into the shared disk cache; returns cases warmed.
+
+    A no-op (returning 0) when the context bypasses the disk cache —
+    workers could compute, but the parent could never read the results
+    back, so serial execution is the honest choice there.  Failures are
+    not recorded here: the figure replay encounters and records them in
+    its own deterministic order.
+    """
+    cases = list(dict.fromkeys(cases))
+    if not cases or not context.use_disk_cache:
+        return 0
+    results = run_cases(cases, context, jobs=jobs, record_failures=False)
+    warmed = sum(1 for metrics, _failure in results if metrics is not None)
+    logger.info("warmed %d/%d cases into the disk cache", warmed, len(cases))
+    return warmed
+
+
+# ---------------------------------------------------------------------------
+# figure case enumeration (mirrors the loops in repro.experiments.figures)
+# ---------------------------------------------------------------------------
+
+
+def cases_for_figure(name: str, context: ExperimentContext) -> List[CaseSpec]:
+    """The cases figure ``name`` will request, in a deterministic order.
+
+    Mirrors the per-figure loops.  The contract is safe-by-construction:
+    enumerating too few (or stale) cases only means the figure computes
+    the difference serially on replay; results are identical either way.
+    """
+    from repro.experiments.figures import _vtq_default
+
+    scenes = context.scenes()
+    vtq = _vtq_default(context)
+    specs: List[CaseSpec] = []
+
+    def base(scene):
+        specs.append(CaseSpec(scene, "baseline"))
+
+    if name == "fig1":
+        for scene in scenes:
+            base(scene)
+    elif name == "fig10":
+        for scene in scenes:
+            base(scene)
+            specs.append(CaseSpec(scene, "prefetch"))
+            specs.append(CaseSpec(scene, "vtq", vtq))
+    elif name == "fig11":
+        scene = "LANDS" if "LANDS" in scenes else scenes[-1]
+        base(scene)
+        specs.append(CaseSpec(scene, "vtq", vtq.naive()))
+    elif name == "fig12":
+        for scene in scenes:
+            base(scene)
+            specs.append(CaseSpec(scene, "vtq", vtq.naive()))
+            for t in (32, 64, 128):
+                cfg = replace(vtq, queue_threshold=t, repack_enabled=False)
+                specs.append(CaseSpec(scene, "vtq", cfg))
+    elif name == "fig13":
+        for scene in scenes:
+            base(scene)
+            specs.append(CaseSpec(scene, "vtq", replace(vtq, repack_enabled=False)))
+            for t in (8, 16, 22):
+                specs.append(CaseSpec(scene, "vtq", replace(vtq, repack_threshold=t)))
+    elif name in ("fig14", "fig15", "sec65"):
+        for scene in scenes:
+            specs.append(CaseSpec(scene, "vtq", vtq))
+    elif name == "fig16":
+        ideal = replace(vtq, virtualization_overheads=False)
+        for scene in scenes:
+            specs.append(CaseSpec(scene, "vtq", vtq))
+            specs.append(CaseSpec(scene, "vtq", ideal))
+    elif name == "fig17":
+        for scene in scenes:
+            base(scene)
+            specs.append(CaseSpec(scene, "vtq", vtq))
+    # table1/table2/fig5 run no simulator cases.
+    return specs
+
+
+def cases_for_figures(
+    names: Sequence[str], context: ExperimentContext
+) -> List[CaseSpec]:
+    """Deduplicated union of :func:`cases_for_figure` over ``names``."""
+    merged: List[CaseSpec] = []
+    for name in names:
+        merged.extend(cases_for_figure(name, context))
+    return list(dict.fromkeys(merged))

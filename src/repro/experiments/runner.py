@@ -21,6 +21,12 @@ Robustness:
 * The per-process scene/BVH cache is LRU-bounded
   (``REPRO_SCENE_CACHE_ENTRIES``, default 8) so long sweeps over many
   scene/scale combinations don't grow memory without limit.
+* The disk cache is safe under concurrent sweep workers: a per-case
+  ``flock`` claim file serializes compute-and-write per key, so two
+  processes racing on the same case produce one simulation and one valid
+  entry (the loser reads the winner's result).  ``REPRO_CACHE_DIR``
+  overrides the cache location; ``REPRO_CACHE_TRACE`` appends
+  ``HIT <key>`` / ``COMPUTE <key>`` lines to a log for auditing.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import logging
 import os
 import shutil
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -52,6 +59,19 @@ logger = logging.getLogger("repro.experiments")
 RESULTS_VERSION = "7"
 
 _CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "experiments"
+
+
+def cache_dir() -> Path:
+    """The experiment result cache directory.
+
+    ``REPRO_CACHE_DIR`` overrides the repo-relative default — parallel
+    sweep workers and CI jobs point it at scratch space.  Read on every
+    call so tests and workers can retarget it at runtime.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return _CACHE_DIR
 
 
 @dataclass(frozen=True)
@@ -177,7 +197,7 @@ def _read_cache_entry(cache_path: Path, key: str) -> Dict:
 
 def _write_cache_entry(cache_path: Path, key: str, metrics: Dict) -> None:
     """Atomically write a versioned, checksummed cache entry."""
-    _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
     entry = {
         "version": RESULTS_VERSION,
         "key": key,
@@ -190,10 +210,52 @@ def _write_cache_entry(cache_path: Path, key: str, metrics: Dict) -> None:
     tmp.replace(cache_path)
 
 
+def _trace_cache(event: str, key: str) -> None:
+    """Append one ``EVENT <key>`` line to the ``REPRO_CACHE_TRACE`` log.
+
+    ``O_APPEND`` keeps concurrent writers' lines intact, so the log is a
+    faithful record of which process hit and which computed.
+    """
+    path = os.environ.get("REPRO_CACHE_TRACE")
+    if not path:
+        return
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, f"{event} {key}\n".encode())
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def _case_claim(key: str):
+    """Cross-process mutex for one cache key.
+
+    Blocks on an ``flock`` over ``<key>.lock`` in the cache directory so
+    two sweep workers never simulate the same case concurrently: the
+    loser of the race waits, then finds the winner's entry on disk.  On
+    platforms without ``fcntl`` the claim degrades to a no-op (the cache
+    write is still atomic; at worst a case is computed twice).
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / f"{key}.lock", "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def clear_cache() -> None:
     """Delete all cached experiment results."""
-    if _CACHE_DIR.exists():
-        shutil.rmtree(_CACHE_DIR)
+    directory = cache_dir()
+    if directory.exists():
+        shutil.rmtree(directory)
 
 
 # -- failure quarantine -------------------------------------------------------------
@@ -233,6 +295,23 @@ def clear_failures() -> None:
 # -- case execution -----------------------------------------------------------------
 
 
+def _try_read_cache(cache_path: Path, key: str, case_label: str) -> Optional[Dict]:
+    """Read a cache entry if present and valid; drop defective entries."""
+    if not cache_path.exists():
+        return None
+    try:
+        metrics = _read_cache_entry(cache_path, key)
+    except CacheError as exc:
+        logger.warning("recomputing %s: %s", case_label, exc)
+        try:
+            cache_path.unlink()
+        except OSError:  # pragma: no cover - racing unlink is fine
+            pass
+        return None
+    _trace_cache("HIT", key)
+    return metrics
+
+
 def run_case(
     scene_name: str,
     policy: str,
@@ -244,22 +323,45 @@ def run_case(
     A corrupt, truncated or stale cache entry is logged, deleted and
     recomputed.  When the context carries a :class:`CaseBudget` the case
     runs under wall-clock and simulated-cycle watchdogs and raises
-    :class:`BudgetExceeded` past either.
+    :class:`BudgetExceeded` past either.  Concurrent callers (parallel
+    sweep workers) computing the same key serialize on a per-case
+    ``flock`` claim: exactly one simulates, the rest read its entry.
     """
-    setup = context.setup
-    key = _case_key(scene_name, policy, setup, vtq)
-    cache_path = _CACHE_DIR / f"{key}.json"
+    key = _case_key(scene_name, policy, context.setup, vtq)
     case_label = f"{scene_name}:{policy}"
-    if context.use_disk_cache and cache_path.exists():
-        try:
-            return _read_cache_entry(cache_path, key)
-        except CacheError as exc:
-            logger.warning("recomputing %s: %s", case_label, exc)
-            try:
-                cache_path.unlink()
-            except OSError:  # pragma: no cover - racing unlink is fine
-                pass
+    if not context.use_disk_cache:
+        return _compute_case(scene_name, policy, context, vtq, case_label)
+    cache_path = cache_dir() / f"{key}.json"
+    metrics = _try_read_cache(cache_path, key, case_label)
+    if metrics is not None:
+        return metrics
+    with _case_claim(key):
+        # Another worker may have written the entry while we waited.
+        metrics = _try_read_cache(cache_path, key, case_label)
+        if metrics is not None:
+            return metrics
+        metrics = _compute_case(scene_name, policy, context, vtq, case_label)
+        _trace_cache("COMPUTE", key)
+        _write_cache_entry(cache_path, key, metrics)
+        spec = faults.should_fire(faults.CACHE_CORRUPT, case_label)
+        if spec is not None:
+            faults.corrupt_file(
+                cache_path,
+                faults.rng(spec, case_label),
+                mode=spec.payload.get("mode", "truncate"),
+            )
+    return metrics
 
+
+def _compute_case(
+    scene_name: str,
+    policy: str,
+    context: ExperimentContext,
+    vtq: Optional[VTQConfig],
+    case_label: str,
+) -> Dict:
+    """Simulate one case under its budget and return the metric dict."""
+    setup = context.setup
     try:
         spec = faults.should_fire(faults.CASE_FAIL, case_label)
         if spec is not None:
@@ -284,16 +386,6 @@ def run_case(
     metrics = extract_metrics(result, setup)
     metrics["scene"] = scene_name
     metrics["policy"] = policy
-
-    if context.use_disk_cache:
-        _write_cache_entry(cache_path, key, metrics)
-        spec = faults.should_fire(faults.CACHE_CORRUPT, case_label)
-        if spec is not None:
-            faults.corrupt_file(
-                cache_path,
-                faults.rng(spec, case_label),
-                mode=spec.payload.get("mode", "truncate"),
-            )
     return metrics
 
 

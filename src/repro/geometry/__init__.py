@@ -9,6 +9,11 @@ against a node's children or a leaf's triangles in one call.
 from repro.geometry.aabb import AABB, union_bounds
 from repro.geometry.ray import Ray, RayBatch
 from repro.geometry.triangle import TriangleMesh
+from repro.geometry.batch import (
+    intersect_aabb_batch,
+    intersect_tri_batch,
+    safe_inverse,
+)
 from repro.geometry.intersect import (
     ray_aabb_intersect,
     rays_aabbs_intersect,
@@ -22,6 +27,9 @@ __all__ = [
     "Ray",
     "RayBatch",
     "TriangleMesh",
+    "intersect_aabb_batch",
+    "intersect_tri_batch",
+    "safe_inverse",
     "ray_aabb_intersect",
     "rays_aabbs_intersect",
     "ray_triangles_intersect",

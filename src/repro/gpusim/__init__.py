@@ -26,7 +26,13 @@ from repro.gpusim.cache import Cache
 from repro.gpusim.memory import AccessKind, MemorySystem
 from repro.gpusim.energy import EnergyModel, ENERGY_COSTS
 from repro.gpusim.stats import SimStats, TraversalMode
-from repro.gpusim.warp import SimRay, TraceWarp, warp_step
+from repro.gpusim.warp import (
+    SimRay,
+    TraceWarp,
+    batch_kernels_enabled,
+    set_batch_kernels,
+    warp_step,
+)
 from repro.gpusim.rt_unit import BaselineRTUnit
 from repro.gpusim.dram import DRAMModel
 from repro.gpusim.timeline import ActivityTimeline, write_chrome_trace
@@ -45,6 +51,8 @@ __all__ = [
     "TraversalMode",
     "SimRay",
     "TraceWarp",
+    "batch_kernels_enabled",
+    "set_batch_kernels",
     "warp_step",
     "BaselineRTUnit",
     "DRAMModel",

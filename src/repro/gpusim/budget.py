@@ -6,9 +6,12 @@ independent bounds apply to every case the experiment runner executes:
 
 * a **simulated-cycle budget**, checked cooperatively by every RT-unit
   engine at each scheduling round, and
-* a **wall-clock budget**, enforced by a SIGALRM timer around the render
-  (skipped silently off the main thread or on platforms without
-  ``SIGALRM``, where only the cycle budget protects).
+* a **wall-clock budget**, enforced by a SIGALRM timer around the render.
+  Where SIGALRM cannot fire — worker threads, or platforms without the
+  signal — the watchdog arms a cooperative ``time.monotonic()`` deadline
+  instead, checked piggyback on the same per-scheduling-round hook as the
+  cycle budget, so parallel sweep workers get wall-clock protection too
+  (coarser: it only trips between scheduling rounds).
 
 Both raise :class:`repro.errors.BudgetExceeded` carrying whatever
 partial statistics were gathered, so a sweep can quarantine the case and
@@ -22,6 +25,7 @@ from __future__ import annotations
 import os
 import signal
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
@@ -77,10 +81,26 @@ def partial_stats(stats: SimStats, cycle: float) -> Dict:
     }
 
 
+# Cooperative wall-clock deadline for contexts where SIGALRM cannot fire
+# (worker threads; platforms without the signal).  Thread-local so budgets
+# in concurrent sweep workers never trip each other.
+_cooperative = threading.local()
+
+
+def _cooperative_deadline() -> Optional[tuple]:
+    return getattr(_cooperative, "deadline", None)
+
+
 def check_cycle_budget(
     cycle: float, limit: Optional[float], stats: SimStats
 ) -> None:
-    """Raise :class:`BudgetExceeded` when ``cycle`` overruns ``limit``."""
+    """Raise :class:`BudgetExceeded` on cycle or cooperative-wall overrun.
+
+    Called by every engine once per scheduling round, which makes it the
+    natural carrier for the cooperative wall-clock deadline: when
+    :func:`wall_clock_watchdog` could not arm SIGALRM it arms a monotonic
+    deadline instead, and this hook trips it.
+    """
     if limit is not None and cycle > limit:
         raise BudgetExceeded(
             f"simulated cycles {cycle:,.0f} exceed budget {limit:,.0f}",
@@ -89,21 +109,41 @@ def check_cycle_budget(
             observed=cycle,
             partial=partial_stats(stats, cycle),
         )
+    armed = _cooperative_deadline()
+    if armed is not None:
+        deadline, seconds, describe = armed
+        if time.monotonic() > deadline:
+            raise BudgetExceeded(
+                f"wall clock exceeded {seconds:g}s"
+                + (f" while running {describe}" if describe else ""),
+                kind="wall",
+                limit=seconds,
+                partial=partial_stats(stats, cycle),
+            )
 
 
 @contextmanager
 def wall_clock_watchdog(seconds: Optional[float], describe: str = "") -> Iterator[None]:
-    """Bound a block's wall-clock time via ``SIGALRM``.
+    """Bound a block's wall-clock time.
 
-    A no-op when ``seconds`` is ``None``, off the main thread, or on
-    platforms without ``SIGALRM`` — the cycle budget still applies there.
+    Uses a ``SIGALRM`` timer when available (main thread, platform with
+    the signal); elsewhere it arms a cooperative ``time.monotonic()``
+    deadline that :func:`check_cycle_budget` trips at the next scheduling
+    round.  A no-op only when ``seconds`` is ``None``.
     """
+    if seconds is None:
+        yield
+        return
     if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
+        not hasattr(signal, "SIGALRM")
         or threading.current_thread() is not threading.main_thread()
     ):
-        yield
+        previous = _cooperative_deadline()
+        _cooperative.deadline = (time.monotonic() + seconds, seconds, describe)
+        try:
+            yield
+        finally:
+            _cooperative.deadline = previous
         return
 
     def _on_alarm(signum, frame):

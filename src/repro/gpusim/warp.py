@@ -8,17 +8,50 @@ plus identity (pixel, CTA, bounce).  A :class:`TraceWarp` is up to
 model: advance all unfinished rays of a warp by one BVH item visit, charge
 the slowest ray's memory latency plus the fixed-function intersection
 latency, and record SIMT efficiency.
+
+Two implementations exist behind :func:`warp_step`: the scalar reference
+(one Python call per lane) and a batch path that pops every lane first
+and then slab-tests / Moller-Trumbores all lanes' children and triangles
+in one vectorized kernel call (:mod:`repro.geometry.batch`).  The two are
+bit-identical — same hits, same memory access sequence, same cycle and
+stat accounting — so the selection (``REPRO_BATCH_KERNELS``, default on,
+with a small-warp scalar cutoff) is purely a wall-clock decision.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.bvh.traversal import RayTraversalState, single_step
+from repro.bvh.traversal import (
+    RayTraversalState,
+    expand_nodes_batch,
+    intersect_leaves_batch,
+    pop_next,
+    single_step,
+)
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.memory import AccessKind, MemorySystem
 from repro.gpusim.stats import SimStats, TraversalMode
+
+# Below this many active lanes the per-call numpy overhead outweighs the
+# vectorization win; the scalar path is used (results are identical).
+_BATCH_MIN_LANES = 4
+
+_batch_enabled = os.environ.get("REPRO_BATCH_KERNELS", "1") != "0"
+
+
+def set_batch_kernels(enabled: bool) -> bool:
+    """Toggle the vectorized warp-step path; returns the previous value."""
+    global _batch_enabled
+    previous = _batch_enabled
+    _batch_enabled = bool(enabled)
+    return previous
+
+
+def batch_kernels_enabled() -> bool:
+    return _batch_enabled
 
 
 class SimRay:
@@ -88,6 +121,30 @@ def warp_step(
     lane (memory divergence), exactly the RT-unit behaviour the paper's
     SIMT-efficiency argument relies on.
     """
+    if (
+        _batch_enabled
+        and len(rays) >= _BATCH_MIN_LANES
+        and all(r.state.all_hits is None for r in rays)
+    ):
+        return _warp_step_batch(
+            bvh, rays, mem, config, stats, cycle, mode, in_treelet_only
+        )
+    return _warp_step_scalar(
+        bvh, rays, mem, config, stats, cycle, mode, in_treelet_only
+    )
+
+
+def _warp_step_scalar(
+    bvh,
+    rays: List[SimRay],
+    mem: MemorySystem,
+    config: GPUConfig,
+    stats: SimStats,
+    cycle: float,
+    mode: TraversalMode,
+    in_treelet_only: bool,
+) -> Tuple[float, List[SimRay], int]:
+    """Reference implementation: one :func:`single_step` per lane."""
     max_latency = 0.0
     missing_lanes = 0
     misses = 0
@@ -115,7 +172,83 @@ def warp_step(
     if not stepped:
         return 0.0, [], 0
     stats.triangle_tests += tests
+    return _finish_step(
+        config, stats, mode, stepped, tests, max_latency, missing_lanes, misses
+    )
 
+
+def _warp_step_batch(
+    bvh,
+    rays: List[SimRay],
+    mem: MemorySystem,
+    config: GPUConfig,
+    stats: SimStats,
+    cycle: float,
+    mode: TraversalMode,
+    in_treelet_only: bool,
+) -> Tuple[float, List[SimRay], int]:
+    """Vectorized implementation: pop all lanes, intersect in two kernels.
+
+    The intersection math has no side effects on the memory model, so
+    hoisting it ahead of the per-lane cache accesses (which stay in lane
+    order) reproduces the scalar path exactly.
+    """
+    entries = []  # (ray, item, is_leaf, local_idx)
+    for ray in rays:
+        popped = pop_next(bvh, ray.state, in_treelet_only=in_treelet_only)
+        if popped is not None:
+            entries.append((ray, popped[0], popped[1], popped[2]))
+    if not entries:
+        return 0.0, [], 0
+
+    node_groups = [
+        (ray.state, local) for ray, _item, is_leaf, local in entries if not is_leaf
+    ]
+    leaf_groups = [
+        (ray.state, local) for ray, _item, is_leaf, local in entries if is_leaf
+    ]
+    if node_groups:
+        expand_nodes_batch(bvh, node_groups)
+    if leaf_groups:
+        intersect_leaves_batch(bvh, leaf_groups)
+
+    max_latency = 0.0
+    missing_lanes = 0
+    misses = 0
+    stepped: List[SimRay] = []
+    tests = 0
+    item_lines = bvh.item_lines
+    leaf_tris = bvh.leaf_tris
+    for ray, item, is_leaf, local_idx in entries:
+        access_latency, ray_misses = mem.access_lines(
+            item_lines[item], AccessKind.BVH, cycle
+        )
+        max_latency = max(max_latency, access_latency)
+        if ray_misses:
+            missing_lanes += 1
+            misses += ray_misses
+        stepped.append(ray)
+        if is_leaf:
+            tests += len(leaf_tris[local_idx])
+            stats.leaf_visits += 1
+        else:
+            stats.node_visits += 1
+    stats.triangle_tests += tests
+    return _finish_step(
+        config, stats, mode, stepped, tests, max_latency, missing_lanes, misses
+    )
+
+
+def _finish_step(
+    config: GPUConfig,
+    stats: SimStats,
+    mode: TraversalMode,
+    stepped: List[SimRay],
+    tests: int,
+    max_latency: float,
+    missing_lanes: int,
+    misses: int,
+) -> Tuple[float, List[SimRay], int]:
     # Fractional-stall cost: the RT unit's memory scheduler keeps servicing
     # lanes whose data is ready while the missing lanes wait, so a step
     # costs the hit latency plus the worst miss latency weighted by the

@@ -1,0 +1,413 @@
+"""Batch intersection kernels must be bit-identical to the scalar loops.
+
+The vectorized warp-step path (:mod:`repro.geometry.batch` plus the
+``*_batch`` helpers in :mod:`repro.bvh.traversal`) may interchange with
+the scalar reference mid-simulation, so the contract is exact float
+equality — not approximate agreement.  These tests exercise the kernels
+property-style against scalar re-implementations and against the real
+traversal code on real BVHs, including the awkward inputs: axis-parallel
+rays, degenerate triangles and tight ``t``-window clipping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvh import TraversalOrder, build_scene_bvh, init_traversal, single_step
+from repro.bvh import traversal as tv
+from repro.geometry import (
+    intersect_aabb_batch,
+    intersect_tri_batch,
+    safe_inverse,
+)
+from repro.geometry.batch import DET_EPS, INV_CLAMP
+
+from tests.conftest import random_soup
+
+
+# ---------------------------------------------------------------------------
+# scalar references (transcribed from the traversal inner loops)
+
+
+def _scalar_slab(o, inv, box, tmin, t_hit):
+    """The exact slab test `_expand_node` performs per child."""
+    near = -float("inf")
+    far = float("inf")
+    t1 = (box[0] - o[0]) * inv[0]
+    t2 = (box[3] - o[0]) * inv[0]
+    if t1 > t2:
+        t1, t2 = t2, t1
+    near, far = t1, t2
+    t1 = (box[1] - o[1]) * inv[1]
+    t2 = (box[4] - o[1]) * inv[1]
+    if t1 > t2:
+        t1, t2 = t2, t1
+    if t1 > near:
+        near = t1
+    if t2 < far:
+        far = t2
+    t1 = (box[2] - o[2]) * inv[2]
+    t2 = (box[5] - o[2]) * inv[2]
+    if t1 > t2:
+        t1, t2 = t2, t1
+    if t1 > near:
+        near = t1
+    if t2 < far:
+        far = t2
+    if near < tmin:
+        near = tmin
+    if far > t_hit:
+        far = t_hit
+    return near <= far, near
+
+
+def _scalar_mt(o, d, v0, e1, e2):
+    """The exact Moller-Trumbore candidate test `_intersect_leaf` performs."""
+    px = d[1] * e2[2] - d[2] * e2[1]
+    py = d[2] * e2[0] - d[0] * e2[2]
+    pz = d[0] * e2[1] - d[1] * e2[0]
+    det = e1[0] * px + e1[1] * py + e1[2] * pz
+    if -DET_EPS < det < DET_EPS:
+        return False, 0.0
+    inv = 1.0 / det
+    tx = o[0] - v0[0]
+    ty = o[1] - v0[1]
+    tz = o[2] - v0[2]
+    u = (tx * px + ty * py + tz * pz) * inv
+    if u < 0.0 or u > 1.0:
+        return False, 0.0
+    qx = ty * e1[2] - tz * e1[1]
+    qy = tz * e1[0] - tx * e1[2]
+    qz = tx * e1[1] - ty * e1[0]
+    v = (d[0] * qx + d[1] * qy + d[2] * qz) * inv
+    if v < 0.0 or u + v > 1.0:
+        return False, 0.0
+    t = (e2[0] * qx + e2[1] * qy + e2[2] * qz) * inv
+    return True, t
+
+
+def _random_rays(rng, n):
+    origins = rng.uniform(-5.0, 5.0, (n, 3))
+    directions = rng.normal(size=(n, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    return origins, directions
+
+
+# ---------------------------------------------------------------------------
+# safe_inverse
+
+
+class TestSafeInverse:
+    def test_matches_scalar_on_random_and_special_values(self):
+        rng = np.random.default_rng(7)
+        values = np.concatenate([
+            rng.normal(size=64),
+            rng.uniform(-1e-12, 1e-12, 16),  # inside the epsilon band
+            np.array([0.0, -0.0, 1e-13, -1e-13, 1e-35, -1e-35, 1e35, -1e35]),
+        ])
+        batch = safe_inverse(values.reshape(-1, 1))[:, 0]
+        for i, d in enumerate(values):
+            assert batch[i] == tv._safe_inv(float(d)), d
+
+    def test_zero_maps_to_positive_clamp(self):
+        inv = safe_inverse(np.array([[0.0, -0.0, 5e-13]]))
+        assert inv[0, 0] == INV_CLAMP
+        # -0.0 >= 0 in Python, so the scalar helper returns +clamp too.
+        assert inv[0, 1] == tv._safe_inv(-0.0)
+        assert inv[0, 2] == INV_CLAMP
+
+    def test_tiny_reciprocal_is_clamped(self):
+        inv = safe_inverse(np.array([[1e-31, -1e-31]]))
+        # 1/1e-31 = 1e31 > clamp; 1e-31 is inside the epsilon band anyway.
+        assert abs(inv[0, 0]) <= INV_CLAMP
+        assert abs(inv[0, 1]) <= INV_CLAMP
+
+
+# ---------------------------------------------------------------------------
+# AABB kernel
+
+
+class TestAABBKernel:
+    def test_matches_scalar_on_random_pairs(self):
+        rng = np.random.default_rng(11)
+        n = 256
+        origins, directions = _random_rays(rng, n)
+        invs = safe_inverse(directions)
+        lo = rng.uniform(-4.0, 3.0, (n, 3))
+        hi = lo + rng.uniform(0.0, 3.0, (n, 3))
+        boxes = np.concatenate([lo, hi], axis=1)
+        tmin = rng.uniform(0.0, 0.5, n)
+        t_hit = rng.uniform(0.5, 20.0, n)
+        mask, near = intersect_aabb_batch(origins, invs, boxes, tmin, t_hit)
+        for i in range(n):
+            ref_hit, ref_near = _scalar_slab(
+                origins[i], invs[i], boxes[i], float(tmin[i]), float(t_hit[i])
+            )
+            assert bool(mask[i]) == ref_hit
+            if ref_hit:
+                assert float(near[i]) == ref_near
+
+    def test_axis_parallel_rays(self):
+        """Rays with zero direction components use the clamped inverses."""
+        rng = np.random.default_rng(13)
+        n = 96
+        origins = rng.uniform(-2.0, 2.0, (n, 3))
+        directions = np.zeros((n, 3))
+        axes = rng.integers(0, 3, n)
+        directions[np.arange(n), axes] = rng.choice([-1.0, 1.0], n)
+        # Zero a second component explicitly for a few rays (it already is).
+        invs = safe_inverse(directions)
+        boxes = np.concatenate(
+            [origins - 0.5, origins + rng.uniform(0.1, 1.0, (n, 3))], axis=1
+        )
+        mask, near = intersect_aabb_batch(origins, invs, boxes, 1e-4, 100.0)
+        for i in range(n):
+            ref_hit, ref_near = _scalar_slab(
+                origins[i], invs[i], boxes[i], 1e-4, 100.0
+            )
+            assert bool(mask[i]) == ref_hit
+            if ref_hit:
+                assert float(near[i]) == ref_near
+
+    def test_t_window_clipping(self):
+        """tmin / t_hit clipping decides hits exactly as the scalar code."""
+        origin = np.array([[0.0, 0.0, 0.0]])
+        inv = safe_inverse(np.array([[1.0, 0.0, 0.0]]))
+        box = np.array([[2.0, -1.0, -1.0, 4.0, 1.0, 1.0]])
+        # Window entirely before the box: miss.
+        mask, _ = intersect_aabb_batch(origin, inv, box, 0.0, np.array([1.5]))
+        assert not bool(mask[0])
+        # Window touching the box entry exactly: hit (near <= far uses <=).
+        mask, near = intersect_aabb_batch(origin, inv, box, 0.0, np.array([2.0]))
+        assert bool(mask[0]) and float(near[0]) == 2.0
+        # tmin beyond the box exit: miss.
+        mask, _ = intersect_aabb_batch(origin, inv, box, np.array([4.5]), 100.0)
+        assert not bool(mask[0])
+        # tmin inside the box: hit with near clamped up to tmin.
+        mask, near = intersect_aabb_batch(origin, inv, box, np.array([3.0]), 100.0)
+        assert bool(mask[0]) and float(near[0]) == 3.0
+
+    def test_padded_groups_match_rows(self):
+        """(G, K, 6) grouped evaluation equals the flat row evaluation."""
+        rng = np.random.default_rng(17)
+        g, k = 12, 4
+        origins, directions = _random_rays(rng, g)
+        invs = safe_inverse(directions)
+        lo = rng.uniform(-4.0, 3.0, (g, k, 3))
+        boxes = np.concatenate([lo, lo + rng.uniform(0.0, 3.0, (g, k, 3))], axis=2)
+        tmin = rng.uniform(0.0, 0.5, g)
+        t_hit = rng.uniform(0.5, 20.0, g)
+        mask_g, near_g = intersect_aabb_batch(origins, invs, boxes, tmin, t_hit)
+        assert mask_g.shape == (g, k)
+        mask_r, near_r = intersect_aabb_batch(
+            np.repeat(origins, k, axis=0),
+            np.repeat(invs, k, axis=0),
+            boxes.reshape(-1, 6),
+            np.repeat(tmin, k),
+            np.repeat(t_hit, k),
+        )
+        assert np.array_equal(mask_g.reshape(-1), mask_r)
+        assert np.array_equal(near_g.reshape(-1), near_r)
+
+
+# ---------------------------------------------------------------------------
+# triangle kernel
+
+
+class TestTriangleKernel:
+    def test_matches_scalar_on_random_pairs(self):
+        rng = np.random.default_rng(19)
+        n = 256
+        origins, directions = _random_rays(rng, n)
+        v0 = rng.uniform(-3.0, 3.0, (n, 3))
+        e1 = rng.normal(size=(n, 3))
+        e2 = rng.normal(size=(n, 3))
+        mask, t, u, v = intersect_tri_batch(origins, directions, v0, e1, e2)
+        for i in range(n):
+            ref_hit, ref_t = _scalar_mt(origins[i], directions[i], v0[i], e1[i], e2[i])
+            assert bool(mask[i]) == ref_hit
+            if ref_hit:
+                assert float(t[i]) == ref_t
+
+    def test_degenerate_triangles_never_candidates(self):
+        """Zero-area triangles (det within eps) are rejected, not NaN."""
+        rng = np.random.default_rng(23)
+        n = 32
+        origins, directions = _random_rays(rng, n)
+        v0 = rng.uniform(-1.0, 1.0, (n, 3))
+        zeros = np.zeros((n, 3))
+        shared = rng.normal(size=(n, 3))
+        for e1, e2 in [
+            (zeros, zeros),              # point triangles (the padding rows)
+            (shared, shared),            # collinear edges
+            (shared, shared * 2.0),      # parallel edges
+        ]:
+            mask, t, u, v = intersect_tri_batch(origins, directions, v0, e1, e2)
+            assert not mask.any()
+            assert np.isfinite(t).all()
+            assert np.isfinite(u).all()
+            assert np.isfinite(v).all()
+
+    def test_hit_through_triangle_interior(self):
+        """A ray straight through a known triangle reports the exact t."""
+        v0 = np.array([[0.0, 0.0, 2.0]])
+        e1 = np.array([[2.0, 0.0, 0.0]])
+        e2 = np.array([[0.0, 2.0, 0.0]])
+        origin = np.array([[0.5, 0.5, 0.0]])
+        direction = np.array([[0.0, 0.0, 1.0]])
+        mask, t, u, v = intersect_tri_batch(origin, direction, v0, e1, e2)
+        assert bool(mask[0])
+        assert float(t[0]) == 2.0
+        assert float(u[0]) == 0.25 and float(v[0]) == 0.25
+
+    def test_barycentric_edge_inclusion(self):
+        """u, v boundaries are inclusive exactly like the scalar tests."""
+        v0 = np.array([[0.0, 0.0, 2.0]])
+        e1 = np.array([[2.0, 0.0, 0.0]])
+        e2 = np.array([[0.0, 2.0, 0.0]])
+        direction = np.array([[0.0, 0.0, 1.0]])
+        for ox, oy in [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0), (1.0, 1.0)]:
+            origin = np.array([[ox, oy, 0.0]])
+            mask, _, _, _ = intersect_tri_batch(origin, direction, v0, e1, e2)
+            ref_hit, _ = _scalar_mt(
+                origin[0], direction[0], v0[0], e1[0], e2[0]
+            )
+            assert bool(mask[0]) == ref_hit
+
+    def test_padded_groups_match_rows(self):
+        rng = np.random.default_rng(29)
+        g, k = 10, 4
+        origins, directions = _random_rays(rng, g)
+        v0 = rng.uniform(-3.0, 3.0, (g, k, 3))
+        e1 = rng.normal(size=(g, k, 3))
+        e2 = rng.normal(size=(g, k, 3))
+        mask_g, t_g, _, _ = intersect_tri_batch(origins, directions, v0, e1, e2)
+        assert mask_g.shape == (g, k)
+        mask_r, t_r, _, _ = intersect_tri_batch(
+            np.repeat(origins, k, axis=0),
+            np.repeat(directions, k, axis=0),
+            v0.reshape(-1, 3), e1.reshape(-1, 3), e2.reshape(-1, 3),
+        )
+        assert np.array_equal(mask_g.reshape(-1), mask_r)
+        assert np.array_equal(t_g.reshape(-1), t_r)
+
+
+# ---------------------------------------------------------------------------
+# traversal helpers on a real BVH
+
+
+@pytest.fixture(scope="module")
+def kernel_bvh():
+    return build_scene_bvh(random_soup(220, seed=5))
+
+
+def _rays_into(bvh, n, seed):
+    rng = np.random.default_rng(seed)
+    box = bvh.wide.root_bounds
+    center = box.centroid()
+    radius = float(np.linalg.norm(box.extent())) * 0.8 + 1.0
+    phi = rng.uniform(0, 2 * np.pi, n)
+    costheta = rng.uniform(-1, 1, n)
+    sintheta = np.sqrt(1 - costheta**2)
+    origins = center + radius * np.stack(
+        [sintheta * np.cos(phi), sintheta * np.sin(phi), costheta], axis=1
+    )
+    targets = center + rng.uniform(-0.5, 0.5, (n, 3)) * box.extent()
+    directions = targets - origins
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    return origins, directions
+
+
+def _drain(bvh, states, use_batch, min_groups):
+    """Run all states to completion, warp-step style."""
+    if use_batch:
+        original_nodes = tv.BATCH_MIN_NODE_GROUPS
+        original_leaves = tv.BATCH_MIN_LEAF_GROUPS
+        tv.BATCH_MIN_NODE_GROUPS = min_groups
+        tv.BATCH_MIN_LEAF_GROUPS = min_groups
+    try:
+        live = list(states)
+        while live:
+            if use_batch:
+                entries = []
+                for state in live:
+                    popped = tv.pop_next(bvh, state)
+                    if popped is not None:
+                        entries.append((state, popped))
+                node_groups = [
+                    (s, local) for s, (item, is_leaf, local) in entries if not is_leaf
+                ]
+                leaf_groups = [
+                    (s, local) for s, (item, is_leaf, local) in entries if is_leaf
+                ]
+                if node_groups:
+                    tv.expand_nodes_batch(bvh, node_groups)
+                if leaf_groups:
+                    tv.intersect_leaves_batch(bvh, leaf_groups)
+            else:
+                for state in live:
+                    single_step(bvh, state)
+            live = [s for s in live if not s.finished()]
+    finally:
+        if use_batch:
+            tv.BATCH_MIN_NODE_GROUPS = original_nodes
+            tv.BATCH_MIN_LEAF_GROUPS = original_leaves
+
+
+@pytest.mark.parametrize("order", [TraversalOrder.DEPTH_FIRST, TraversalOrder.TREELET])
+@pytest.mark.parametrize("min_groups", [0, 1_000_000])
+class TestTraversalEquivalence:
+    """Full traversals agree exactly between scalar and batch warp steps.
+
+    ``min_groups=0`` forces every group through the numpy kernels;
+    ``min_groups=1_000_000`` forces the scalar fallback inside the batch
+    helpers — both must equal the pure ``single_step`` reference.
+    """
+
+    def test_full_traversal_states_identical(self, kernel_bvh, order, min_groups):
+        n = 48
+        origins, directions = _rays_into(kernel_bvh, n, seed=31)
+
+        def fresh_states():
+            return [
+                init_traversal(
+                    kernel_bvh, origins[i], directions[i], tmin=1e-4, order=order
+                )
+                for i in range(n)
+            ]
+
+        scalar = fresh_states()
+        batch = fresh_states()
+        _drain(kernel_bvh, scalar, use_batch=False, min_groups=0)
+        _drain(kernel_bvh, batch, use_batch=True, min_groups=min_groups)
+        for a, b in zip(scalar, batch):
+            assert a.t_hit == b.t_hit
+            assert a.hit_prim == b.hit_prim
+            assert a.nodes_visited == b.nodes_visited
+            assert a.leaf_visits == b.leaf_visits
+            assert a.triangle_tests == b.triangle_tests
+            assert a.culled == b.culled
+
+
+def test_end_to_end_render_identical():
+    """A full simulated render is byte-identical scalar vs batch."""
+    import json
+
+    from repro.experiments import runner
+    from repro.gpusim import set_batch_kernels
+
+    context = runner.default_context(fast=True)
+    context = runner.ExperimentContext(
+        setup=context.setup,
+        scene_list=context.scene_list,
+        use_disk_cache=False,
+        budget=context.budget,
+        sanitize=context.sanitize,
+    )
+    previous = set_batch_kernels(False)
+    try:
+        scalar = runner.run_case("BUNNY", "sorted", context, vtq=None)
+        set_batch_kernels(True)
+        batch = runner.run_case("BUNNY", "sorted", context, vtq=None)
+    finally:
+        set_batch_kernels(previous)
+    assert json.dumps(scalar, sort_keys=True) == json.dumps(batch, sort_keys=True)

@@ -189,6 +189,53 @@ class TestBudgets:
         with wall_clock_watchdog(None):
             pass  # disabled budget is a clean no-op
 
+    def test_wall_clock_cooperative_in_worker_thread(self, ctx):
+        """Off the main thread SIGALRM cannot fire; the cooperative
+        monotonic deadline must trip the case instead."""
+        import threading
+
+        tight = ExperimentContext(
+            setup=ctx.setup, scene_list=ctx.scene_list,
+            use_disk_cache=False, budget=CaseBudget(wall_seconds=1e-6),
+        )
+        outcome = {}
+
+        def work():
+            try:
+                outcome["metrics"] = run_case("BUNNY", "baseline", tight)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                outcome["exc"] = exc
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=120)
+        exc = outcome.get("exc")
+        assert isinstance(exc, BudgetExceeded)
+        assert exc.kind == "wall"
+        assert "rays_traced" in exc.partial
+
+    def test_wall_clock_cooperative_disarms_cleanly(self):
+        """The cooperative deadline is thread-local and cleared on exit."""
+        import threading
+
+        from repro.gpusim.budget import _cooperative_deadline, check_cycle_budget
+        from repro.gpusim.stats import SimStats
+
+        outcome = {}
+
+        def work():
+            with wall_clock_watchdog(3600.0, describe="armed"):
+                outcome["armed"] = _cooperative_deadline() is not None
+            outcome["disarmed"] = _cooperative_deadline() is None
+            check_cycle_budget(0.0, None, SimStats())  # must not raise
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=30)
+        assert outcome == {"armed": True, "disarmed": True}
+        # The main thread still has no deadline armed.
+        assert _cooperative_deadline() is None
+
 
 class TestQuarantine:
     def test_run_case_quarantined_records_failure(self, ctx):

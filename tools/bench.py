@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Benchmark harness: wall-clock performance of the reproduction itself.
+
+Times a fixed sweep of fast-scene cases through four phases —
+
+* ``bvh_build``      — cold scene + BVH construction per scene,
+* ``kernel``         — warp-inner-loop intersection math, scalar loops vs
+                       the vectorized batch kernels, at several batch sizes,
+* ``serial_sweep``   — the case list end-to-end in one process (scalar
+                       kernels vs batch kernels),
+* ``parallel_sweep`` — the same list through the parallel executor
+                       (``--jobs`` workers) into a fresh disk cache,
+
+and writes ``BENCH_<date>.json`` with per-phase wall time, cases/sec and
+speedups (batch vs scalar, parallel vs serial).  Run from the repository
+root:
+
+    PYTHONPATH=src python tools/bench.py --fast
+
+Speedups on a single-core machine: the parallel phase degrades to ~1x
+(workers time-slice one core) — the number to watch there is cases/sec
+on multi-core CI runners.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import runner  # noqa: E402
+from repro.experiments.parallel import CaseSpec, run_cases  # noqa: E402
+from repro.experiments.runner import ExperimentContext, default_context  # noqa: E402
+from repro.geometry.batch import (  # noqa: E402
+    intersect_aabb_batch,
+    intersect_tri_batch,
+    safe_inverse,
+)
+from repro.gpusim import set_batch_kernels  # noqa: E402
+
+
+def _case_list(fast: bool):
+    """The fixed sweep: every fast policy combination per scene."""
+    scenes = ("BUNNY", "SPNZA") if fast else ("BUNNY", "SPNZA", "HAIR", "LANDS")
+    from repro.core.config import VTQConfig
+
+    specs = []
+    for scene in scenes:
+        specs.append(CaseSpec(scene, "baseline"))
+        specs.append(CaseSpec(scene, "prefetch"))
+        specs.append(CaseSpec(scene, "vtq"))
+        specs.append(CaseSpec(scene, "vtq", VTQConfig().scaled_to(256)))
+    return specs
+
+
+def _nocache(context):
+    return ExperimentContext(
+        setup=context.setup, scene_list=context.scene_list,
+        use_disk_cache=False, budget=context.budget, sanitize=context.sanitize,
+    )
+
+
+def bench_bvh_build(context, specs):
+    """Cold scene + BVH construction, once per distinct scene."""
+    scenes = list(dict.fromkeys(spec.scene for spec in specs))
+    per_scene = {}
+    for scene in scenes:
+        runner._scene_cache.clear()
+        start = time.perf_counter()
+        runner.scene_and_bvh(scene, context.setup)
+        per_scene[scene] = time.perf_counter() - start
+    runner._scene_cache.clear()
+    return {"per_scene_s": per_scene, "total_s": sum(per_scene.values())}
+
+
+def _scalar_slab_loop(origins, invs, boxes, tmin, t_hit):
+    hits = 0
+    for i in range(len(boxes)):
+        o = origins[i]
+        inv = invs[i]
+        b = boxes[i]
+        t1 = (b[0] - o[0]) * inv[0]
+        t2 = (b[3] - o[0]) * inv[0]
+        if t1 > t2:
+            t1, t2 = t2, t1
+        near, far = t1, t2
+        t1 = (b[1] - o[1]) * inv[1]
+        t2 = (b[4] - o[1]) * inv[1]
+        if t1 > t2:
+            t1, t2 = t2, t1
+        if t1 > near:
+            near = t1
+        if t2 < far:
+            far = t2
+        t1 = (b[2] - o[2]) * inv[2]
+        t2 = (b[5] - o[2]) * inv[2]
+        if t1 > t2:
+            t1, t2 = t2, t1
+        if t1 > near:
+            near = t1
+        if t2 < far:
+            far = t2
+        if near < tmin:
+            near = tmin
+        if far > t_hit:
+            far = t_hit
+        if near <= far:
+            hits += 1
+    return hits
+
+
+def _scalar_mt_loop(origins, dirs, v0, e1, e2):
+    hits = 0
+    eps = 1e-12
+    for i in range(len(v0)):
+        o, d = origins[i], dirs[i]
+        a, b, c = v0[i], e1[i], e2[i]
+        px = d[1] * c[2] - d[2] * c[1]
+        py = d[2] * c[0] - d[0] * c[2]
+        pz = d[0] * c[1] - d[1] * c[0]
+        det = b[0] * px + b[1] * py + b[2] * pz
+        if -eps < det < eps:
+            continue
+        inv = 1.0 / det
+        tx = o[0] - a[0]
+        ty = o[1] - a[1]
+        tz = o[2] - a[2]
+        u = (tx * px + ty * py + tz * pz) * inv
+        if u < 0.0 or u > 1.0:
+            continue
+        qx = ty * b[2] - tz * b[1]
+        qy = tz * b[0] - tx * b[2]
+        qz = tx * b[1] - ty * b[0]
+        v = (d[0] * qx + d[1] * qy + d[2] * qz) * inv
+        if v < 0.0 or u + v > 1.0:
+            continue
+        hits += 1
+    return hits
+
+
+def _best_of(fn, reps):
+    best = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def bench_kernels(reps=5):
+    """Scalar loops vs batch kernels on the warp-inner-loop math.
+
+    Sizes cover one warp popping 4-wide nodes (128 pairings) up to a
+    node-table-sized gather: this is the speedup the vectorized warp
+    step taps, isolated from the memory/timing model around it.
+    """
+    rng = np.random.default_rng(42)
+    out = {}
+    for m in (128, 1024, 8192):
+        origins = rng.uniform(-5, 5, (m, 3))
+        dirs = rng.normal(size=(m, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        invs = safe_inverse(dirs)
+        lo = rng.uniform(-4, 3, (m, 3))
+        boxes = np.concatenate([lo, lo + rng.uniform(0, 3, (m, 3))], axis=1)
+        o_list = origins.tolist()
+        inv_list = invs.tolist()
+        box_list = boxes.tolist()
+        scalar = _best_of(
+            lambda: _scalar_slab_loop(o_list, inv_list, box_list, 1e-4, 1e30), reps
+        )
+        batch = _best_of(
+            lambda: intersect_aabb_batch(origins, invs, boxes, 1e-4, 1e30), reps
+        )
+        out[f"aabb_{m}"] = {
+            "scalar_s": scalar,
+            "batch_s": batch,
+            "speedup": scalar / batch if batch else 0.0,
+        }
+
+        v0 = rng.uniform(-3, 3, (m, 3))
+        e1 = rng.normal(size=(m, 3))
+        e2 = rng.normal(size=(m, 3))
+        v0_l, e1_l, e2_l = v0.tolist(), e1.tolist(), e2.tolist()
+        d_list = dirs.tolist()
+        scalar = _best_of(
+            lambda: _scalar_mt_loop(o_list, d_list, v0_l, e1_l, e2_l), reps
+        )
+        batch = _best_of(
+            lambda: intersect_tri_batch(origins, dirs, v0, e1, e2), reps
+        )
+        out[f"tri_{m}"] = {
+            "scalar_s": scalar,
+            "batch_s": batch,
+            "speedup": scalar / batch if batch else 0.0,
+        }
+    return out
+
+
+def bench_serial(context, specs, reps):
+    """The sweep in-process, scalar kernels vs batch kernels."""
+    nocache = _nocache(context)
+
+    def sweep():
+        results = run_cases(specs, nocache, jobs=1, record_failures=False)
+        assert all(m is not None for m, _ in results), "sweep case failed"
+
+    sweep()  # warm the per-process scene cache
+    out = {}
+    for label, enabled in (("scalar", False), ("batch", True)):
+        previous = set_batch_kernels(enabled)
+        try:
+            elapsed = _best_of(sweep, reps)
+        finally:
+            set_batch_kernels(previous)
+        out[label] = {
+            "wall_s": elapsed,
+            "cases_per_s": len(specs) / elapsed,
+        }
+    out["batch_speedup"] = out["scalar"]["wall_s"] / out["batch"]["wall_s"]
+    return out
+
+
+def bench_parallel(context, specs, jobs):
+    """The sweep through the process-pool executor into a fresh cache."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as scratch:
+        os.environ["REPRO_CACHE_DIR"] = scratch
+        try:
+            start = time.perf_counter()
+            results = run_cases(specs, context, jobs=jobs, record_failures=False)
+            elapsed = time.perf_counter() - start
+        finally:
+            del os.environ["REPRO_CACHE_DIR"]
+    assert all(m is not None for m, _ in results), "sweep case failed"
+    return {
+        "jobs": jobs,
+        "wall_s": elapsed,
+        "cases_per_s": len(specs) / elapsed,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="2 scenes / 8 cases (the CI smoke configuration)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel phase workers (default REPRO_JOBS or CPUs)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per timed phase (best-of)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default BENCH_<date>.json)")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.parallel import jobs_from_env
+
+    jobs = args.jobs if args.jobs is not None else jobs_from_env()
+    context = default_context(fast=True)
+    specs = _case_list(args.fast)
+
+    print(f"bench: {len(specs)} cases, jobs={jobs}, reps={args.reps}")
+    phases = {}
+    phases["bvh_build"] = bench_bvh_build(context, specs)
+    print(f"  bvh_build: {phases['bvh_build']['total_s']:.2f}s")
+    phases["kernel"] = bench_kernels()
+    for name, row in phases["kernel"].items():
+        print(f"  kernel {name}: {row['speedup']:.1f}x batch over scalar")
+    phases["serial_sweep"] = bench_serial(context, specs, args.reps)
+    serial = phases["serial_sweep"]
+    print(f"  serial_sweep: scalar {serial['scalar']['wall_s']:.2f}s, "
+          f"batch {serial['batch']['wall_s']:.2f}s "
+          f"({serial['batch_speedup']:.2f}x)")
+    phases["parallel_sweep"] = bench_parallel(context, specs, jobs)
+    par = phases["parallel_sweep"]
+    par["speedup_vs_serial"] = serial["batch"]["wall_s"] / par["wall_s"]
+    print(f"  parallel_sweep: {par['wall_s']:.2f}s with {jobs} jobs "
+          f"({par['speedup_vs_serial']:.2f}x vs serial)")
+
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "fast": args.fast,
+        "cases": [spec.label() for spec in specs],
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "phases": phases,
+    }
+    output = args.output or f"BENCH_{report['date']}.json"
+    with open(output, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
