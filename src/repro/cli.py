@@ -7,6 +7,10 @@ Commands:
 * ``compare`` — render one scene under all policies and print the table.
 * ``figure``  — regenerate one paper figure/table by name.
 * ``report``  — regenerate every figure (what EXPERIMENTS.md is built from).
+* ``serve``   — run the simulation-serving daemon (see docs/SERVICE.md).
+* ``submit``  — submit one case (or a whole figure's cases) to the server.
+* ``jobs``    — list the server's job records.
+* ``cancel``  — cancel a queued job.
 """
 
 from __future__ import annotations
@@ -97,6 +101,38 @@ def _finish_run(strict: bool) -> int:
     return 0
 
 
+def _write_trace(trace_out: str, names, context) -> None:
+    """Chrome-trace one representative case of the named figures.
+
+    Figures replay their cases as cache hits, so span recording needs a
+    dedicated re-render; a VTQ case is preferred (its three-phase
+    structure is what the timeline was built to show).  Purely
+    observational: cached figure results are untouched.
+    """
+    from repro.experiments.parallel import cases_for_figures
+    from repro.experiments.runner import scene_and_bvh
+    from repro.gpusim.timeline import merge_timelines, write_chrome_trace
+    from repro.tracing import render_scene as render
+
+    cases = cases_for_figures(names, context)
+    spec = next((c for c in cases if c.policy == "vtq"), None)
+    if spec is None:
+        spec = cases[0] if cases else None
+    if spec is None:
+        print("no simulator cases in this figure; nothing to trace",
+              file=sys.stderr)
+        return
+    scene, bvh = scene_and_bvh(spec.scene, context.setup)
+    result = render(
+        scene, bvh, context.setup, policy=spec.policy, vtq_config=spec.vtq,
+        record_timeline=True,
+    )
+    spans = merge_timelines(result.timelines)
+    write_chrome_trace(spans, trace_out)
+    print(f"wrote {trace_out} ({len(spans)} spans, {spec.scene}/{spec.policy}; "
+          "open in chrome://tracing or Perfetto)")
+
+
 def cmd_figure(args) -> int:
     from repro.experiments import clear_failures, default_context, format_table
 
@@ -109,6 +145,8 @@ def cmd_figure(args) -> int:
     context = default_context(fast=args.fast)
     _warm([args.name], context, args.jobs)
     print(format_table(figures[args.name](context)))
+    if args.trace_out:
+        _write_trace(args.trace_out, [args.name], context)
     return _finish_run(args.strict)
 
 
@@ -122,6 +160,8 @@ def cmd_report(args) -> int:
     for name, fig in figures.items():
         print(format_table(fig(context)))
         print("\n" + "=" * 72 + "\n")
+    if args.trace_out:
+        _write_trace(args.trace_out, list(figures), context)
     return _finish_run(args.strict)
 
 
@@ -163,6 +203,164 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+# -- simulation service verbs (docs/SERVICE.md) -------------------------------
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation-serving daemon until interrupted or drained."""
+    import asyncio
+
+    from repro.service.protocol import resolve_endpoint
+    from repro.service.server import SimulationServer
+
+    server = SimulationServer(
+        endpoint=resolve_endpoint(args.socket),
+        spool=args.spool,
+        jobs=args.jobs,
+        queue_max=args.queue_max,
+        fast=args.fast,
+    )
+
+    async def _serve():
+        await server.start()
+        print(f"serving on {server.endpoint} with {server.jobs} worker(s); "
+              f"spool {server.spool}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; server stopped", file=sys.stderr)
+    return 0
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(endpoint=args.socket)
+
+
+def cmd_submit(args) -> int:
+    """Submit one case — or a figure's whole case list — to the server."""
+    from repro.errors import ReproError
+    from repro.service.jobs import FAILED
+
+    client = _service_client(args)
+    try:
+        if args.figure:
+            from repro.experiments import default_context
+            from repro.experiments.parallel import cases_for_figure
+
+            if args.figure not in _figures():
+                print(f"unknown figure {args.figure!r}; choose from: "
+                      + ", ".join(sorted(_figures())), file=sys.stderr)
+                return 2
+            specs = cases_for_figure(
+                args.figure, default_context(fast=args.fast)
+            )
+        else:
+            if not args.scene:
+                print("submit needs a SCENE or --figure NAME", file=sys.stderr)
+                return 2
+            from repro.experiments.parallel import CaseSpec
+
+            specs = [CaseSpec(args.scene.upper(), args.policy)]
+        job_ids = []
+        for spec in specs:
+            job_id = client.submit_spec(
+                spec,
+                priority=args.priority,
+                deadline_s=args.deadline,
+                client_id=args.client,
+            )
+            job_ids.append(job_id)
+            print(f"submitted {job_id}  {spec.label()}")
+        if args.wait:
+            records = client.wait(job_ids, timeout=args.timeout)
+            failed = [r for r in records if r["state"] != "done"]
+            for record in records:
+                state = record["state"]
+                tail = ""
+                if state == FAILED and record.get("error"):
+                    tail = f"  [{record['error']['type']}]"
+                elif state == "done":
+                    tail = f"  {record['result']['cycles']:,.0f} cycles"
+                print(f"{record['job_id']}  {state}{tail}")
+            return 1 if failed else 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """Show server health and the job listing (optionally one record)."""
+    from repro.errors import ReproError
+
+    client = _service_client(args)
+    try:
+        health = client.health()
+        counts = " ".join(
+            f"{state}={count}"
+            for state, count in sorted(health["states"].items()) if count
+        )
+        print(f"queue depth {health['queue_depth']}, "
+              f"running {health['running']}, "
+              f"cache hit rate {health['cache']['hit_rate']:.2f}"
+              + (f" ({counts})" if counts else " (no jobs)"))
+        if args.job_id:
+            record = client.result(args.job_id)
+            print(f"\n{record['job_id']}: {record['state']}")
+            for key in ("client_id", "priority", "deadline_s", "attempts",
+                        "dispatch_index", "error"):
+                if record.get(key) not in (None, 0):
+                    print(f"  {key}: {record[key]}")
+            if record.get("result"):
+                print(f"  cycles: {record['result']['cycles']:,.0f}")
+            return 0
+        summaries = client.jobs(state=args.state)
+        if summaries:
+            print(f"\n{'job':12s} {'state':10s} {'case':18s} "
+                  f"{'client':10s} {'prio':>4s} {'try':>3s} {'order':>5s}")
+            for row in summaries:
+                order = row["dispatch_index"]
+                print(f"{row['job_id']:12s} {row['state']:10s} "
+                      f"{row['scene'] + '/' + row['policy']:18s} "
+                      f"{row['client_id']:10s} {row['priority']:4d} "
+                      f"{row['attempts']:3d} {'-' if order is None else order:>5} "
+                      + (f" [{row['error']}]" if row["error"] else ""))
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from repro.errors import ReproError
+
+    client = _service_client(args)
+    try:
+        response = client.cancel(args.job_id)
+        print(f"{args.job_id}: {response['state']}")
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` values: any non-negative int; 0 = serial, no pool."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs must be an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = serial, no pool), got {jobs}"
+        )
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,16 +390,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true")
     p.add_argument("--strict", action="store_true",
                    help="exit with status 3 if any case was quarantined")
-    p.add_argument("--jobs", type=int, default=None,
-                   help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="parallel sweep workers (default: REPRO_JOBS or CPU "
+                        "count; 0 = serial, no pool)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="also chrome-trace one representative case to PATH")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("report", help="regenerate every figure")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--strict", action="store_true",
                    help="exit with status 3 if any case was quarantined")
-    p.add_argument("--jobs", type=int, default=None,
-                   help="parallel sweep workers (default: REPRO_JOBS or CPU count)")
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="parallel sweep workers (default: REPRO_JOBS or CPU "
+                        "count; 0 = serial, no pool)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="also chrome-trace one representative case to PATH")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("export", help="write one figure to CSV/JSON/text")
@@ -218,6 +422,55 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=scene_names(include_extra=True))
     p.add_argument("--fast", action="store_true")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("serve", help="run the simulation-serving daemon")
+    p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT",
+                   help="endpoint (default: REPRO_SERVICE_* or spool socket)")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="job spool directory (default: REPRO_SERVICE_SPOOL)")
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="worker pool size (0 = serial, no pool)")
+    p.add_argument("--queue-max", type=int, default=None,
+                   help="queue depth bound (default REPRO_SERVICE_QUEUE_MAX)")
+    p.add_argument("--fast", action="store_true",
+                   help="serve the fast two-scene context (tests/CI)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit work to a running server")
+    p.add_argument("scene", nargs="?", default=None,
+                   help="scene name (or use --figure)")
+    p.add_argument("--figure", default=None, metavar="NAME",
+                   help="submit every simulator case of one figure")
+    p.add_argument("--policy", default="vtq",
+                   choices=("baseline", "prefetch", "sorted", "vtq"))
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-job wall-clock deadline from submission")
+    p.add_argument("--client", default=None, metavar="ID",
+                   help="client id for queue fairness accounting")
+    p.add_argument("--fast", action="store_true",
+                   help="enumerate --figure cases under the fast context "
+                        "(must match the server's)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until every submitted job is terminal")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait timeout in seconds")
+    p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="show server health and job records")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="show this one job's full record instead")
+    p.add_argument("--state", default=None,
+                   choices=("queued", "running", "done", "failed", "cancelled"),
+                   help="filter the listing by lifecycle state")
+    p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
+    p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser("cancel", help="cancel a queued job")
+    p.add_argument("job_id")
+    p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
+    p.set_defaults(func=cmd_cancel)
     return parser
 
 

@@ -13,6 +13,8 @@ Hierarchy::
     ├── SceneError        (also ValueError)  defective/unparseable geometry
     ├── BVHError          (also ValueError)  corrupt/mismatched BVH data
     ├── CacheError                           unusable experiment cache entry
+    ├── ServiceError                         simulation-serving subsystem fault
+    │   └── AdmissionRejected                job refused at the queue door
     └── SimulationError                      a simulated case went wrong
         ├── BudgetExceeded                   wall-clock or cycle budget blown
         └── SanitizerError                   post-render invariant violated
@@ -40,6 +42,23 @@ class CacheError(ReproError):
     """An experiment cache entry cannot be trusted (truncated file, bad
     checksum, stale version or mismatched key).  Always recoverable: the
     caller recomputes the case."""
+
+
+class ServiceError(ReproError):
+    """The simulation-serving subsystem (:mod:`repro.service`) hit an
+    operational fault: an unusable job record, a malformed request, or a
+    missing endpoint."""
+
+
+class AdmissionRejected(ServiceError):
+    """The job queue refused a submission.  ``reason`` is a short
+    machine-usable tag (``"queue-full"``, ``"client-quota"``,
+    ``"draining"``); the message is the human explanation the server
+    relays to the client."""
+
+    def __init__(self, message: str, *, reason: str = "rejected"):
+        super().__init__(message)
+        self.reason = reason
 
 
 class SimulationError(ReproError):

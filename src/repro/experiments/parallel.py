@@ -59,19 +59,37 @@ class CaseSpec:
 
 
 def jobs_from_env() -> int:
-    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``.
+
+    ``REPRO_JOBS=0`` is the explicit "serial, no pool" mode: every case
+    runs in the calling process and no ``ProcessPoolExecutor`` is ever
+    created.  Negative values are a configuration error and raise
+    ``ValueError`` (rather than whatever the pool would do with them);
+    non-integer garbage falls back to the CPU count with a warning.
+    """
     raw = os.environ.get("REPRO_JOBS")
     if raw:
         try:
-            return max(1, int(raw))
+            value = int(raw)
         except ValueError:
             logger.warning("ignoring non-integer REPRO_JOBS=%r", raw)
+            return os.cpu_count() or 1
+        if value < 0:
+            raise ValueError(
+                f"REPRO_JOBS must be >= 0 (0 = serial, no pool), got {value}"
+            )
+        return value
     return os.cpu_count() or 1
 
 
 def _worker(spec: CaseSpec, context: ExperimentContext):
     """Pool entry point: run one case quarantined, in a worker process."""
     return run_case_quarantined(spec.scene, spec.policy, context, vtq=spec.vtq)
+
+
+# Public alias: the serving layer (repro.service.scheduler) dispatches
+# jobs onto the same pool entry point the sweep executor uses.
+case_worker = _worker
 
 
 def run_cases(
@@ -94,8 +112,13 @@ def run_cases(
         return []
     if jobs is None:
         jobs = jobs_from_env()
-    jobs = max(1, min(int(jobs), len(cases)))
-    if jobs == 1:
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = serial, no pool), got {jobs}")
+    # jobs == 0 is the explicit serial mode; jobs == 1 degenerates to it
+    # too (a one-worker pool would only add process overhead).
+    jobs = min(jobs, len(cases))
+    if jobs <= 1:
         results = []
         for spec in cases:
             try:

@@ -27,7 +27,7 @@ import signal
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Optional
 
 from repro.errors import BudgetExceeded
@@ -67,6 +67,25 @@ def budget_from_env() -> Optional[CaseBudget]:
     if wall is None and cycles is None:
         return None
     return CaseBudget(wall_seconds=wall, max_cycles=cycles)
+
+
+def merge_wall_budget(
+    budget: Optional[CaseBudget], wall_seconds: float
+) -> CaseBudget:
+    """Tighten ``budget``'s wall-clock bound to at most ``wall_seconds``.
+
+    The serving layer uses this to propagate a job's remaining deadline
+    into the per-case watchdogs: the job runs under the *stricter* of the
+    ambient budget and its own deadline.  ``wall_seconds`` must be
+    positive (an already-expired deadline is the caller's fast path).
+    """
+    if wall_seconds <= 0:
+        raise ValueError("wall_seconds must be positive")
+    if budget is None:
+        return CaseBudget(wall_seconds=wall_seconds)
+    if budget.wall_seconds is None or wall_seconds < budget.wall_seconds:
+        return replace(budget, wall_seconds=wall_seconds)
+    return budget
 
 
 def partial_stats(stats: SimStats, cycle: float) -> Dict:

@@ -1,0 +1,54 @@
+"""The async simulation-serving subsystem.
+
+Turns the one-shot reproduction into a long-lived simulation server:
+clients submit (scene, policy, VTQ) cases as prioritized jobs over a
+line-delimited JSON socket protocol; a crash-safe spool persists every
+job's lifecycle (``queued → running → done/failed/cancelled``); a
+bounded, fairness-aware queue applies admission control; and a scheduler
+batches jobs by scene so cache-warm work runs consecutively before
+dispatching onto the same worker-pool entry point the parallel sweep
+executor uses — a served job is byte-identical to a CLI sweep case.
+
+Modules:
+
+* :mod:`repro.service.protocol`  — wire format, endpoints, env knobs
+* :mod:`repro.service.jobs`      — :class:`Job` + atomic spool store
+* :mod:`repro.service.queue`     — bounded priority queue, fairness
+* :mod:`repro.service.scheduler` — scene batching, deadlines, retries
+* :mod:`repro.service.server`    — the asyncio front end
+* :mod:`repro.service.client`    — synchronous client (CLI, tests)
+
+See ``docs/SERVICE.md`` for the protocol and operational guide.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobStore,
+    new_job,
+)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.server import SimulationServer
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "JobStore",
+    "Scheduler",
+    "ServiceClient",
+    "SimulationServer",
+    "new_job",
+]

@@ -1,0 +1,161 @@
+"""Synchronous client for the simulation service.
+
+The server is asyncio; clients don't need to be.  One request is one
+short-lived connection: open the socket, write a JSON line, read the
+JSON reply, close.  That keeps the client free of connection-state
+bookkeeping and makes it trivially safe to use from scripts, tests and
+the CLI.  A server-side rejection comes back as
+:class:`repro.errors.ServiceError` (admission rejections as
+:class:`repro.errors.AdmissionRejected` with the server's reason tag).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AdmissionRejected, ServiceError
+from repro.experiments.parallel import CaseSpec
+from repro.service import protocol
+from repro.service.jobs import TERMINAL_STATES
+
+#: Admission-rejection reason tags the server can reply with.
+REJECTION_REASONS = ("queue-full", "client-quota", "draining")
+
+
+class ServiceClient:
+    """Talk to a running :class:`repro.service.server.SimulationServer`."""
+
+    def __init__(
+        self,
+        endpoint: Optional[str] = None,
+        timeout: float = 60.0,
+    ):
+        self.endpoint = protocol.resolve_endpoint(endpoint)
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            if isinstance(self.endpoint, tuple):
+                return socket.create_connection(
+                    self.endpoint, timeout=self.timeout
+                )
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.endpoint)
+            except OSError:
+                sock.close()
+                raise
+            return sock
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.endpoint!r} ({exc}); "
+                "is `repro serve` running?"
+            ) from exc
+
+    def request(self, payload: Dict) -> Dict:
+        """One round trip; raises on transport or server-side errors."""
+        sock = self._connect()
+        try:
+            sock.sendall(protocol.encode(payload))
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        except OSError as exc:
+            raise ServiceError(f"service request failed: {exc}") from exc
+        finally:
+            sock.close()
+        if not line:
+            raise ServiceError("service closed the connection without replying")
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            message = response.get("error", "request failed")
+            reason = response.get("reason", "error")
+            if reason in REJECTION_REASONS:
+                raise AdmissionRejected(message, reason=reason)
+            raise ServiceError(message)
+        return response
+
+    # -- verbs -----------------------------------------------------------------
+
+    def submit(
+        self,
+        scene: str,
+        policy: str = "vtq",
+        vtq=None,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+        client_id: Optional[str] = None,
+    ) -> str:
+        """Submit one case; returns the job id."""
+        payload = {
+            "op": "submit",
+            "scene": scene,
+            "policy": policy,
+            "vtq": asdict(vtq) if vtq is not None and not isinstance(vtq, dict)
+            else vtq,
+            "priority": priority,
+            "deadline_s": deadline_s,
+            "client_id": client_id,
+        }
+        return str(self.request(payload)["job_id"])
+
+    def submit_spec(self, spec: CaseSpec, **kwargs) -> str:
+        return self.submit(spec.scene, spec.policy, vtq=spec.vtq, **kwargs)
+
+    def status(self, job_id: str) -> Dict:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def result(self, job_id: str) -> Dict:
+        return self.request({"op": "result", "job_id": job_id})["job"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def drain(self, stop: bool = False) -> Dict:
+        return self.request({"op": "drain", "stop": stop})
+
+    def health(self) -> Dict:
+        return self.request({"op": "health"})
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict]:
+        payload: Dict = {"op": "jobs"}
+        if state is not None:
+            payload["state"] = state
+        return list(self.request(payload)["jobs"])
+
+    def wait(
+        self,
+        job_ids: Sequence[str],
+        timeout: float = 300.0,
+        poll_s: float = 0.05,
+    ) -> List[Dict]:
+        """Poll until every job is terminal; their full records, in order.
+
+        Raises ``TimeoutError`` listing the stragglers if the deadline
+        passes first.
+        """
+        deadline = time.monotonic() + timeout
+        records: Dict[str, Dict] = {}
+        pending = list(job_ids)
+        while pending:
+            still = []
+            for job_id in pending:
+                record = self.result(job_id)
+                if record["state"] in TERMINAL_STATES:
+                    records[job_id] = record
+                else:
+                    still.append(job_id)
+            pending = still
+            if pending:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"jobs still not terminal after {timeout:g}s: "
+                        + ", ".join(pending)
+                    )
+                time.sleep(poll_s)
+        return [records[job_id] for job_id in job_ids]

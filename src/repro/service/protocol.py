@@ -1,0 +1,158 @@
+"""Wire protocol and shared configuration of the simulation service.
+
+The server and client speak **line-delimited JSON** over a stream
+socket: one request object per line, one response object per line, UTF-8
+encoded.  A request always carries ``{"op": <verb>, ...}``; a response
+always carries ``{"ok": true, ...}`` or
+``{"ok": false, "error": <human message>, "reason": <machine tag>}``.
+Keeping the framing this dumb means ``socat`` / ``nc`` can drive the
+server by hand and the client needs nothing beyond the standard library.
+
+Endpoint resolution (used by server, client and CLI alike):
+
+* ``REPRO_SERVICE_SOCKET`` — path of a unix-domain socket (the default:
+  ``<spool>/service.sock``).
+* ``REPRO_SERVICE_TCP`` — ``host:port``; overrides the unix socket for
+  platforms without ``AF_UNIX`` or for cross-host testing.  The server
+  only ever binds localhost-style addresses; this is a lab service, not
+  an internet-facing one.
+
+Environment knobs (all optional, all prefixed ``REPRO_SERVICE_``):
+
+====================== ==============================================
+``REPRO_SERVICE_SPOOL``      job-spool directory (default ``.cache/service``)
+``REPRO_SERVICE_SOCKET``     unix socket path
+``REPRO_SERVICE_TCP``        ``host:port`` TCP endpoint instead
+``REPRO_SERVICE_QUEUE_MAX``  queue depth bound (default 64)
+``REPRO_SERVICE_CLIENT_MAX`` per-client queued-job quota (default 32)
+``REPRO_SERVICE_JOBS``       worker pool size (default ``REPRO_JOBS``)
+``REPRO_SERVICE_RETRIES``    retries after a worker crash (default 1)
+====================== ==============================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ServiceError
+
+#: Every verb the server understands.
+OPS = ("submit", "status", "result", "cancel", "drain", "health", "jobs")
+
+_SPOOL_DEFAULT = Path(__file__).resolve().parents[3] / ".cache" / "service"
+
+Endpoint = Union[str, Tuple[str, int]]
+
+
+def spool_dir() -> Path:
+    """The job-spool directory (``REPRO_SERVICE_SPOOL`` overrides)."""
+    env = os.environ.get("REPRO_SERVICE_SPOOL")
+    if env:
+        return Path(env)
+    return _SPOOL_DEFAULT
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ServiceError(f"{name} must be an integer, got {raw!r}") from None
+    if value < minimum:
+        raise ServiceError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def queue_max() -> int:
+    return _env_int("REPRO_SERVICE_QUEUE_MAX", 64, minimum=1)
+
+
+def client_max() -> int:
+    return _env_int("REPRO_SERVICE_CLIENT_MAX", 32, minimum=1)
+
+
+def retries() -> int:
+    return _env_int("REPRO_SERVICE_RETRIES", 1, minimum=0)
+
+
+def service_jobs() -> int:
+    """Worker pool size: ``REPRO_SERVICE_JOBS``, else ``REPRO_JOBS``/CPUs.
+
+    ``0`` means serial in-process execution (no pool) — the same
+    convention as :func:`repro.experiments.parallel.jobs_from_env`.
+    """
+    raw = os.environ.get("REPRO_SERVICE_JOBS")
+    if raw:
+        return _env_int("REPRO_SERVICE_JOBS", 0, minimum=0)
+    from repro.experiments.parallel import jobs_from_env
+
+    return jobs_from_env()
+
+
+def resolve_endpoint(explicit: Optional[str] = None) -> Endpoint:
+    """Where the service listens / connects.
+
+    ``explicit`` (a CLI flag) wins; a value containing ``":"`` with a
+    numeric tail is a TCP ``host:port``, anything else a unix socket
+    path.  Falls back to ``REPRO_SERVICE_TCP``, then
+    ``REPRO_SERVICE_SOCKET``, then ``<spool>/service.sock``.
+    """
+    if explicit:
+        parsed = _parse_tcp(explicit)
+        return parsed if parsed is not None else explicit
+    tcp = os.environ.get("REPRO_SERVICE_TCP")
+    if tcp:
+        parsed = _parse_tcp(tcp)
+        if parsed is None:
+            raise ServiceError(f"REPRO_SERVICE_TCP must be host:port, got {tcp!r}")
+        return parsed
+    sock = os.environ.get("REPRO_SERVICE_SOCKET")
+    if sock:
+        return sock
+    return str(spool_dir() / "service.sock")
+
+
+def _parse_tcp(value: str) -> Optional[Tuple[str, int]]:
+    host, sep, port = value.rpartition(":")
+    if not sep or "/" in value:
+        return None
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        return None
+
+
+# -- framing -----------------------------------------------------------------------
+
+
+def encode(message: Dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> Dict:
+    """Parse one protocol line; :class:`ServiceError` on malformed input."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError("protocol messages must be JSON objects")
+    return message
+
+
+def ok(**fields) -> Dict:
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error(message: str, reason: str = "error", **fields) -> Dict:
+    response = {"ok": False, "error": message, "reason": reason}
+    response.update(fields)
+    return response

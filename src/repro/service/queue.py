@@ -1,0 +1,113 @@
+"""Bounded priority queue with admission control and client fairness.
+
+Admission control happens at the door: a submission is either accepted
+(and will eventually run) or rejected **with a reason** —
+:class:`repro.errors.AdmissionRejected` carrying ``"queue-full"``,
+``"client-quota"`` or ``"draining"`` — so backpressure is explicit and a
+client can tell "retry later" from "you are hogging the queue".
+
+Ordering is priority-first, then **fair across client ids**: each job is
+stamped with its client's queued-job count at submission, so at equal
+priority two clients' jobs interleave (A's 1st, B's 1st, A's 2nd, ...)
+instead of the first bulk submitter starving everyone behind it.
+Submission order breaks the remaining ties, keeping the whole order
+deterministic.
+
+The scheduler pops through :meth:`JobQueue.pop_next`, which prefers jobs
+whose :meth:`Job.scene_key` matches the previously dispatched one — the
+mechanism that turns an interleaved submission stream into scene-grouped
+(cache-warm) execution without any global re-sort.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.errors import AdmissionRejected
+from repro.service.jobs import Job
+
+
+class JobQueue:
+    """Priority + fairness ordered, depth- and quota-bounded job queue."""
+
+    def __init__(self, max_depth: int = 64, per_client_max: Optional[int] = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if per_client_max is not None and per_client_max < 1:
+            raise ValueError("per_client_max must be >= 1 when set")
+        self.max_depth = max_depth
+        self.per_client_max = per_client_max
+        self._seq = itertools.count()
+        # job_id -> (sort key, job); kept unsorted, popped by min() — the
+        # queue is small (bounded) and cancellation stays O(1).
+        self._entries: Dict[str, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._entries
+
+    def _client_depth(self, client_id: str) -> int:
+        return sum(
+            1 for _, job in self._entries.values() if job.client_id == client_id
+        )
+
+    def submit(self, job: Job, enforce_bounds: bool = True) -> None:
+        """Admit ``job`` or raise :class:`AdmissionRejected` with a reason.
+
+        ``enforce_bounds=False`` skips admission control — used only when
+        a restarting server re-adopts already-admitted spooled jobs,
+        which must never be dropped by a depth race.
+        """
+        fair_rank = self._client_depth(job.client_id)
+        if enforce_bounds:
+            if len(self._entries) >= self.max_depth:
+                raise AdmissionRejected(
+                    f"queue is full ({self.max_depth} jobs queued); retry later",
+                    reason="queue-full",
+                )
+            if self.per_client_max is not None and fair_rank >= self.per_client_max:
+                raise AdmissionRejected(
+                    f"client {job.client_id!r} already has {fair_rank} queued "
+                    f"jobs (quota {self.per_client_max})",
+                    reason="client-quota",
+                )
+        # Higher priority first; at equal priority, clients interleave by
+        # how many jobs they already had queued; submission order last.
+        key = (-job.priority, fair_rank, next(self._seq))
+        self._entries[job.job_id] = (key, job)
+
+    def admit_adopted(self, job: Job) -> None:
+        """Re-queue a spooled job during server restart, bypassing bounds."""
+        self.submit(job, enforce_bounds=False)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Remove a queued job; the job if it was queued, else ``None``."""
+        entry = self._entries.pop(job_id, None)
+        return entry[1] if entry else None
+
+    def peek_order(self) -> List[Job]:
+        """The current pop order (for introspection/tests)."""
+        return [job for _, job in sorted(self._entries.values(), key=lambda e: e[0])]
+
+    def pop_next(self, prefer_key: Optional[str] = None) -> Optional[Job]:
+        """Pop the best job, preferring ``prefer_key`` scene affinity.
+
+        Among queued jobs whose :meth:`Job.scene_key` equals
+        ``prefer_key`` the best-ordered one wins even over globally
+        better-ordered jobs of other scenes — this is what keeps a warm
+        scene's jobs running consecutively.  With no match (or no
+        preference) the global order decides.
+        """
+        if not self._entries:
+            return None
+        candidates = self._entries.values()
+        if prefer_key is not None:
+            matching = [e for e in candidates if e[1].scene_key() == prefer_key]
+            if matching:
+                candidates = matching
+        key, job = min(candidates, key=lambda e: e[0])
+        del self._entries[job.job_id]
+        return job

@@ -1,0 +1,242 @@
+"""Scene-batched job scheduler over the parallel sweep worker pool.
+
+The scheduler is the bridge between the serving layer and the existing
+execution machinery: it pops admitted jobs from the
+:class:`repro.service.queue.JobQueue` and dispatches them onto the same
+``ProcessPoolExecutor`` entry point the parallel sweep executor uses
+(:func:`repro.experiments.parallel.case_worker`), so a served job and a
+CLI sweep case are byte-identical — same cache keys, same quarantine
+behaviour, same stats.
+
+What the serving layer adds on top:
+
+* **Scene batching** — jobs are popped with affinity for the previously
+  dispatched job's scene key, so cache-warm jobs (shared scene/BVH in
+  the workers' LRU caches, shared disk-cache entries) run consecutively
+  even when clients interleave their submissions.  The global dispatch
+  order is recorded in :attr:`Scheduler.dispatch_log` and on each job's
+  ``dispatch_index``, which is how tests (and operators) observe it.
+* **Deadline propagation** — a job's remaining deadline is folded into
+  the case budget via :func:`repro.gpusim.budget.merge_wall_budget`;
+  an overrun surfaces as ``BudgetExceeded`` in the job record exactly
+  like any budget trip.
+* **Crash retry** — a worker process dying (or the pool breaking) is
+  retried up to ``retries`` times (default 1) on a fresh pool before
+  the job is failed and quarantined through the PR 1 machinery
+  (:func:`repro.experiments.runner.record_failure`).
+
+The scheduler is event-driven, not polled: :meth:`kick` fills free
+worker slots, and every completed job kicks again.  It runs entirely on
+the server's asyncio loop; the only threads involved are the pool's
+feeder and (in ``jobs=0`` serial mode) one ``asyncio.to_thread`` helper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, List, Optional, Set
+
+from repro.errors import BudgetExceeded
+from repro.experiments.parallel import case_worker
+from repro.experiments.runner import (
+    CaseFailure,
+    ExperimentContext,
+    record_failure,
+)
+from repro.gpusim.budget import merge_wall_budget
+from repro.service import jobs as jobstates
+from repro.service.jobs import Job, JobStore
+from repro.service.queue import JobQueue
+
+logger = logging.getLogger("repro.service.scheduler")
+
+
+class Scheduler:
+    """Dispatch queued jobs onto the sweep worker pool, scene-batched."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        queue: JobQueue,
+        context: ExperimentContext,
+        jobs: int = 1,
+        retries: int = 1,
+        worker_fn: Callable = case_worker,
+    ):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = serial, no pool), got {jobs}")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.store = store
+        self.queue = queue
+        self.context = context
+        self.jobs = jobs
+        self.retries = retries
+        self.worker_fn = worker_fn
+        # jobs == 0: serial in-process execution, one job at a time.
+        self.slots = max(1, jobs)
+        self.dispatch_log: List[str] = []
+        self._tasks: Set[asyncio.Task] = set()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._last_key: Optional[str] = None
+        self._stopping = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def running_count(self) -> int:
+        return len(self._tasks)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def kick(self) -> int:
+        """Fill free worker slots from the queue; number dispatched.
+
+        Jobs are popped with affinity for the last dispatched scene key
+        (see :meth:`JobQueue.pop_next`), which is what produces the
+        scene-grouped execution order.
+        """
+        if self._stopping:
+            return 0
+        dispatched = 0
+        while len(self._tasks) < self.slots:
+            job = self.queue.pop_next(prefer_key=self._last_key)
+            if job is None:
+                break
+            self._last_key = job.scene_key()
+            job.dispatch_index = len(self.dispatch_log)
+            self.dispatch_log.append(job.job_id)
+            task = asyncio.get_running_loop().create_task(self._run_job(job))
+            self._tasks.add(task)
+            task.add_done_callback(self._on_task_done)
+            dispatched += 1
+        return dispatched
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:  # pragma: no cover - _run_job is defensive
+            logger.error("job task died: %s", exc)
+        self.kick()
+
+    async def drain(self) -> None:
+        """Run until the queue is empty and no job is in flight."""
+        while not self._stopping:
+            self.kick()
+            tasks = list(self._tasks)
+            if not tasks:
+                if len(self.queue) == 0:
+                    return
+                continue  # pragma: no cover - kick always drains the queue
+            await asyncio.wait(tasks)
+
+    async def stop(self) -> None:
+        """Stop dispatching, wait out in-flight jobs, release the pool."""
+        self._stopping = True
+        tasks = list(self._tasks)
+        if tasks:
+            await asyncio.wait(tasks)
+        self._discard_pool()
+
+    # -- execution -------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.slots)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def _execute(self, job: Job, context: ExperimentContext):
+        """One execution attempt; raises whatever a worker crash raises."""
+        if self.jobs == 0:
+            return await asyncio.to_thread(self.worker_fn, job.spec, context)
+        future = self._ensure_pool().submit(self.worker_fn, job.spec, context)
+        return await asyncio.wrap_future(future)
+
+    def _job_context(self, job: Job) -> ExperimentContext:
+        """The job's context: ambient budget tightened by its deadline."""
+        if job.deadline_s is None:
+            return self.context
+        remaining = job.deadline_s - (time.time() - job.submitted_at)
+        if remaining <= 0:
+            raise BudgetExceeded(
+                f"deadline of {job.deadline_s:g}s expired before dispatch",
+                kind="wall",
+                limit=job.deadline_s,
+            )
+        return replace(
+            self.context,
+            budget=merge_wall_budget(self.context.case_budget(), remaining),
+        )
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = jobstates.RUNNING
+        job.started_at = time.time()
+        self.store.save(job)
+
+        metrics = failure = None
+        try:
+            context = self._job_context(job)
+        except BudgetExceeded as exc:
+            failure = CaseFailure(
+                scene=job.spec.scene,
+                policy=job.spec.policy,
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+            record_failure(failure)
+        else:
+            crash: Optional[BaseException] = None
+            for attempt in range(self.retries + 1):
+                job.attempts += 1
+                if attempt:
+                    self.store.save(job)  # persist the retry before it runs
+                try:
+                    metrics, failure = await self._execute(job, context)
+                    crash = None
+                    break
+                except Exception as exc:
+                    crash = exc
+                    logger.warning(
+                        "job %s crashed a worker (attempt %d/%d): %s",
+                        job.label(), job.attempts, self.retries + 1, exc,
+                    )
+                    # A dead worker breaks the whole pool; start fresh.
+                    self._discard_pool()
+            if crash is not None:
+                failure = CaseFailure(
+                    scene=job.spec.scene,
+                    policy=job.spec.policy,
+                    error_type=type(crash).__name__,
+                    message=f"worker crashed: {crash}",
+                )
+                record_failure(failure)
+            elif failure is not None and self.jobs != 0:
+                # Pool workers quarantined the failure in their own
+                # process; re-record it here so the server's failure
+                # summary sees it (serial mode already recorded it).
+                record_failure(failure)
+
+        job.finished_at = time.time()
+        if failure is not None:
+            job.state = jobstates.FAILED
+            job.error = {
+                "type": failure.error_type,
+                "message": failure.message,
+                "partial": dict(failure.partial),
+            }
+        else:
+            job.state = jobstates.DONE
+            job.result = metrics
+        self.store.save(job)
+        logger.info("job %s finished: %s", job.label(), job.state)

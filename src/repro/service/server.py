@@ -1,0 +1,345 @@
+"""The asyncio front end: sockets in, job records out.
+
+:class:`SimulationServer` ties the serving pieces together — spool store,
+admission-controlled queue, scene-batching scheduler — behind a
+line-delimited JSON protocol (see :mod:`repro.service.protocol`) on a
+unix-domain socket (default) or localhost TCP.  Verbs:
+
+``submit``   admit one case as a job → ``{"job_id": ...}`` or a typed
+             rejection (``queue-full`` / ``client-quota`` / ``draining``)
+``status``   one job's record, without the result payload
+``result``   one job's full record, including metrics once ``done``
+``cancel``   cancel a *queued* job; running/terminal jobs are refused
+``drain``    stop admitting, wait until queue and workers are idle;
+             ``{"stop": true}`` also shuts the server down afterwards
+``health``   queue depth, running count, per-state job counts, worker
+             pool size, disk-cache hit/compute counters, uptime
+
+On start the server re-adopts spooled jobs (``queued`` as-is; orphaned
+``running`` jobs reset to ``queued``) so a restart never loses admitted
+work.  Cache hit/compute counters come from the runner's
+``REPRO_CACHE_TRACE`` audit log, which the server points into its spool
+directory unless the operator already routed it elsewhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import AdmissionRejected, ServiceError
+from repro.experiments.runner import ExperimentContext, default_context
+from repro.scenes import scene_names
+from repro.service import protocol
+from repro.service import jobs as jobstates
+from repro.service.jobs import JobStore, new_job, spec_from_dict
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.tracing.render import POLICIES
+
+logger = logging.getLogger("repro.service.server")
+
+
+class SimulationServer:
+    """One long-lived simulation-serving process."""
+
+    def __init__(
+        self,
+        context: Optional[ExperimentContext] = None,
+        spool: Optional[Path] = None,
+        endpoint: Optional[protocol.Endpoint] = None,
+        jobs: Optional[int] = None,
+        queue_max: Optional[int] = None,
+        client_max: Optional[int] = None,
+        retries: Optional[int] = None,
+        fast: bool = False,
+    ):
+        self.context = context if context is not None else default_context(fast=fast)
+        self.spool = Path(spool) if spool is not None else protocol.spool_dir()
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self.endpoint = (
+            endpoint if endpoint is not None else protocol.resolve_endpoint()
+        )
+        self.jobs = jobs if jobs is not None else protocol.service_jobs()
+        # Route the runner's cache audit log into the spool so `health`
+        # can report hit rates; an operator-set path wins.
+        os.environ.setdefault(
+            "REPRO_CACHE_TRACE", str(self.spool / "cache_trace.log")
+        )
+        self.store = JobStore(self.spool / "jobs")
+        self.queue = JobQueue(
+            max_depth=queue_max if queue_max is not None else protocol.queue_max(),
+            per_client_max=(
+                client_max if client_max is not None else protocol.client_max()
+            ),
+        )
+        self.scheduler = Scheduler(
+            self.store,
+            self.queue,
+            self.context,
+            jobs=self.jobs,
+            retries=retries if retries is not None else protocol.retries(),
+        )
+        self.draining = False
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+        self.adopted = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Re-adopt spooled jobs, bind the socket, start dispatching."""
+        self._stop_event = asyncio.Event()
+        for job in self.store.adopt():
+            self.queue.admit_adopted(job)
+            self.adopted += 1
+        if self.adopted:
+            logger.info("re-adopted %d spooled job(s)", self.adopted)
+        if isinstance(self.endpoint, tuple):
+            host, port = self.endpoint
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host, port=port
+            )
+            # Ephemeral ports (port 0) resolve at bind time.
+            self.endpoint = self._server.sockets[0].getsockname()[:2]
+        else:
+            path = Path(self.endpoint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(path)
+            )
+        self.started_at = time.time()
+        self.scheduler.kick()
+        logger.info("serving on %s with %d worker(s)", self.endpoint, self.jobs)
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or a ``drain {"stop": true}``)."""
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self._shutdown()
+
+    def stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.scheduler.stop()
+        if not isinstance(self.endpoint, tuple):
+            try:
+                Path(self.endpoint).unlink()
+            except OSError:
+                pass
+        logger.info("server stopped")
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = protocol.decode(line)
+                    response = await self._dispatch(request)
+                except ServiceError as exc:
+                    reason = getattr(exc, "reason", "error")
+                    response = protocol.error(str(exc), reason=reason)
+                except Exception as exc:  # never kill the connection loop
+                    logger.exception("request failed")
+                    response = protocol.error(
+                        f"internal error: {exc}", reason="internal"
+                    )
+                stop_after = response.pop("_stop_after_reply", False)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+                if stop_after:
+                    self.stop()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:  # server shutting down mid-connection
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: Dict) -> Dict:
+        op = request.get("op")
+        if op == "submit":
+            return self._op_submit(request)
+        if op == "status":
+            return self._op_record(request, include_result=False)
+        if op == "result":
+            return self._op_record(request, include_result=True)
+        if op == "cancel":
+            return self._op_cancel(request)
+        if op == "drain":
+            return await self._op_drain(request)
+        if op == "health":
+            return self._op_health()
+        if op == "jobs":
+            return self._op_jobs(request)
+        raise ServiceError(
+            f"unknown op {op!r}; expected one of {', '.join(protocol.OPS)}"
+        )
+
+    # -- verbs -----------------------------------------------------------------
+
+    def _op_submit(self, request: Dict) -> Dict:
+        if self.draining:
+            raise AdmissionRejected(
+                "server is draining and admits no new jobs", reason="draining"
+            )
+        spec = spec_from_dict(
+            {
+                "scene": request.get("scene"),
+                "policy": request.get("policy", "vtq"),
+                "vtq": request.get("vtq"),
+            }
+        )
+        if spec.scene not in scene_names(include_extra=True):
+            raise ServiceError(f"unknown scene {spec.scene!r}")
+        if spec.policy not in POLICIES:
+            raise ServiceError(
+                f"unknown policy {spec.policy!r}; expected one of {POLICIES}"
+            )
+        deadline = request.get("deadline_s")
+        job = new_job(
+            spec,
+            client_id=str(request.get("client_id") or "anonymous"),
+            priority=int(request.get("priority") or 0),
+            deadline_s=float(deadline) if deadline is not None else None,
+        )
+        self.queue.submit(job)  # raises AdmissionRejected with a reason
+        self.store.save(job)
+        self.scheduler.kick()
+        return protocol.ok(job_id=job.job_id, state=job.state)
+
+    def _require_job_id(self, request: Dict) -> str:
+        job_id = request.get("job_id")
+        if not job_id:
+            raise ServiceError("request needs a job_id")
+        return str(job_id)
+
+    def _op_record(self, request: Dict, include_result: bool) -> Dict:
+        job = self.store.load(self._require_job_id(request))
+        record = job.to_record()
+        if not include_result:
+            record.pop("result", None)
+        return protocol.ok(job=record)
+
+    def _op_cancel(self, request: Dict) -> Dict:
+        job_id = self._require_job_id(request)
+        queued = self.queue.cancel(job_id)
+        if queued is not None:
+            queued.state = jobstates.CANCELLED
+            queued.finished_at = time.time()
+            self.store.save(queued)
+            return protocol.ok(job_id=job_id, state=queued.state)
+        job = self.store.load(job_id)  # unknown ids error here
+        if job.state == jobstates.RUNNING:
+            raise ServiceError(
+                f"job {job_id} is already running and cannot be cancelled",
+            )
+        raise ServiceError(f"job {job_id} is already {job.state}")
+
+    async def _op_drain(self, request: Dict) -> Dict:
+        self.draining = True
+        await self.scheduler.drain()
+        response = protocol.ok(drained=True, states=self.store.counts())
+        if request.get("stop"):
+            # The reply still goes out; the handler stops the server after.
+            response["_stop_after_reply"] = True
+        return response
+
+    def _op_jobs(self, request: Dict) -> Dict:
+        """Job summaries (no result payloads), optionally state-filtered."""
+        state = request.get("state")
+        if state is not None and state not in jobstates.STATES:
+            raise ServiceError(
+                f"unknown state {state!r}; expected one of {jobstates.STATES}"
+            )
+        summaries = []
+        for job in self.store.list():
+            if state is not None and job.state != state:
+                continue
+            summaries.append(
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "scene": job.spec.scene,
+                    "policy": job.spec.policy,
+                    "client_id": job.client_id,
+                    "priority": job.priority,
+                    "attempts": job.attempts,
+                    "dispatch_index": job.dispatch_index,
+                    "submitted_at": job.submitted_at,
+                    "error": job.error["type"] if job.error else None,
+                }
+            )
+        return protocol.ok(jobs=summaries)
+
+    def _op_health(self) -> Dict:
+        return protocol.ok(
+            queue_depth=len(self.queue),
+            running=self.scheduler.running_count,
+            states=self.store.counts(),
+            draining=self.draining,
+            workers=self.jobs,
+            adopted=self.adopted,
+            dispatched=len(self.scheduler.dispatch_log),
+            cache=_cache_counters(),
+            uptime_s=(
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        )
+
+
+def _cache_counters() -> Dict:
+    """Hit/compute counts from the runner's ``REPRO_CACHE_TRACE`` log."""
+    path = os.environ.get("REPRO_CACHE_TRACE")
+    hits = computes = 0
+    if path and os.path.exists(path):
+        try:
+            with open(path) as handle:
+                for line in handle:
+                    if line.startswith("HIT "):
+                        hits += 1
+                    elif line.startswith("COMPUTE "):
+                        computes += 1
+        except OSError:  # pragma: no cover - audit log is best-effort
+            pass
+    total = hits + computes
+    return {
+        "hits": hits,
+        "computes": computes,
+        "hit_rate": hits / total if total else 0.0,
+    }

@@ -56,6 +56,9 @@ class RenderResult:
     cycles: float               # max over SMs (they run concurrently)
     per_sm_cycles: List[float]
     scene_name: str = ""
+    # One ActivityTimeline per SM when the render was asked to record
+    # spans (``record_timeline=True``); empty otherwise.
+    timelines: List = field(default_factory=list)
 
     def mean_radiance(self) -> float:
         return float(self.image.mean())
@@ -70,6 +73,7 @@ def render_scene(
     seed: int = 0,
     cycle_budget: Optional[float] = None,
     sanitize: Optional[bool] = None,
+    record_timeline: bool = False,
 ) -> RenderResult:
     """Path trace ``scene`` through the selected timing engine.
 
@@ -77,6 +81,10 @@ def render_scene(
     :class:`repro.errors.BudgetExceeded` past it).  ``sanitize`` runs the
     post-render invariant checks of :mod:`repro.gpusim.sanitize`;
     ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
+    ``record_timeline`` attaches one
+    :class:`repro.gpusim.timeline.ActivityTimeline` per SM (returned in
+    ``RenderResult.timelines``) — recording is purely observational and
+    does not change any simulated number.
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -116,10 +124,18 @@ def render_scene(
     per_sm_cycles: List[float] = []
     next_ray_id = [0]
 
+    timelines: List = []
     for sm in range(config.num_sms):
+        timeline = None
+        if record_timeline:
+            from repro.gpusim.timeline import ActivityTimeline
+
+            timeline = ActivityTimeline(sm)
+            timelines.append(timeline)
         driver = driver_cls(
             sm, scene, bvh, setup, shading, paths, mems[sm], sm_stats[sm],
             vtq_config, policy, next_ray_id, cycle_budget=cycle_budget,
+            timeline=timeline,
         )
         per_sm_cycles.append(driver.run())
 
@@ -137,6 +153,7 @@ def render_scene(
         cycles=max(per_sm_cycles) if per_sm_cycles else 0.0,
         per_sm_cycles=per_sm_cycles,
         scene_name=getattr(scene, "name", ""),
+        timelines=timelines,
     )
     _apply_stats_fault(result)
     from repro.gpusim.sanitize import check_render, sanitizer_enabled
@@ -172,10 +189,11 @@ class _DriverBase:
 
     def __init__(
         self, sm, scene, bvh, setup, shading, paths, mem, stats,
-        vtq_config, policy, ray_id_counter, cycle_budget=None,
+        vtq_config, policy, ray_id_counter, cycle_budget=None, timeline=None,
     ):
         self.sm = sm
         self.cycle_budget = cycle_budget
+        self.timeline = timeline
         self.scene = scene
         self.bvh = bvh
         self.setup = setup
@@ -268,6 +286,7 @@ class _WarpDriver(_DriverBase):
                 self.bvh, config, self.mem, self.stats,
                 cycle_budget=self.cycle_budget,
             )
+        engine.timeline = self.timeline
 
         def on_complete(warp: TraceWarp, cycle: float) -> None:
             survivors = []
@@ -311,6 +330,7 @@ class _SortedDriver(_DriverBase):
             self.bvh, config, self.mem, self.stats,
             cycle_budget=self.cycle_budget,
         )
+        engine.timeline = self.timeline
         bounds = self.scene.mesh.bounds()
         next_bounce: List[SimRay] = []
 
@@ -361,6 +381,7 @@ class _VTQDriver(_DriverBase):
             self.bvh, config, vtq, self.mem, self.stats,
             cycle_budget=self.cycle_budget,
         )
+        engine.timeline = self.timeline
         tracker = CTATracker()
         state_bytes = cta_state_bytes(config)
 

@@ -1,0 +1,35 @@
+"""The bench harness must never clobber a same-day report."""
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = Path(__file__).resolve().parents[1] / "tools" / "bench.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("repro_tools_bench", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDefaultOutputPath:
+    def test_first_run_gets_plain_name(self, tmp_path):
+        bench = _load_bench()
+        path = bench.default_output_path("2026-08-05", tmp_path)
+        assert path == tmp_path / "BENCH_2026-08-05.json"
+
+    def test_same_day_runs_get_suffixes(self, tmp_path):
+        bench = _load_bench()
+        (tmp_path / "BENCH_2026-08-05.json").write_text("{}")
+        second = bench.default_output_path("2026-08-05", tmp_path)
+        assert second == tmp_path / "BENCH_2026-08-05.run2.json"
+        second.write_text("{}")
+        third = bench.default_output_path("2026-08-05", tmp_path)
+        assert third == tmp_path / "BENCH_2026-08-05.run3.json"
+
+    def test_different_day_unaffected(self, tmp_path):
+        bench = _load_bench()
+        (tmp_path / "BENCH_2026-08-05.json").write_text("{}")
+        path = bench.default_output_path("2026-08-06", tmp_path)
+        assert path == tmp_path / "BENCH_2026-08-06.json"

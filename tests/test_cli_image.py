@@ -147,3 +147,50 @@ class TestCLIExportSweep:
             ["sweep", "vtq", "bogus_param", "1", "--scene", "WKND", "--fast"]
         ) == 2
         assert "no field" in capsys.readouterr().err
+
+
+class TestCLIJobsAndTrace:
+    def test_jobs_arg_rejects_negatives(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig1", "--fast", "--jobs", "-1"])
+        assert "--jobs must be >= 0" in capsys.readouterr().err
+
+    def test_jobs_arg_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig1", "--fast", "--jobs", "lots"])
+        assert "--jobs must be an integer" in capsys.readouterr().err
+
+    def test_figure_jobs_zero_serial(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SCENES", "BUNNY")
+        assert main(["figure", "fig1", "--fast", "--jobs", "0"]) == 0
+        assert "BUNNY" in capsys.readouterr().out
+
+    def test_figure_trace_out_writes_chrome_trace(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_SCENES", "BUNNY")
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["figure", "fig10", "--fast", "--jobs", "0",
+             "--trace-out", str(trace)]
+        ) == 0
+        assert f"wrote {trace}" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_trace_out_without_simulator_cases(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "never.json"
+        assert main(
+            ["figure", "table1", "--fast", "--trace-out", str(trace)]
+        ) == 0
+        assert "nothing to trace" in capsys.readouterr().err
+        assert not trace.exists()

@@ -71,6 +71,15 @@ class TestJobsFromEnv:
         monkeypatch.setenv("REPRO_JOBS", "many")
         assert jobs_from_env() == (os.cpu_count() or 1)
 
+    def test_zero_is_explicit_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert jobs_from_env() == 0
+
+    def test_negative_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ValueError, match="REPRO_JOBS must be >= 0"):
+            jobs_from_env()
+
 
 class TestCaseEnumeration:
     def test_fig10_cases(self, ctx):
@@ -105,6 +114,23 @@ class TestRunCases:
             assert failure is None
             assert metrics["scene"] == spec.scene
             assert metrics["policy"] == spec.policy
+
+    def test_jobs_zero_never_creates_a_pool(self, ctx, monkeypatch):
+        import repro.experiments.parallel as parallel
+
+        def poisoned_pool(*args, **kwargs):
+            raise AssertionError("jobs=0 must not create a ProcessPoolExecutor")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", poisoned_pool)
+        results = run_cases(
+            [CaseSpec("BUNNY", "baseline")], _fast_nocache(ctx), jobs=0
+        )
+        metrics, failure = results[0]
+        assert failure is None and metrics["scene"] == "BUNNY"
+
+    def test_negative_jobs_rejected(self, ctx):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            run_cases([CaseSpec("BUNNY", "baseline")], ctx, jobs=-1)
 
     def test_parallel_matches_serial(self, ctx):
         specs = [CaseSpec("BUNNY", "baseline"), CaseSpec("BUNNY", "prefetch")]

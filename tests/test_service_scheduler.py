@@ -1,0 +1,236 @@
+"""Scheduler behaviour: batching, deadlines, crash retry, quarantine.
+
+Most tests run the scheduler in ``jobs=0`` serial mode with a stub
+worker function, so they exercise dispatch logic without simulating
+anything.  The crash tests use a real one-worker process pool (the crash
+has to kill an actual process for the retry path to be honest).
+"""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.experiments import default_context
+from repro.experiments.parallel import CaseSpec, case_worker
+from repro.experiments.runner import CaseFailure, ExperimentContext
+from repro.gpusim.budget import CaseBudget, merge_wall_budget
+from repro.service import jobs as jobstates
+from repro.service.jobs import JobStore, new_job
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+
+
+@pytest.fixture
+def ctx(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    runner.clear_failures()
+    yield default_context(fast=True)
+    runner.clear_failures()
+
+
+def stub_worker(spec, context):
+    """A sweep-worker stand-in: instant metrics, no failure."""
+    return ({"cycles": 1.0, "scene": spec.scene, "policy": spec.policy}, None)
+
+
+def failing_worker(spec, context):
+    """A quarantined in-worker failure (what run_case_quarantined returns)."""
+    failure = CaseFailure(
+        scene=spec.scene, policy=spec.policy,
+        error_type="SimulationError", message="injected",
+    )
+    return (None, failure)
+
+
+def budget_echo_worker(spec, context):
+    """Report the wall budget the worker actually received."""
+    budget = context.case_budget()
+    wall = budget.wall_seconds if budget else None
+    return ({"cycles": 1.0, "wall_budget": wall}, None)
+
+
+# Pool workers pickle the callable by module reference, so the crash
+# helpers must live at module scope.  crash_once_worker is one-shot:
+# crash if the flag file is missing, create it and die; the retry then
+# finds the flag and succeeds.
+def crash_once_worker(spec, context):
+    flag = os.environ["REPRO_TEST_CRASH_FLAG"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("crashed")
+        os._exit(17)
+    return ({"cycles": 2.0, "recovered": True}, None)
+
+
+def always_crash_worker(spec, context):
+    os._exit(23)
+
+
+def make_scheduler(tmp_path, ctx, worker_fn=stub_worker, jobs=0, **kw):
+    store = JobStore(tmp_path / "jobs")
+    queue = JobQueue(max_depth=32)
+    sched = Scheduler(store, queue, ctx, jobs=jobs, worker_fn=worker_fn, **kw)
+    return store, queue, sched
+
+
+def submit_and_drain(queue, sched, jobs):
+    async def go():
+        for job in jobs:
+            queue.submit(job)
+            sched.store.save(job)
+        sched.kick()
+        await sched.drain()
+        await sched.stop()
+
+    asyncio.run(go())
+
+
+class TestDispatchBasics:
+    def test_jobs_complete_with_results(self, tmp_path, ctx):
+        store, queue, sched = make_scheduler(tmp_path, ctx)
+        job = new_job(CaseSpec("BUNNY", "baseline"))
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.DONE
+        assert record.result["scene"] == "BUNNY"
+        assert record.attempts == 1
+        assert record.dispatch_index == 0
+        assert record.started_at >= job.submitted_at
+        assert record.finished_at >= record.started_at
+
+    def test_in_worker_failure_marks_failed(self, tmp_path, ctx):
+        store, queue, sched = make_scheduler(tmp_path, ctx, worker_fn=failing_worker)
+        job = new_job(CaseSpec("BUNNY", "baseline"))
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.FAILED
+        assert record.error["type"] == "SimulationError"
+        assert record.error["message"] == "injected"
+
+    def test_validation(self, tmp_path, ctx):
+        store = JobStore(tmp_path / "jobs")
+        queue = JobQueue()
+        with pytest.raises(ValueError, match="jobs"):
+            Scheduler(store, queue, ctx, jobs=-1)
+        with pytest.raises(ValueError, match="retries"):
+            Scheduler(store, queue, ctx, retries=-1)
+
+
+class TestSceneBatching:
+    def test_interleaved_submissions_run_scene_grouped(self, tmp_path, ctx):
+        store, queue, sched = make_scheduler(tmp_path, ctx)
+        # Two clients interleave two scenes: B S B S B S.
+        jobs = [
+            new_job(CaseSpec(scene, "baseline"), client_id=client)
+            for scene, client in [
+                ("BUNNY", "a"), ("SPNZA", "b"), ("BUNNY", "a"),
+                ("SPNZA", "b"), ("BUNNY", "a"), ("SPNZA", "b"),
+            ]
+        ]
+        submit_and_drain(queue, sched, jobs)
+        by_id = {j.job_id: j for j in store.list()}
+        order = [by_id[job_id].spec.scene for job_id in sched.dispatch_log]
+        # Scene-grouped: all of the first scene, then all of the other.
+        assert order == ["BUNNY"] * 3 + ["SPNZA"] * 3
+        # The same order is observable from the job records alone, via
+        # dispatch_index and the recorded start timestamps.
+        ordered = sorted(by_id.values(), key=lambda j: j.dispatch_index)
+        assert [j.spec.scene for j in ordered] == order
+        starts = [j.started_at for j in ordered]
+        assert starts == sorted(starts)
+
+
+class TestDeadlines:
+    def test_expired_deadline_fails_with_budget_exceeded(self, tmp_path, ctx):
+        store, queue, sched = make_scheduler(tmp_path, ctx)
+        job = new_job(CaseSpec("BUNNY", "baseline"), deadline_s=1e-6)
+        time.sleep(0.01)  # guarantee expiry before dispatch
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.FAILED
+        assert record.error["type"] == "BudgetExceeded"
+        assert "deadline" in record.error["message"]
+        assert any(
+            f.error_type == "BudgetExceeded" for f in runner.failures()
+        )
+
+    def test_deadline_tightens_worker_budget(self, tmp_path, ctx):
+        store, queue, sched = make_scheduler(
+            tmp_path, ctx, worker_fn=budget_echo_worker
+        )
+        job = new_job(CaseSpec("BUNNY", "baseline"), deadline_s=30.0)
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.DONE
+        assert record.result["wall_budget"] is not None
+        assert record.result["wall_budget"] <= 30.0
+
+    def test_ambient_budget_wins_when_tighter(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        context = ExperimentContext(
+            setup=default_context(fast=True).setup,
+            scene_list=("BUNNY",),
+            budget=CaseBudget(wall_seconds=5.0),
+        )
+        store, queue, sched = make_scheduler(
+            tmp_path, context, worker_fn=budget_echo_worker
+        )
+        job = new_job(CaseSpec("BUNNY", "baseline"), deadline_s=500.0)
+        submit_and_drain(queue, sched, [job])
+        assert store.load(job.job_id).result["wall_budget"] == 5.0
+
+    def test_merge_wall_budget(self):
+        assert merge_wall_budget(None, 3.0).wall_seconds == 3.0
+        base = CaseBudget(wall_seconds=2.0, max_cycles=10.0)
+        tightened = merge_wall_budget(base, 1.0)
+        assert tightened.wall_seconds == 1.0
+        assert tightened.max_cycles == 10.0
+        assert merge_wall_budget(base, 9.0) is base
+        with pytest.raises(ValueError):
+            merge_wall_budget(base, 0.0)
+
+
+class TestCrashRetry:
+    def test_crash_then_retry_succeeds(self, tmp_path, ctx, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_FLAG", str(tmp_path / "crashed.flag")
+        )
+        store, queue, sched = make_scheduler(
+            tmp_path, ctx, worker_fn=crash_once_worker, jobs=1, retries=1
+        )
+        job = new_job(CaseSpec("BUNNY", "baseline"))
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.DONE
+        assert record.result["recovered"] is True
+        assert record.attempts == 2
+
+    def test_persistent_crash_quarantines_after_single_retry(
+        self, tmp_path, ctx
+    ):
+        store, queue, sched = make_scheduler(
+            tmp_path, ctx, worker_fn=always_crash_worker, jobs=1, retries=1
+        )
+        job = new_job(CaseSpec("BUNNY", "baseline"))
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.FAILED
+        assert record.attempts == 2  # one try + exactly one retry
+        assert "crashed" in record.error["message"]
+        recorded = runner.failures()
+        assert len(recorded) == 1
+        assert recorded[0].scene == "BUNNY"
+
+    def test_real_pool_runs_real_case(self, tmp_path, ctx):
+        """One genuine fast case through the real worker pool entry point."""
+        store, queue, sched = make_scheduler(
+            tmp_path, ctx, worker_fn=case_worker, jobs=1
+        )
+        job = new_job(CaseSpec("BUNNY", "baseline"))
+        submit_and_drain(queue, sched, [job])
+        record = store.load(job.job_id)
+        assert record.state == jobstates.DONE
+        assert record.result == runner.run_case("BUNNY", "baseline", ctx)

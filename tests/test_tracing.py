@@ -210,3 +210,32 @@ class TestSamplesPerPixel:
         assert abs(four.mean() - one.mean()) < 0.5 * max(one.mean(), 1e-9)
         # ...but per-pixel variance drops with averaging.
         assert four.var() <= one.var() * 1.05
+
+
+class TestTimelineRecording:
+    """``record_timeline=True`` must observe the render, never alter it."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_recording_does_not_change_results(self, bunny, small_setup, policy):
+        scene, bvh = bunny
+        plain = render_scene(scene, bvh, small_setup, policy=policy)
+        traced = render_scene(
+            scene, bvh, small_setup, policy=policy, record_timeline=True
+        )
+        assert plain.timelines == []
+        assert traced.cycles == plain.cycles
+        assert traced.per_sm_cycles == plain.per_sm_cycles
+        assert np.array_equal(traced.image, plain.image)
+        assert len(traced.timelines) == small_setup.gpu.num_sms
+
+    def test_recorded_spans_cover_the_render(self, bunny, small_setup):
+        from repro.gpusim.timeline import merge_timelines
+
+        scene, bvh = bunny
+        traced = render_scene(
+            scene, bvh, small_setup, policy="vtq", record_timeline=True
+        )
+        spans = merge_timelines(traced.timelines)
+        assert spans
+        assert all(span.end >= span.start for span in spans)
+        assert max(span.end for span in spans) <= traced.cycles

@@ -248,6 +248,21 @@ def bench_parallel(context, specs, jobs):
     }
 
 
+def default_output_path(date_str, directory=Path(".")):
+    """A non-clobbering default report path.
+
+    ``BENCH_<date>.json`` if free, else ``BENCH_<date>.run2.json``,
+    ``.run3.json``, ... — a second run on the same day never overwrites
+    the first.
+    """
+    path = Path(directory) / f"BENCH_{date_str}.json"
+    run = 2
+    while path.exists():
+        path = Path(directory) / f"BENCH_{date_str}.run{run}.json"
+        run += 1
+    return path
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fast", action="store_true",
@@ -257,7 +272,8 @@ def main(argv=None):
     parser.add_argument("--reps", type=int, default=2,
                         help="repetitions per timed phase (best-of)")
     parser.add_argument("-o", "--output", default=None,
-                        help="output path (default BENCH_<date>.json)")
+                        help="output path (default: BENCH_<date>.json with a "
+                             ".runN suffix if that exists; never clobbers)")
     args = parser.parse_args(argv)
 
     from repro.experiments.parallel import jobs_from_env
@@ -293,7 +309,7 @@ def main(argv=None):
         "python": platform.python_version(),
         "phases": phases,
     }
-    output = args.output or f"BENCH_{report['date']}.json"
+    output = args.output or default_output_path(report["date"])
     with open(output, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

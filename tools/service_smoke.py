@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Service smoke test: a real `repro serve` process end to end.
+
+Starts the serving daemon as a subprocess on a localhost TCP port,
+submits two tiny jobs through the stock client, polls them to
+completion, asserts the served results are byte-identical to direct
+``run_cases`` output, and shuts the server down with ``drain
+{"stop": true}``.  This is what CI runs; it is also handy after any
+change to the service stack:
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+Exit status 0 means every step (including clean shutdown) passed.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import default_context  # noqa: E402
+from repro.experiments.parallel import CaseSpec, run_cases  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+CASES = [CaseSpec("BUNNY", "baseline"), CaseSpec("SPNZA", "vtq")]
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_server(client: ServiceClient, proc, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with status {proc.returncode}")
+        try:
+            return client.health()
+        except ServiceError:
+            time.sleep(0.2)
+    raise SystemExit("server did not come up in time")
+
+
+def main() -> int:
+    port = free_port()
+    endpoint = f"127.0.0.1:{port}"
+    scratch = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env["REPRO_CACHE_DIR"] = str(Path(scratch) / "cache")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", endpoint,
+            "--spool", str(Path(scratch) / "spool"),
+            "--jobs", "0",
+            "--fast",
+        ],
+        env=env,
+    )
+    client = ServiceClient(endpoint=endpoint, timeout=30)
+    try:
+        health = wait_for_server(client, proc)
+        print(f"server up on {endpoint}: {json.dumps(health['states'])}")
+
+        job_ids = [client.submit(spec.scene, spec.policy) for spec in CASES]
+        print(f"submitted {len(job_ids)} jobs: {', '.join(job_ids)}")
+        records = client.wait(job_ids, timeout=300)
+        for record in records:
+            assert record["state"] == "done", f"job failed: {record}"
+
+        # The acceptance bar: served results are byte-identical to the
+        # direct executor path (same cache keys, same metrics).
+        direct = run_cases(CASES, default_context(fast=True), jobs=0)
+        for record, (metrics, failure), spec in zip(records, direct, CASES):
+            assert failure is None, f"direct run failed: {failure}"
+            served = json.dumps(record["result"], sort_keys=True)
+            expected = json.dumps(metrics, sort_keys=True)
+            assert served == expected, (
+                f"{spec.label()}: served result diverged from direct run\n"
+                f"  served:   {served}\n  expected: {expected}"
+            )
+            print(f"{spec.label()}: served == direct "
+                  f"({record['result']['cycles']:.0f} cycles)")
+
+        reply = client.drain(stop=True)
+        assert reply["drained"] is True
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"server exit status {proc.returncode}"
+        print("server drained and stopped cleanly")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
