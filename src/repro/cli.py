@@ -11,6 +11,8 @@ Commands:
 * ``submit``  — submit one case (or a whole figure's cases) to the server.
 * ``jobs``    — list the server's job records.
 * ``cancel``  — cancel a queued job.
+* ``stats``   — render a metrics snapshot: the live server's registry, or
+  the run manifest of a finished run (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -133,7 +135,27 @@ def _write_trace(trace_out: str, names, context) -> None:
           "open in chrome://tracing or Perfetto)")
 
 
+def _write_run_manifest(manifest_path, started, config) -> None:
+    """Write a run manifest (config + git rev + timings + metrics)."""
+    import time
+
+    from repro.experiments import failures
+    from repro.obs import write_manifest
+
+    path = write_manifest(
+        path=manifest_path,
+        started=started,
+        finished=time.time(),
+        config=config,
+        failures=len(failures()),
+    )
+    if path is not None:
+        print(f"wrote run manifest {path}")
+
+
 def cmd_figure(args) -> int:
+    import time
+
     from repro.experiments import clear_failures, default_context, format_table
 
     figures = _figures()
@@ -142,18 +164,28 @@ def cmd_figure(args) -> int:
               + ", ".join(sorted(figures)), file=sys.stderr)
         return 2
     clear_failures()
+    started = time.time()
     context = default_context(fast=args.fast)
     _warm([args.name], context, args.jobs)
     print(format_table(figures[args.name](context)))
     if args.trace_out:
         _write_trace(args.trace_out, [args.name], context)
-    return _finish_run(args.strict)
+    status = _finish_run(args.strict)
+    if args.manifest:
+        _write_run_manifest(
+            args.manifest, started,
+            {"figure": args.name, "fast": args.fast, "jobs": args.jobs},
+        )
+    return status
 
 
 def cmd_report(args) -> int:
+    import time
+
     from repro.experiments import clear_failures, default_context, format_table
 
     clear_failures()
+    started = time.time()
     context = default_context(fast=args.fast)
     figures = _figures()
     _warm(list(figures), context, args.jobs)
@@ -162,11 +194,24 @@ def cmd_report(args) -> int:
         print("\n" + "=" * 72 + "\n")
     if args.trace_out:
         _write_trace(args.trace_out, list(figures), context)
-    return _finish_run(args.strict)
+    status = _finish_run(args.strict)
+    if args.manifest:
+        _write_run_manifest(
+            args.manifest, started,
+            {"figures": sorted(figures), "fast": args.fast, "jobs": args.jobs},
+        )
+    return status
 
 
 def cmd_export(args) -> int:
-    """Write one figure's table to CSV/JSON/text, suffix picks the format."""
+    """Write one figure's table to CSV/JSON/text, suffix picks the format.
+
+    A run manifest (``<output>.manifest.json``) always rides along so a
+    figure artifact carries its own provenance; ``--no-manifest`` opts
+    out.
+    """
+    import time
+
     from repro.experiments import default_context
     from repro.experiments.report import export
 
@@ -175,9 +220,61 @@ def cmd_export(args) -> int:
         print(f"unknown figure {args.name!r}; choose from: "
               + ", ".join(sorted(figures)), file=sys.stderr)
         return 2
+    started = time.time()
     context = default_context(fast=args.fast)
     export(figures[args.name](context), args.output)
     print(f"wrote {args.output}")
+    if not args.no_manifest:
+        from repro.obs import manifest_path_for
+
+        _write_run_manifest(
+            manifest_path_for(args.output), started,
+            {"figure": args.name, "fast": args.fast, "output": args.output},
+        )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Render a metrics snapshot: live server, or a finished run's manifest."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs import MetricsRegistry, read_manifest, render_snapshot_text
+
+    header = None
+    if args.source:
+        try:
+            data = read_manifest(args.source)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.source}: {exc}", file=sys.stderr)
+            return 2
+        if "metrics" in data:  # a run manifest wrapping a snapshot
+            snap = data["metrics"]
+            wall = data.get("wall_seconds")
+            header = (
+                f"run manifest: {data.get('command', '?')}\n"
+                f"git {data.get('git_revision') or 'unknown'}"
+                + (f"  wall {wall:.2f}s" if wall is not None else "")
+                + f"  quarantined {data.get('quarantined_cases', 0)}"
+            )
+        else:  # a bare registry snapshot
+            snap = data
+    else:
+        try:
+            snap = _service_client(args).metrics(format="json")
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.format == "json":
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        registry = MetricsRegistry()
+        registry.merge_snapshot(snap)
+        print(registry.render_prometheus(), end="")
+    else:
+        if header:
+            print(header + "\n")
+        print(render_snapshot_text(snap))
     return 0
 
 
@@ -395,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "count; 0 = serial, no pool)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="also chrome-trace one representative case to PATH")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="also write a run manifest (config + git rev + "
+                        "timings + metrics) to PATH")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("report", help="regenerate every figure")
@@ -406,12 +506,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "count; 0 = serial, no pool)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="also chrome-trace one representative case to PATH")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="also write a run manifest (config + git rev + "
+                        "timings + metrics) to PATH")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("export", help="write one figure to CSV/JSON/text")
     p.add_argument("name")
     p.add_argument("output", help="path; .csv / .json / anything-else=text")
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--no-manifest", action="store_true",
+                   help="skip the sibling <output>.manifest.json")
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("sweep", help="sweep a design parameter on one scene")
@@ -471,6 +576,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job_id")
     p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
     p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser(
+        "stats", help="render metrics: a live server, or a finished run"
+    )
+    p.add_argument("source", nargs="?", default=None,
+                   help="run manifest or metrics-snapshot JSON file; omit "
+                        "to scrape a running server")
+    p.add_argument("--format", choices=("text", "json", "prom"),
+                   default="text",
+                   help="text summary, raw JSON snapshot, or Prometheus "
+                        "exposition text (default: text)")
+    p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

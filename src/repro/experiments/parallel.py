@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,6 +42,7 @@ from repro.experiments.runner import (
     record_failure,
     run_case_quarantined,
 )
+from repro.obs import diff_snapshots, registry as obs_registry
 
 logger = logging.getLogger("repro.experiments.parallel")
 
@@ -92,6 +94,52 @@ def _worker(spec: CaseSpec, context: ExperimentContext):
 case_worker = _worker
 
 
+def case_worker_obs(spec: CaseSpec, context: ExperimentContext):
+    """Pool entry point that also ships the case's metrics delta home.
+
+    Worker processes accumulate metrics in their own process-local
+    registry, invisible to the parent.  This wrapper snapshots the
+    registry around the case and returns ``((metrics, failure), delta)``
+    so the caller can :meth:`~repro.obs.MetricsRegistry.merge_snapshot`
+    the delta — per-case wall time, cache events and bridged ``SimStats``
+    counters all survive the process boundary.
+    """
+    reg = obs_registry()
+    before = reg.snapshot()
+    result = _worker(spec, context)
+    return result, diff_snapshots(before, reg.snapshot())
+
+
+def _busy_seconds(delta: Dict) -> float:
+    """Worker busy time recorded in a metrics delta (case wall seconds)."""
+    family = delta.get("repro_case_seconds")
+    if not family:
+        return 0.0
+    return sum(sample["sum"] for sample in family.get("samples", {}).values())
+
+
+def _observe_sweep(mode: str, elapsed: float, utilization: Optional[float]) -> None:
+    reg = obs_registry()
+    reg.histogram(
+        "repro_sweep_seconds",
+        "Wall time of one run_cases sweep",
+        ("mode",),
+    ).labels(mode=mode).observe(elapsed)
+    if utilization is not None:
+        reg.gauge(
+            "repro_sweep_worker_utilization",
+            "Worker busy-seconds / (elapsed * workers) of the last parallel sweep",
+        ).labels().set(utilization)
+
+
+def _count_case(status: str) -> None:
+    obs_registry().counter(
+        "repro_sweep_cases_total",
+        "Sweep cases by outcome",
+        ("status",),
+    ).labels(status=status).inc()
+
+
 def run_cases(
     cases: Sequence[CaseSpec],
     context: ExperimentContext,
@@ -119,6 +167,7 @@ def run_cases(
     # too (a one-worker pool would only add process overhead).
     jobs = min(jobs, len(cases))
     if jobs <= 1:
+        start = time.perf_counter()
         results = []
         for spec in cases:
             try:
@@ -140,22 +189,26 @@ def run_cases(
                     # run_case_quarantined already recorded it; undo to
                     # honor the caller (warming must not double-report).
                     _unrecord(failure)
+            _count_case("ok" if failure is None else "quarantined")
             results.append((metrics, failure))
+        _observe_sweep("serial", time.perf_counter() - start, None)
         return results
 
     results: List[Optional[Tuple[Optional[Dict], Optional[CaseFailure]]]]
     results = [None] * len(cases)
     done = 0
+    busy = 0.0
+    start = time.perf_counter()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
-            pool.submit(_worker, spec, context): index
+            pool.submit(case_worker_obs, spec, context): index
             for index, spec in enumerate(cases)
         }
         for future in as_completed(futures):
             index = futures[future]
             spec = cases[index]
             try:
-                metrics, failure = future.result()
+                (metrics, failure), obs_delta = future.result()
             except Exception as exc:  # worker process died (or pool broke)
                 metrics = None
                 failure = CaseFailure(
@@ -164,10 +217,17 @@ def run_cases(
                     error_type=type(exc).__name__,
                     message=f"worker crashed: {exc}",
                 )
+            else:
+                # Metrics recorded inside the worker process (case wall
+                # time, cache events, bridged SimStats) merge into the
+                # parent's registry here.
+                obs_registry().merge_snapshot(obs_delta)
+                busy += _busy_seconds(obs_delta)
             # Quarantine records live in the worker's memory; re-record in
             # the parent so `failures()` reflects the whole sweep.
             if failure is not None and record_failures:
                 record_failure(failure)
+            _count_case("ok" if failure is None else "quarantined")
             results[index] = (metrics, failure)
             done += 1
             logger.info(
@@ -175,6 +235,10 @@ def run_cases(
                 done, len(cases), spec.label(),
                 "" if failure is None else f" [quarantined: {failure.error_type}]",
             )
+    elapsed = time.perf_counter() - start
+    _observe_sweep(
+        "parallel", elapsed, busy / (elapsed * jobs) if elapsed > 0 else 0.0
+    )
     return results  # type: ignore[return-value]
 
 

@@ -42,6 +42,8 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+import time
+
 from repro import faults
 from repro.bvh import build_scene_bvh
 from repro.core.config import VTQConfig
@@ -50,6 +52,7 @@ from repro.gpusim.budget import CaseBudget, budget_from_env, wall_clock_watchdog
 from repro.gpusim.config import GPUConfig, ScaledSetup, default_setup
 from repro.gpusim.energy import EnergyModel
 from repro.gpusim.stats import TraversalMode
+from repro.obs import registry as obs_registry
 from repro.scenes import load_scene, scene_names
 from repro.tracing import render_scene
 
@@ -210,12 +213,35 @@ def _write_cache_entry(cache_path: Path, key: str, metrics: Dict) -> None:
     tmp.replace(cache_path)
 
 
+def _observe_case(scene: str, policy: str, source: str, seconds: float) -> None:
+    """Record one resolved case in the metrics registry (repro.obs)."""
+    reg = obs_registry()
+    labels = {"scene": scene, "policy": policy, "source": source}
+    reg.counter(
+        "repro_case_total",
+        "Cases resolved, by how (hit/compute/nocache)",
+        ("scene", "policy", "source"),
+    ).labels(**labels).inc()
+    reg.histogram(
+        "repro_case_seconds",
+        "Per-case wall time by resolution path",
+        ("scene", "policy", "source"),
+    ).labels(**labels).observe(seconds)
+
+
 def _trace_cache(event: str, key: str) -> None:
     """Append one ``EVENT <key>`` line to the ``REPRO_CACHE_TRACE`` log.
 
     ``O_APPEND`` keeps concurrent writers' lines intact, so the log is a
-    faithful record of which process hit and which computed.
+    faithful record of which process hit and which computed.  The same
+    events also feed the ``repro_cache_events_total`` metric, which works
+    without any trace log configured.
     """
+    obs_registry().counter(
+        "repro_cache_events_total",
+        "Disk result-cache events (HIT = replayed, COMPUTE = simulated)",
+        ("event",),
+    ).labels(event=event.lower()).inc()
     path = os.environ.get("REPRO_CACHE_TRACE")
     if not path:
         return
@@ -329,16 +355,21 @@ def run_case(
     """
     key = _case_key(scene_name, policy, context.setup, vtq)
     case_label = f"{scene_name}:{policy}"
+    start = time.perf_counter()
     if not context.use_disk_cache:
-        return _compute_case(scene_name, policy, context, vtq, case_label)
+        metrics = _compute_case(scene_name, policy, context, vtq, case_label)
+        _observe_case(scene_name, policy, "nocache", time.perf_counter() - start)
+        return metrics
     cache_path = cache_dir() / f"{key}.json"
     metrics = _try_read_cache(cache_path, key, case_label)
     if metrics is not None:
+        _observe_case(scene_name, policy, "hit", time.perf_counter() - start)
         return metrics
     with _case_claim(key):
         # Another worker may have written the entry while we waited.
         metrics = _try_read_cache(cache_path, key, case_label)
         if metrics is not None:
+            _observe_case(scene_name, policy, "hit", time.perf_counter() - start)
             return metrics
         metrics = _compute_case(scene_name, policy, context, vtq, case_label)
         _trace_cache("COMPUTE", key)
@@ -350,6 +381,7 @@ def run_case(
                 faults.rng(spec, case_label),
                 mode=spec.payload.get("mode", "truncate"),
             )
+    _observe_case(scene_name, policy, "compute", time.perf_counter() - start)
     return metrics
 
 
@@ -413,6 +445,13 @@ def run_case_quarantined(
                 partial=dict(partial),
             )
         )
+        obs_registry().counter(
+            "repro_case_quarantined_total",
+            "Cases quarantined instead of completing, by error type",
+            ("scene", "policy", "error"),
+        ).labels(
+            scene=scene_name, policy=policy, error=type(exc).__name__
+        ).inc()
         logger.warning("quarantined %s/%s: %s", scene_name, policy, exc)
         return None, failure
 

@@ -8,6 +8,13 @@
 * cycles and intersection tests attributed to each traversal mode
   (Figures 14, 15);
 * traffic and event counts feeding the energy model (Figure 17).
+
+All readers — ``snapshot()``, ``miss_rate()``, the mode-fraction
+helpers, ``WindowedRate.series()`` and ``merge()``'s reads of the other
+object — are side-effect-free: lookups use ``.get`` and never insert
+defaultdict keys, so reading a statistic cannot change the object's
+serialized form (``tests/test_obs_equivalence.py`` pins this with
+byte-identity regressions; ``docs/OBSERVABILITY.md`` has the story).
 """
 
 from __future__ import annotations
@@ -42,12 +49,16 @@ class WindowedRate:
             self.misses[window] += 1
 
     def series(self) -> List[Tuple[float, float]]:
-        """``(window_start_cycle, miss_rate)`` points in time order."""
+        """``(window_start_cycle, miss_rate)`` points in time order.
+
+        A pure reader: ``.get`` lookups never insert defaultdict keys, so
+        calling it does not change the object's serialized form.
+        """
         windows = sorted(set(self.hits) | set(self.misses))
         out = []
         for w in windows:
-            h = self.hits[w]
-            m = self.misses[w]
+            h = self.hits.get(w, 0)
+            m = self.misses.get(w, 0)
             if h + m:
                 out.append((w * self.window_cycles, m / (h + m)))
         return out
@@ -123,11 +134,15 @@ class SimStats:
     # -- derived metrics -----------------------------------------------------
 
     def miss_rate(self, level: str, kind: str = "bvh") -> float:
-        """Miss rate of ``kind`` accesses at ``level``; 0.0 when unused."""
-        acc = self.cache_accesses[(level, kind)]
+        """Miss rate of ``kind`` accesses at ``level``; 0.0 when unused.
+
+        Reads with ``.get`` so querying an unused level/kind never
+        inserts a key into the defaultdict-backed counters.
+        """
+        acc = self.cache_accesses.get((level, kind), 0)
         if acc == 0:
             return 0.0
-        return 1.0 - self.cache_hits[(level, kind)] / acc
+        return 1.0 - self.cache_hits.get((level, kind), 0) / acc
 
     def simt_efficiency(self) -> float:
         """Mean active-lane fraction over all warp steps (paper Sec 6.3)."""
@@ -139,21 +154,85 @@ class SimStats:
         total = sum(self.mode_cycles.values())
         if total == 0:
             return {mode: 0.0 for mode in TraversalMode}
-        return {mode: self.mode_cycles[mode] / total for mode in TraversalMode}
+        return {
+            mode: self.mode_cycles.get(mode, 0.0) / total for mode in TraversalMode
+        }
 
     def mode_test_fractions(self) -> Dict[TraversalMode, float]:
         total = sum(self.mode_tests.values())
         if total == 0:
             return {mode: 0.0 for mode in TraversalMode}
-        return {mode: self.mode_tests[mode] / total for mode in TraversalMode}
+        return {mode: self.mode_tests.get(mode, 0) / total for mode in TraversalMode}
 
     def prefetch_unused_fraction(self) -> float:
         if self.prefetch_lines == 0:
             return 0.0
         return self.prefetch_unused_lines / self.prefetch_lines
 
+    def snapshot(self) -> Dict:
+        """A plain-dict, JSON-serializable view of every raw counter.
+
+        Purely observational — building it inserts no defaultdict keys —
+        and canonical: two stats objects hold the same counters iff their
+        snapshots compare equal, which is what the merge/read purity
+        regression tests (and the observability bridge) rely on.
+        """
+        return {
+            "cache_accesses": {
+                f"{level}/{kind}": count
+                for (level, kind), count in sorted(self.cache_accesses.items())
+            },
+            "cache_hits": {
+                f"{level}/{kind}": count
+                for (level, kind), count in sorted(self.cache_hits.items())
+            },
+            "dram_accesses": dict(sorted(self.dram_accesses.items())),
+            "traffic_bytes": dict(sorted(self.traffic_bytes.items())),
+            "l1_bvh_timeline": {
+                "window_cycles": self.l1_bvh_timeline.window_cycles,
+                "hits": dict(sorted(self.l1_bvh_timeline.hits.items())),
+                "misses": dict(sorted(self.l1_bvh_timeline.misses.items())),
+            },
+            "simt_active_sum": self.simt_active_sum,
+            "simt_steps": self.simt_steps,
+            "mode_cycles": {
+                mode.value: cycles for mode, cycles in sorted(
+                    self.mode_cycles.items(), key=lambda item: item[0].value
+                )
+            },
+            "mode_tests": {
+                mode.value: tests for mode, tests in sorted(
+                    self.mode_tests.items(), key=lambda item: item[0].value
+                )
+            },
+            "total_cycles": self.total_cycles,
+            "rays_traced": self.rays_traced,
+            "rays_completed": self.rays_completed,
+            "warps_processed": self.warps_processed,
+            "node_visits": self.node_visits,
+            "leaf_visits": self.leaf_visits,
+            "triangle_tests": self.triangle_tests,
+            "treelet_queue_pushes": self.treelet_queue_pushes,
+            "treelet_queue_pops": self.treelet_queue_pops,
+            "warp_repacks": self.warp_repacks,
+            "treelet_fetch_lines": self.treelet_fetch_lines,
+            "prefetch_lines": self.prefetch_lines,
+            "prefetch_unused_lines": self.prefetch_unused_lines,
+            "cta_saves": self.cta_saves,
+            "cta_restores": self.cta_restores,
+            "queue_table_overflows": self.queue_table_overflows,
+            "count_table_evictions": self.count_table_evictions,
+            "queue_table_peak_entries": self.queue_table_peak_entries,
+            "count_table_peak_entries": self.count_table_peak_entries,
+        }
+
     def merge(self, other: "SimStats") -> None:
-        """Fold another SM's stats into this one (cycles take the max)."""
+        """Fold another SM's stats into this one (cycles take the max).
+
+        ``other`` is only read — never mutated: all lookups iterate its
+        existing keys or use ``.get``, so merging leaves the merged-from
+        object byte-identical.
+        """
         for key, value in other.cache_accesses.items():
             self.cache_accesses[key] += value
         for key, value in other.cache_hits.items():
@@ -168,9 +247,10 @@ class SimStats:
             self.l1_bvh_timeline.misses[window] += count
         self.simt_active_sum += other.simt_active_sum
         self.simt_steps += other.simt_steps
-        for mode in TraversalMode:
-            self.mode_cycles[mode] += other.mode_cycles[mode]
-            self.mode_tests[mode] += other.mode_tests[mode]
+        for mode, value in other.mode_cycles.items():
+            self.mode_cycles[mode] += value
+        for mode, tests in other.mode_tests.items():
+            self.mode_tests[mode] += tests
         self.total_cycles = max(self.total_cycles, other.total_cycles)
         self.rays_traced += other.rays_traced
         self.rays_completed += other.rays_completed

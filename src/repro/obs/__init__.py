@@ -1,0 +1,42 @@
+"""``repro.obs`` — the shared observability layer.
+
+* :mod:`repro.obs.registry` — process-wide metrics registry (counters,
+  gauges, histograms with labels), Prometheus text exporter, JSON
+  snapshots that diff and merge across worker processes.
+* :mod:`repro.obs.bridge` — exact ``SimStats`` → registry bridge.
+* :mod:`repro.obs.manifest` — structured run manifests written next to
+  figure/bench outputs.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.bridge import record_sim_stats, sim_counter_value
+from repro.obs.manifest import (
+    build_manifest,
+    manifest_path_for,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    diff_snapshots,
+    registry,
+    render_snapshot_text,
+    reset_registry,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "build_manifest",
+    "diff_snapshots",
+    "manifest_path_for",
+    "read_manifest",
+    "record_sim_stats",
+    "registry",
+    "render_snapshot_text",
+    "reset_registry",
+    "sim_counter_value",
+    "write_manifest",
+]

@@ -1,0 +1,159 @@
+"""Bridge simulator statistics into the metrics registry.
+
+One call per finished render — :func:`record_sim_stats` walks the
+:meth:`repro.gpusim.stats.SimStats.snapshot` of the run's merged stats
+and accumulates every counter into ``repro_sim_*`` metric families,
+labelled by scene and policy.  The bridge is strictly observational: it
+only *reads* the stats object (via its pure ``snapshot()``), so wiring it
+into :func:`repro.tracing.render.render_scene` changes no simulated
+number, and it is *exact*: values land in the registry through plain
+``+=``, so for a single run the registry series equal the ``SimStats``
+values bit-for-bit (``tests/test_obs_equivalence.py`` asserts this).
+
+Cumulative fields become counters (they sum across runs exactly like
+:meth:`SimStats.merge` sums across SMs); max-semantics fields
+(``total_cycles``, table peak entries) become per-label gauges holding
+the latest run's value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, registry as default_registry
+
+#: SimStats snapshot fields that are plain cumulative scalars.
+_SCALAR_COUNTERS = (
+    "simt_active_sum",
+    "simt_steps",
+    "rays_traced",
+    "rays_completed",
+    "warps_processed",
+    "node_visits",
+    "leaf_visits",
+    "triangle_tests",
+    "treelet_queue_pushes",
+    "treelet_queue_pops",
+    "warp_repacks",
+    "treelet_fetch_lines",
+    "prefetch_lines",
+    "prefetch_unused_lines",
+    "cta_saves",
+    "cta_restores",
+    "queue_table_overflows",
+    "count_table_evictions",
+)
+
+#: SimStats snapshot fields with max-over-runs semantics.
+_PEAK_GAUGES = ("total_cycles", "queue_table_peak_entries", "count_table_peak_entries")
+
+
+def record_sim_stats(
+    stats,
+    scene: str = "",
+    policy: str = "",
+    reg: Optional[MetricsRegistry] = None,
+) -> None:
+    """Accumulate one run's ``SimStats`` into the registry.
+
+    ``stats`` may be a :class:`repro.gpusim.stats.SimStats` or an
+    already-materialized ``snapshot()`` dict (what a worker process ships
+    home).
+    """
+    reg = reg if reg is not None else default_registry()
+    snap = stats if isinstance(stats, dict) else stats.snapshot()
+    base = {"scene": scene, "policy": policy}
+
+    accesses = reg.counter(
+        "repro_sim_cache_accesses_total",
+        "Cache accesses by level and access kind",
+        ("scene", "policy", "level", "kind"),
+    )
+    hits = reg.counter(
+        "repro_sim_cache_hits_total",
+        "Cache hits by level and access kind",
+        ("scene", "policy", "level", "kind"),
+    )
+    for field, family in (("cache_accesses", accesses), ("cache_hits", hits)):
+        for level_kind, count in snap[field].items():
+            level, kind = level_kind.split("/", 1)
+            family.labels(level=level, kind=kind, **base).inc(count)
+
+    dram = reg.counter(
+        "repro_sim_dram_accesses_total",
+        "DRAM accesses by kind",
+        ("scene", "policy", "kind"),
+    )
+    for kind, count in snap["dram_accesses"].items():
+        dram.labels(kind=kind, **base).inc(count)
+
+    traffic = reg.counter(
+        "repro_sim_traffic_bytes_total",
+        "Memory traffic in bytes by kind (feeds the energy model)",
+        ("scene", "policy", "kind"),
+    )
+    for kind, count in snap["traffic_bytes"].items():
+        traffic.labels(kind=kind, **base).inc(count)
+
+    mode_cycles = reg.counter(
+        "repro_sim_mode_cycles_total",
+        "Cycles attributed to each treelet traversal mode (Figure 14)",
+        ("scene", "policy", "mode"),
+    )
+    for mode, cycles in snap["mode_cycles"].items():
+        mode_cycles.labels(mode=mode, **base).inc(cycles)
+
+    mode_tests = reg.counter(
+        "repro_sim_mode_tests_total",
+        "Intersection tests attributed to each traversal mode (Figure 15)",
+        ("scene", "policy", "mode"),
+    )
+    for mode, tests in snap["mode_tests"].items():
+        mode_tests.labels(mode=mode, **base).inc(tests)
+
+    timeline = snap["l1_bvh_timeline"]
+    window_hits = sum(timeline["hits"].values())
+    window_misses = sum(timeline["misses"].values())
+    events = reg.counter(
+        "repro_sim_l1_bvh_timeline_events_total",
+        "Windowed L1 BVH timeline events (Figure 11)",
+        ("scene", "policy", "event"),
+    )
+    if window_hits:
+        events.labels(event="hit", **base).inc(window_hits)
+    if window_misses:
+        events.labels(event="miss", **base).inc(window_misses)
+
+    for field in _SCALAR_COUNTERS:
+        value = snap[field]
+        if value:
+            reg.counter(
+                f"repro_sim_{field}_total",
+                f"SimStats.{field}, summed across runs",
+                ("scene", "policy"),
+            ).labels(**base).inc(value)
+
+    for field in _PEAK_GAUGES:
+        reg.gauge(
+            f"repro_sim_{field}",
+            f"SimStats.{field} of the latest run (max semantics)",
+            ("scene", "policy"),
+        ).labels(**base).set(snap[field])
+
+
+def sim_counter_value(
+    name: str,
+    reg: Optional[MetricsRegistry] = None,
+    **labels: str,
+) -> float:
+    """Read one bridged sample back (tests and the `repro stats` verb)."""
+    reg = reg if reg is not None else default_registry()
+    snap = reg.snapshot().get(name)
+    if not snap:
+        return 0
+    from repro.obs.registry import _label_key
+
+    value = snap["samples"].get(_label_key(labels), 0)
+    if isinstance(value, dict):  # histogram sample
+        return value["sum"]
+    return value

@@ -122,6 +122,13 @@ class ServiceClient:
     def health(self) -> Dict:
         return self.request({"op": "health"})
 
+    def metrics(self, format: str = "prometheus"):
+        """The server's metrics: Prometheus text, or a snapshot dict when
+        ``format="json"`` (see ``docs/OBSERVABILITY.md``)."""
+        if format == "json":
+            return self.request({"op": "metrics", "format": "json"})["metrics"]
+        return str(self.request({"op": "metrics"})["text"])
+
     def jobs(self, state: Optional[str] = None) -> List[Dict]:
         payload: Dict = {"op": "jobs"}
         if state is not None:

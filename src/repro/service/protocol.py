@@ -8,6 +8,12 @@ always carries ``{"ok": true, ...}`` or
 Keeping the framing this dumb means ``socat`` / ``nc`` can drive the
 server by hand and the client needs nothing beyond the standard library.
 
+The one exception to JSON framing: a line starting with ``GET /metrics``
+gets a plain HTTP response carrying the Prometheus text exposition of the
+process-wide metrics registry (see ``docs/OBSERVABILITY.md``), so a stock
+Prometheus scraper — or ``curl`` — can point straight at the service's
+TCP endpoint.  The JSON-native equivalent is the ``metrics`` verb.
+
 Endpoint resolution (used by server, client and CLI alike):
 
 * ``REPRO_SERVICE_SOCKET`` — path of a unix-domain socket (the default:
@@ -40,7 +46,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.errors import ServiceError
 
 #: Every verb the server understands.
-OPS = ("submit", "status", "result", "cancel", "drain", "health", "jobs")
+OPS = ("submit", "status", "result", "cancel", "drain", "health", "jobs", "metrics")
 
 _SPOOL_DEFAULT = Path(__file__).resolve().parents[3] / ".cache" / "service"
 

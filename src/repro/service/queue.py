@@ -42,6 +42,11 @@ class JobQueue:
         # job_id -> (sort key, job); kept unsorted, popped by min() — the
         # queue is small (bounded) and cancellation stays O(1).
         self._entries: Dict[str, tuple] = {}
+        # client_id -> queued-job count, maintained on submit/cancel/pop
+        # so the fair-rank stamp and the quota check are O(1) per submit
+        # and can never drift from the entries dict (a recount of which
+        # is what the property test compares against).
+        self._client_depths: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,9 +55,15 @@ class JobQueue:
         return job_id in self._entries
 
     def _client_depth(self, client_id: str) -> int:
-        return sum(
-            1 for _, job in self._entries.values() if job.client_id == client_id
-        )
+        return self._client_depths.get(client_id, 0)
+
+    def _client_departed(self, job: Job) -> None:
+        """Decrement the departing job's client count (drop empty keys)."""
+        remaining = self._client_depths.get(job.client_id, 0) - 1
+        if remaining > 0:
+            self._client_depths[job.client_id] = remaining
+        else:
+            self._client_depths.pop(job.client_id, None)
 
     def submit(self, job: Job, enforce_bounds: bool = True) -> None:
         """Admit ``job`` or raise :class:`AdmissionRejected` with a reason.
@@ -78,6 +89,7 @@ class JobQueue:
         # how many jobs they already had queued; submission order last.
         key = (-job.priority, fair_rank, next(self._seq))
         self._entries[job.job_id] = (key, job)
+        self._client_depths[job.client_id] = fair_rank + 1
 
     def admit_adopted(self, job: Job) -> None:
         """Re-queue a spooled job during server restart, bypassing bounds."""
@@ -86,7 +98,10 @@ class JobQueue:
     def cancel(self, job_id: str) -> Optional[Job]:
         """Remove a queued job; the job if it was queued, else ``None``."""
         entry = self._entries.pop(job_id, None)
-        return entry[1] if entry else None
+        if entry is None:
+            return None
+        self._client_departed(entry[1])
+        return entry[1]
 
     def peek_order(self) -> List[Job]:
         """The current pop order (for introspection/tests)."""
@@ -110,4 +125,5 @@ class JobQueue:
                 candidates = matching
         key, job = min(candidates, key=lambda e: e[0])
         del self._entries[job.job_id]
+        self._client_departed(job)
         return job

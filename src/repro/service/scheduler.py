@@ -41,12 +41,13 @@ from dataclasses import replace
 from typing import Callable, List, Optional, Set
 
 from repro.errors import BudgetExceeded
-from repro.experiments.parallel import case_worker
+from repro.experiments.parallel import case_worker, case_worker_obs
 from repro.experiments.runner import (
     CaseFailure,
     ExperimentContext,
     record_failure,
 )
+from repro.obs import registry as obs_registry
 from repro.gpusim.budget import merge_wall_budget
 from repro.service import jobs as jobstates
 from repro.service.jobs import Job, JobStore
@@ -77,6 +78,13 @@ class Scheduler:
         self.jobs = jobs
         self.retries = retries
         self.worker_fn = worker_fn
+        # In pool mode the stock worker runs in another process, whose
+        # registry the parent cannot see; the obs-wrapped entry point
+        # ships each case's metrics delta home.  Custom worker_fns keep
+        # the plain (metrics, failure) contract and merge nothing.
+        self._obs_worker = (
+            case_worker_obs if worker_fn is case_worker and jobs != 0 else None
+        )
         # jobs == 0: serial in-process execution, one job at a time.
         self.slots = max(1, jobs)
         self.dispatch_log: List[str] = []
@@ -107,6 +115,10 @@ class Scheduler:
             job = self.queue.pop_next(prefer_key=self._last_key)
             if job is None:
                 break
+            obs_registry().histogram(
+                "repro_service_dispatch_latency_seconds",
+                "Queue wait from submission to scheduler dispatch",
+            ).labels().observe(max(0.0, time.time() - job.submitted_at))
             self._last_key = job.scene_key()
             job.dispatch_index = len(self.dispatch_log)
             self.dispatch_log.append(job.job_id)
@@ -158,10 +170,16 @@ class Scheduler:
 
     async def _execute(self, job: Job, context: ExperimentContext):
         """One execution attempt; raises whatever a worker crash raises."""
+        fn = self._obs_worker or self.worker_fn
         if self.jobs == 0:
-            return await asyncio.to_thread(self.worker_fn, job.spec, context)
-        future = self._ensure_pool().submit(self.worker_fn, job.spec, context)
-        return await asyncio.wrap_future(future)
+            result = await asyncio.to_thread(fn, job.spec, context)
+        else:
+            future = self._ensure_pool().submit(fn, job.spec, context)
+            result = await asyncio.wrap_future(future)
+        if self._obs_worker is not None:
+            result, obs_delta = result
+            obs_registry().merge_snapshot(obs_delta)
+        return result
 
     def _job_context(self, job: Job) -> ExperimentContext:
         """The job's context: ambient budget tightened by its deadline."""
@@ -239,4 +257,16 @@ class Scheduler:
             job.state = jobstates.DONE
             job.result = metrics
         self.store.save(job)
+        reg = obs_registry()
+        reg.counter(
+            "repro_service_jobs_finished_total",
+            "Jobs reaching a terminal state, by state",
+            ("state",),
+        ).labels(state=job.state).inc()
+        if job.started_at:
+            reg.histogram(
+                "repro_service_job_seconds",
+                "Job wall time from dispatch to terminal state",
+                ("state",),
+            ).labels(state=job.state).observe(job.finished_at - job.started_at)
         logger.info("job %s finished: %s", job.label(), job.state)

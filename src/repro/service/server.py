@@ -14,6 +14,10 @@ unix-domain socket (default) or localhost TCP.  Verbs:
              ``{"stop": true}`` also shuts the server down afterwards
 ``health``   queue depth, running count, per-state job counts, worker
              pool size, disk-cache hit/compute counters, uptime
+``metrics``  the process-wide metrics registry: Prometheus text by
+             default, the JSON snapshot with ``{"format": "json"}``; a
+             raw ``GET /metrics`` line gets a plain HTTP response with
+             the same exposition (docs/OBSERVABILITY.md)
 
 On start the server re-adopts spooled jobs (``queued`` as-is; orphaned
 ``running`` jobs reset to ``queued``) so a restart never loses admitted
@@ -33,6 +37,7 @@ from typing import Dict, Optional
 
 from repro.errors import AdmissionRejected, ServiceError
 from repro.experiments.runner import ExperimentContext, default_context
+from repro.obs import registry as obs_registry
 from repro.scenes import scene_names
 from repro.service import protocol
 from repro.service import jobs as jobstates
@@ -162,6 +167,13 @@ class SimulationServer:
                 line = await reader.readline()
                 if not line:
                     break
+                if line.startswith(b"GET /metrics"):
+                    # Prometheus-scraper path: plain HTTP instead of the
+                    # JSON protocol; reply and close like an HTTP/1.0
+                    # server (the scraper's remaining header lines are
+                    # irrelevant to a one-shot exposition).
+                    await self._serve_http_metrics(writer)
+                    break
                 try:
                     request = protocol.decode(line)
                     response = await self._dispatch(request)
@@ -207,6 +219,8 @@ class SimulationServer:
             return self._op_health()
         if op == "jobs":
             return self._op_jobs(request)
+        if op == "metrics":
+            return self._op_metrics(request)
         raise ServiceError(
             f"unknown op {op!r}; expected one of {', '.join(protocol.OPS)}"
         )
@@ -214,6 +228,17 @@ class SimulationServer:
     # -- verbs -----------------------------------------------------------------
 
     def _op_submit(self, request: Dict) -> Dict:
+        try:
+            return self._admit(request)
+        except AdmissionRejected as exc:
+            obs_registry().counter(
+                "repro_service_admission_rejections_total",
+                "Submissions rejected at admission, by reason",
+                ("reason",),
+            ).labels(reason=getattr(exc, "reason", "error")).inc()
+            raise
+
+    def _admit(self, request: Dict) -> Dict:
         if self.draining:
             raise AdmissionRejected(
                 "server is draining and admits no new jobs", reason="draining"
@@ -240,6 +265,11 @@ class SimulationServer:
         )
         self.queue.submit(job)  # raises AdmissionRejected with a reason
         self.store.save(job)
+        obs_registry().counter(
+            "repro_service_submissions_total",
+            "Jobs admitted into the queue",
+            ("scene", "policy"),
+        ).labels(scene=spec.scene, policy=spec.policy).inc()
         self.scheduler.kick()
         return protocol.ok(job_id=job.job_id, state=job.state)
 
@@ -321,6 +351,58 @@ class SimulationServer:
                 time.time() - self.started_at if self.started_at else 0.0
             ),
         )
+
+    # -- metrics (docs/OBSERVABILITY.md) ---------------------------------------
+
+    def _update_scrape_gauges(self) -> None:
+        """Refresh the point-in-time gauges the exposition reports."""
+        reg = obs_registry()
+        reg.gauge(
+            "repro_service_queue_depth", "Jobs currently queued"
+        ).labels().set(len(self.queue))
+        reg.gauge(
+            "repro_service_running", "Jobs currently executing"
+        ).labels().set(self.scheduler.running_count)
+        reg.gauge(
+            "repro_service_draining", "1 while the server refuses admissions"
+        ).labels().set(1 if self.draining else 0)
+        reg.gauge(
+            "repro_service_workers", "Worker pool size"
+        ).labels().set(self.jobs)
+        reg.gauge(
+            "repro_service_uptime_seconds", "Seconds since the server started"
+        ).labels().set(
+            time.time() - self.started_at if self.started_at else 0.0
+        )
+        jobs_by_state = reg.gauge(
+            "repro_service_jobs", "Job records by lifecycle state", ("state",)
+        )
+        for state, count in self.store.counts().items():
+            jobs_by_state.labels(state=state).set(count)
+        cache = _cache_counters()
+        reg.gauge(
+            "repro_service_cache_hit_rate",
+            "Disk result-cache hit rate observed via REPRO_CACHE_TRACE",
+        ).labels().set(cache["hit_rate"])
+
+    def _op_metrics(self, request: Dict) -> Dict:
+        """``metrics`` verb: Prometheus text, or a JSON snapshot."""
+        self._update_scrape_gauges()
+        reg = obs_registry()
+        if request.get("format") == "json":
+            return protocol.ok(metrics=reg.snapshot())
+        return protocol.ok(text=reg.render_prometheus())
+
+    async def _serve_http_metrics(self, writer: asyncio.StreamWriter) -> None:
+        self._update_scrape_gauges()
+        body = obs_registry().render_prometheus().encode("utf-8")
+        writer.write(
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        await writer.drain()
 
 
 def _cache_counters() -> Dict:

@@ -160,6 +160,12 @@ def render_scene(
 
     if sanitize or (sanitize is None and sanitizer_enabled()):
         check_render(result, setup)
+    # Publish the run's merged stats into the process-wide metrics
+    # registry (repro.obs).  Purely observational: the bridge only reads
+    # the stats snapshot, so no simulated number changes.
+    from repro.obs import record_sim_stats
+
+    record_sim_stats(merged, scene=result.scene_name, policy=policy)
     return result
 
 

@@ -1,0 +1,193 @@
+"""SimStats ↔ metrics-registry equivalence, and stats-reader purity.
+
+Two guarantees back the observability layer:
+
+* **Exactness** — bridging a run's ``SimStats`` into the registry uses
+  plain ``+=`` of the same Python numbers, so every bridged series
+  equals the SimStats-derived value bit-for-bit (``==``, not approx).
+* **Purity** — the readers the bridge (and the figures) call —
+  ``snapshot()``, ``miss_rate()``, the mode-fraction helpers,
+  ``WindowedRate.series()`` and ``merge()``'s reads of the *other*
+  object — leave their inputs byte-identical.  These were real bugs:
+  defaultdict lookups used to insert keys on read.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import default_context, scene_and_bvh
+from repro.gpusim.stats import SimStats, TraversalMode, WindowedRate
+from repro.obs import record_sim_stats, reset_registry, sim_counter_value
+from repro.obs.registry import MetricsRegistry
+from repro.tracing.render import render_scene
+
+
+def frozen(stats: SimStats) -> str:
+    """The stats' canonical serialized form, for byte-identity checks."""
+    return json.dumps(stats.snapshot(), sort_keys=True)
+
+
+@pytest.fixture
+def fresh_registry():
+    reg = reset_registry()
+    yield reg
+    reset_registry()
+
+
+class TestBridgeEquivalence:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        """One small scene rendered once; (SimStats, its snapshot)."""
+        context = default_context(fast=True)
+        scene, bvh = scene_and_bvh("BUNNY", context.setup)
+        reset_registry()
+        try:
+            result = render_scene(scene, bvh, context.setup, policy="vtq")
+        finally:
+            reset_registry()
+        return result.stats
+
+    def test_bridged_counters_match_simstats_exactly(self, rendered):
+        reg = MetricsRegistry()
+        record_sim_stats(rendered, scene="BUNNY", policy="vtq", reg=reg)
+        snap = rendered.snapshot()
+        base = {"scene": "BUNNY", "policy": "vtq"}
+
+        def bridged(name, **labels):
+            return sim_counter_value(name, reg=reg, **labels, **base)
+
+        assert snap["cache_accesses"], "render produced no cache traffic?"
+        for level_kind, count in snap["cache_accesses"].items():
+            level, kind = level_kind.split("/", 1)
+            assert bridged(
+                "repro_sim_cache_accesses_total", level=level, kind=kind
+            ) == count
+        for level_kind, count in snap["cache_hits"].items():
+            level, kind = level_kind.split("/", 1)
+            assert bridged(
+                "repro_sim_cache_hits_total", level=level, kind=kind
+            ) == count
+        for kind, count in snap["dram_accesses"].items():
+            assert bridged("repro_sim_dram_accesses_total", kind=kind) == count
+        for kind, count in snap["traffic_bytes"].items():
+            assert bridged("repro_sim_traffic_bytes_total", kind=kind) == count
+        for mode, cycles in snap["mode_cycles"].items():
+            assert bridged("repro_sim_mode_cycles_total", mode=mode) == cycles
+        for mode, tests in snap["mode_tests"].items():
+            assert bridged("repro_sim_mode_tests_total", mode=mode) == tests
+        assert bridged(
+            "repro_sim_l1_bvh_timeline_events_total", event="hit"
+        ) == sum(snap["l1_bvh_timeline"]["hits"].values())
+        assert bridged(
+            "repro_sim_l1_bvh_timeline_events_total", event="miss"
+        ) == sum(snap["l1_bvh_timeline"]["misses"].values())
+        for field in (
+            "rays_traced", "rays_completed", "warps_processed", "node_visits",
+            "leaf_visits", "triangle_tests", "simt_active_sum", "simt_steps",
+        ):
+            assert bridged(f"repro_sim_{field}_total") == snap[field]
+        # Peak gauges hold the run's value verbatim.
+        peaks = reg.snapshot()["repro_sim_total_cycles"]["samples"]
+        assert list(peaks.values()) == [snap["total_cycles"]]
+
+    def test_bridging_twice_doubles_counters(self, rendered):
+        reg = MetricsRegistry()
+        record_sim_stats(rendered, scene="BUNNY", policy="vtq", reg=reg)
+        record_sim_stats(rendered, scene="BUNNY", policy="vtq", reg=reg)
+        assert sim_counter_value(
+            "repro_sim_rays_traced_total", reg=reg,
+            scene="BUNNY", policy="vtq",
+        ) == 2 * rendered.rays_traced
+
+    def test_bridge_does_not_mutate_the_stats(self, rendered):
+        before = frozen(rendered)
+        record_sim_stats(rendered, scene="BUNNY", policy="vtq",
+                         reg=MetricsRegistry())
+        assert frozen(rendered) == before
+
+    def test_bridge_accepts_a_snapshot_dict(self, rendered):
+        direct, via_dict = MetricsRegistry(), MetricsRegistry()
+        record_sim_stats(rendered, scene="B", policy="p", reg=direct)
+        record_sim_stats(rendered.snapshot(), scene="B", policy="p",
+                         reg=via_dict)
+        assert direct.snapshot() == via_dict.snapshot()
+
+
+def populated_stats() -> SimStats:
+    stats = SimStats()
+    stats.record_cache("l1", "bvh", hit=True)
+    stats.record_cache("l1", "bvh", hit=False)
+    stats.record_cache("l2", "tri", hit=True)
+    stats.dram_accesses["read"] += 3
+    stats.traffic_bytes["l2_to_l1"] += 128
+    stats.l1_bvh_timeline.record(100.0, hit=True)
+    stats.l1_bvh_timeline.record(6000.0, hit=False)
+    stats.record_simt(24, 32)
+    stats.record_mode(TraversalMode.TREELET_STATIONARY, 10.0, tests=4)
+    stats.total_cycles = 500.0
+    stats.rays_traced = 7
+    stats.triangle_tests = 9
+    return stats
+
+
+class TestReaderPurity:
+    """Readers must not change the object's serialized form (the old
+    defaultdict-insertion bugs made quarantine caching and merge order
+    change figure numbers)."""
+
+    def test_miss_rate_does_not_insert_keys(self):
+        stats = SimStats()
+        before = frozen(stats)
+        assert stats.miss_rate("l1") == 0.0
+        assert stats.miss_rate("l2", "tri") == 0.0
+        assert frozen(stats) == before
+        assert ("l1", "bvh") not in stats.cache_accesses
+
+    def test_miss_rate_value_unchanged_on_populated_stats(self):
+        stats = populated_stats()
+        before = frozen(stats)
+        assert stats.miss_rate("l1") == 0.5
+        assert frozen(stats) == before
+
+    def test_mode_fraction_readers_are_pure(self):
+        stats = populated_stats()
+        before = frozen(stats)
+        cycles = stats.mode_cycle_fractions()
+        tests = stats.mode_test_fractions()
+        assert cycles[TraversalMode.TREELET_STATIONARY] == 1.0
+        assert tests[TraversalMode.TREELET_STATIONARY] == 1.0
+        assert frozen(stats) == before
+        assert TraversalMode.INITIAL_RAY_STATIONARY not in stats.mode_cycles
+
+    def test_windowed_series_is_pure(self):
+        rate = WindowedRate(window_cycles=1000.0)
+        rate.record(100.0, hit=True)
+        rate.record(5500.0, hit=False)
+        before = (dict(rate.hits), dict(rate.misses))
+        assert rate.series() == [(0.0, 0.0), (5000.0, 1.0)]
+        assert (dict(rate.hits), dict(rate.misses)) == before
+
+    def test_merge_leaves_other_byte_identical(self):
+        a, b = populated_stats(), populated_stats()
+        before = frozen(b)
+        a.merge(b)
+        assert frozen(b) == before
+        # ... and actually merged into a.
+        assert a.rays_traced == 14
+        assert a.cache_accesses[("l1", "bvh")] == 4
+        assert a.mode_cycles[TraversalMode.TREELET_STATIONARY] == 20.0
+
+    def test_merge_with_empty_other_is_identity(self):
+        a = populated_stats()
+        empty = SimStats()
+        a_before, empty_before = frozen(a), frozen(empty)
+        a.merge(empty)
+        assert frozen(a) == a_before
+        assert frozen(empty) == empty_before
+
+    def test_snapshot_is_pure_and_json_stable(self):
+        stats = populated_stats()
+        first = frozen(stats)
+        assert frozen(stats) == first  # snapshotting twice changes nothing
+        json.loads(first)  # and it is valid JSON throughout

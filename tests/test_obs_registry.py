@@ -1,0 +1,241 @@
+"""Unit coverage for the metrics registry, exporter and run manifests.
+
+The bit-for-bit SimStats↔registry equivalence (and the stats purity
+regressions backing it) live in ``test_obs_equivalence.py``; this module
+pins down the registry machinery itself: family semantics, snapshots,
+the diff/merge round trip that ships worker deltas home, the Prometheus
+text rendering and the manifest file format.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    build_manifest,
+    diff_snapshots,
+    manifest_path_for,
+    read_manifest,
+    registry,
+    render_snapshot_text,
+    reset_registry,
+    write_manifest,
+)
+
+
+class TestFamilies:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "help", ("scene",))
+        c.labels(scene="BUNNY").inc()
+        c.labels(scene="BUNNY").inc(2.5)
+        c.labels(scene="SPNZA").inc(7)
+        assert c.labels(scene="BUNNY").value == 3.5
+        assert c.labels(scene="SPNZA").value == 7
+        assert c.labels(scene="WKND").value == 0  # untouched label set
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            reg.counter("c_total").labels().inc(-1)
+
+    def test_gauge_set_inc_dec_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g").labels()
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4
+        g.set_max(10)
+        g.set_max(1)  # lower value is kept out
+        assert g.value == 10
+
+    def test_histogram_bucket_placement(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0)).labels()
+        h.observe(0.5)   # bucket 0
+        h.observe(1.0)   # le is inclusive: still bucket 0
+        h.observe(1.5)   # bucket 1
+        h.observe(99.0)  # overflow bucket
+        snap = reg.snapshot()["h"]["samples"]["[]"]
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(102.0)
+
+    def test_label_validation(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "", ("scene", "policy"))
+        with pytest.raises(ValueError, match="takes labels"):
+            fam.labels(scene="BUNNY")
+        with pytest.raises(ValueError, match="takes labels"):
+            fam.labels(scene="BUNNY", policy="vtq", extra="nope")
+
+    def test_kind_and_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", "", ("a",))
+        reg.counter("m", "", ("a",))  # idempotent re-registration is fine
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m", "", ("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("m", "", ("b",))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshots:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "cases", ("scene",)).labels(scene="BUNNY").inc(3)
+        reg.gauge("depth").labels().set(5)
+        reg.histogram("h", buckets=(1.0,)).labels().observe(0.5)
+        return reg
+
+    def test_snapshot_is_json_serializable_and_detached(self):
+        reg = self._populated()
+        snap = reg.snapshot()
+        restored = json.loads(json.dumps(snap))
+        assert restored == snap
+        # Mutating the registry afterwards must not reach into the snapshot.
+        reg.histogram("h", buckets=(1.0,)).labels().observe(0.5)
+        assert snap["h"]["samples"]["[]"]["count"] == 1
+
+    def test_merge_adds_counters_and_histograms_overwrites_gauges(self):
+        reg = self._populated()
+        reg.merge_snapshot(self._populated().snapshot())
+        snap = reg.snapshot()
+        key = json.dumps([["scene", "BUNNY"]])
+        assert snap["c_total"]["samples"][key] == 6
+        assert snap["h"]["samples"]["[]"]["count"] == 2
+        assert snap["depth"]["samples"]["[]"] == 5  # last writer wins
+
+    def test_merge_into_empty_registry_reproduces_snapshot(self):
+        snap = self._populated().snapshot()
+        reg = MetricsRegistry()
+        reg.merge_snapshot(snap)
+        assert reg.snapshot() == snap
+
+    def test_diff_then_merge_round_trips(self):
+        # before + diff(before, after) == after, exactly — the contract
+        # the sweep workers rely on to ship per-case deltas home.
+        reg = self._populated()
+        before = reg.snapshot()
+        reg.counter("c_total", "cases", ("scene",)).labels(scene="SPNZA").inc(2)
+        reg.counter("c_total", "cases", ("scene",)).labels(scene="BUNNY").inc(1)
+        reg.gauge("depth").labels().set(9)
+        reg.histogram("h", buckets=(1.0,)).labels().observe(7.0)
+        after = reg.snapshot()
+
+        delta = diff_snapshots(before, after)
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(before)
+        rebuilt.merge_snapshot(delta)
+        assert rebuilt.snapshot() == after
+
+    def test_diff_drops_untouched_series(self):
+        reg = self._populated()
+        before = reg.snapshot()
+        reg.counter("c_total", "cases", ("scene",)).labels(scene="SPNZA").inc()
+        delta = diff_snapshots(before, reg.snapshot())
+        assert list(delta) == ["c_total"]
+        assert list(delta["c_total"]["samples"].values()) == [1]
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        snap = self._populated().snapshot()
+        assert diff_snapshots(snap, snap) == {}
+
+
+class TestRendering:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter", ("scene",)).labels(
+            scene="BUNNY"
+        ).inc(3)
+        reg.gauge("depth", "queue depth").labels().set(2.5)
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+        h.labels().observe(0.5)
+        h.labels().observe(1.5)
+        text = reg.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP c_total a counter" in lines
+        assert "# TYPE c_total counter" in lines
+        assert 'c_total{scene="BUNNY"} 3' in lines
+        assert "depth 2.5" in lines
+        # Histogram buckets are cumulative and end at +Inf == _count.
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="2"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 2' in lines
+        assert "lat_sum 2" in lines
+        assert "lat_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "", ("msg",)).labels(msg='a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'msg="a\\"b\\\\c\\nd"' in text
+
+    def test_snapshot_text_renders_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "cases", ("scene",)).labels(scene="BUNNY").inc(3)
+        reg.histogram("lat", buckets=(1.0,)).labels().observe(0.5)
+        reg.gauge("empty_gauge")  # family with no samples is skipped
+        text = render_snapshot_text(reg.snapshot())
+        assert "c_total (counter) — cases" in text
+        assert "scene=BUNNY: 3" in text
+        assert "(total): count=1 sum=0.5 mean=0.5" in text
+        assert "empty_gauge" not in text
+
+
+class TestDefaultRegistry:
+    def test_reset_swaps_the_process_registry(self):
+        reset_registry()
+        registry().counter("leftover_total").labels().inc()
+        fresh = reset_registry()
+        assert fresh is registry()
+        assert registry().snapshot() == {}
+
+
+class TestManifests:
+    def test_manifest_path_is_sibling(self, tmp_path):
+        out = tmp_path / "fig.json"
+        assert manifest_path_for(out) == tmp_path / "fig.json.manifest.json"
+
+    def test_build_manifest_contents(self):
+        reset_registry()
+        registry().counter("c_total").labels().inc(4)
+        manifest = build_manifest(
+            command="repro figure fig1",
+            started=100.0,
+            finished=102.5,
+            config={"fast": True},
+            failures=1,
+        )
+        assert manifest["command"] == "repro figure fig1"
+        assert manifest["wall_seconds"] == 2.5
+        assert manifest["quarantined_cases"] == 1
+        assert manifest["config"] == {"fast": True}
+        assert manifest["metrics"]["c_total"]["samples"]["[]"] == 4
+        assert manifest["manifest_version"] == "1"
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        out = tmp_path / "bench.json"
+        path = write_manifest(output=out, command="bench", metrics={})
+        assert path == manifest_path_for(out)
+        data = read_manifest(path)
+        assert data["command"] == "bench"
+
+    def test_explicit_path_wins(self, tmp_path):
+        path = write_manifest(path=tmp_path / "run.json", metrics={})
+        assert path == tmp_path / "run.json"
+        assert path.exists()
+
+    def test_needs_output_or_path(self):
+        with pytest.raises(ValueError, match="output= or path="):
+            write_manifest(command="x")
+
+    def test_unwritable_destination_never_raises(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "out.json"
+        assert write_manifest(path=missing, metrics={}) is None

@@ -181,3 +181,71 @@ class TestJobQueue:
             order.append(job.scene_key())
             prefer = job.scene_key()
         assert order == ["BUNNY", "BUNNY", "SPNZA", "SPNZA"]
+
+
+class TestClientDepthCounter:
+    """The O(1) per-client depth counter must never drift from a recount.
+
+    ``_client_depth`` used to recount the entries dict on every submit
+    (O(n) per admission); it is now a maintained counter, so these tests
+    drive every mutation path — submit, quota/full rejection, cancel,
+    pop, adoption — and compare against the ground truth after each op.
+    """
+
+    @staticmethod
+    def recount(q):
+        counts = {}
+        for job in q.peek_order():
+            counts[job.client_id] = counts.get(job.client_id, 0) + 1
+        return counts
+
+    def test_counter_matches_recount_under_random_ops(self):
+        import random
+
+        rng = random.Random(1234)
+        q = JobQueue(max_depth=12, per_client_max=4)
+        queued = []
+        for step in range(400):
+            op = rng.random()
+            if op < 0.45:
+                job = make_job(client=rng.choice("abc"),
+                               priority=rng.randrange(3))
+                try:
+                    q.submit(job)
+                    queued.append(job.job_id)
+                except AdmissionRejected:
+                    pass  # rejections must leave the counter untouched
+            elif op < 0.55 and queued:
+                victim = rng.choice(queued)
+                if q.cancel(victim) is not None:
+                    queued.remove(victim)
+            elif op < 0.6:
+                q.cancel("no-such-job")  # miss: no state change
+            else:
+                job = q.pop_next(
+                    prefer_key=rng.choice((None, "BUNNY/fast"))
+                )
+                if job is not None:
+                    queued.remove(job.job_id)
+            assert q._client_depths == self.recount(q), f"drift at step {step}"
+        # Drain; every client key must be dropped, not left at zero.
+        while q.pop_next() is not None:
+            pass
+        assert q._client_depths == {}
+
+    def test_rejected_submissions_leave_depth_untouched(self):
+        q = JobQueue(max_depth=2, per_client_max=2)
+        q.submit(make_job(client="a"))
+        q.submit(make_job(client="a"))
+        before = dict(q._client_depths)
+        with pytest.raises(AdmissionRejected):
+            q.submit(make_job(client="a"))  # quota
+        with pytest.raises(AdmissionRejected):
+            q.submit(make_job(client="b"))  # full
+        assert q._client_depths == before == {"a": 2}
+
+    def test_adopted_jobs_are_counted(self):
+        q = JobQueue(max_depth=1)
+        q.submit(make_job(client="a"))
+        q.admit_adopted(make_job(client="a"))
+        assert q._client_depths == {"a": 2} == self.recount(q)

@@ -274,7 +274,10 @@ def main(argv=None):
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default: BENCH_<date>.json with a "
                              ".runN suffix if that exists; never clobbers)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip the sibling <output>.manifest.json")
     args = parser.parse_args(argv)
+    started = time.time()
 
     from repro.experiments.parallel import jobs_from_env
 
@@ -314,6 +317,18 @@ def main(argv=None):
         json.dump(report, f, indent=2)
         f.write("\n")
     print(f"wrote {output}")
+    if not args.no_manifest:
+        from repro.obs import write_manifest
+
+        manifest = write_manifest(
+            output=output,
+            started=started,
+            finished=time.time(),
+            config={"fast": args.fast, "jobs": jobs, "reps": args.reps},
+            outputs={"report": str(output)},
+        )
+        if manifest is not None:
+            print(f"wrote run manifest {manifest}")
     return 0
 
 

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Metrics smoke test: scrape a real `repro serve` process.
+
+Starts the serving daemon on a localhost TCP port, submits one tiny job,
+waits for it to finish, then scrapes metrics three ways —
+
+* the ``metrics`` protocol verb (Prometheus text via the stock client),
+* a raw ``GET /metrics`` HTTP request on the same socket,
+* the ``repro stats --socket`` CLI verb,
+
+— and asserts the required series are present with sane values.  This is
+what CI runs; it is also handy after any change to the observability
+stack:
+
+    PYTHONPATH=src python tools/metrics_smoke.py
+
+Exit status 0 means every scrape path worked.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.errors import ServiceError  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+#: Series every healthy scrape must expose (the contract dashboards and
+#: alerts are built against; extend deliberately, never rename).
+REQUIRED_SERIES = (
+    "repro_service_uptime_seconds",
+    "repro_service_queue_depth",
+    "repro_service_workers",
+    "repro_service_jobs{",
+    "repro_service_submissions_total{",
+    "repro_service_jobs_finished_total{",
+    "repro_service_dispatch_latency_seconds_count",
+    "repro_service_job_seconds_count",
+    "repro_case_total{",
+    "repro_case_seconds_count",
+    "repro_sim_rays_traced_total{",
+    "repro_sim_cache_accesses_total{",
+)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_server(client: ServiceClient, proc, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with status {proc.returncode}")
+        try:
+            return client.health()
+        except ServiceError:
+            time.sleep(0.2)
+    raise SystemExit("server did not come up in time")
+
+
+def http_get_metrics(port: int) -> str:
+    """One raw ``GET /metrics`` request, the way a Prometheus scraper would."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks).decode("utf-8")
+
+
+def assert_series(text: str, where: str) -> None:
+    missing = [series for series in REQUIRED_SERIES if series not in text]
+    assert not missing, f"{where}: missing required series {missing}"
+
+
+def main() -> int:
+    port = free_port()
+    endpoint = f"127.0.0.1:{port}"
+    scratch = tempfile.mkdtemp(prefix="repro-metrics-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env["REPRO_CACHE_DIR"] = str(Path(scratch) / "cache")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", endpoint,
+            "--spool", str(Path(scratch) / "spool"),
+            "--jobs", "0",
+            "--fast",
+        ],
+        env=env,
+    )
+    client = ServiceClient(endpoint=endpoint, timeout=30)
+    try:
+        wait_for_server(client, proc)
+        print(f"server up on {endpoint}")
+
+        job_id = client.submit("BUNNY", "baseline")
+        (record,) = client.wait([job_id], timeout=300)
+        assert record["state"] == "done", f"job failed: {record}"
+        print(f"job {job_id} done")
+
+        # 1. The `metrics` protocol verb (Prometheus text).
+        text = client.metrics()
+        assert_series(text, "metrics verb")
+        print(f"metrics verb: {len(text.splitlines())} lines, "
+              f"all {len(REQUIRED_SERIES)} required series present")
+
+        # ... whose JSON twin must carry the same counter values.
+        snap = client.metrics(format="json")
+        finished = sum(
+            snap["repro_service_jobs_finished_total"]["samples"].values()
+        )
+        assert finished == 1, f"expected 1 finished job, saw {finished}"
+
+        # 2. A raw HTTP GET, the Prometheus scrape path.
+        response = http_get_metrics(port)
+        head, _, body = response.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200 OK"), head.splitlines()[:1]
+        assert "text/plain; version=0.0.4" in head, head
+        assert_series(body, "GET /metrics")
+        print("GET /metrics: HTTP 200, required series present")
+
+        # 3. The `repro stats` CLI verb against the live server.
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "stats",
+             "--socket", endpoint, "--format", "prom"],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        assert_series(out.stdout, "repro stats")
+        print("repro stats --socket: required series present")
+
+        reply = client.drain(stop=True)
+        assert reply["drained"] is True
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"server exit status {proc.returncode}"
+        print("server drained and stopped cleanly")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
