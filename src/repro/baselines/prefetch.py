@@ -129,9 +129,29 @@ class PrefetchRTUnit(BaselineRTUnit):
                 if holder is not None:
                     holder[line] = True
 
+    def _note_candidate_lines(self, rays: List[SimRay]) -> List[int]:
+        """The lines :meth:`_note_accesses` would consider for ``rays``.
+
+        Unlike ``_note_accesses`` itself this does not depend on what is
+        currently outstanding (a cache-dependent fact), so the memory-trace
+        recorder can capture the candidates unconditionally and replay can
+        re-apply them against its own outstanding table.
+        """
+        lines: List[int] = []
+        for ray in rays:
+            state = ray.state
+            if state.finished() or not state.current_stack:
+                continue
+            item = state.current_stack[-1][0]
+            lines.extend(self.bvh.item_lines[item])
+        return lines
+
     # -- overridden processing ------------------------------------------------------
 
     def process_warp(self, warp: TraceWarp) -> None:
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.begin_warp(warp)
         active = warp.active_rays()
         launched = len(active)
         steps = 0
@@ -140,6 +160,8 @@ class PrefetchRTUnit(BaselineRTUnit):
                 # With a warp buffer of one, "rays in the RT unit" are the
                 # current warp's rays.
                 self._refresh_votes(active)
+                if recorder is not None:
+                    recorder.pf_refresh(dict(self._votes))
                 # Stop tracking prefetches for treelets nobody wants now.
                 self._settle_outstanding(
                     keep={
@@ -148,6 +170,8 @@ class PrefetchRTUnit(BaselineRTUnit):
                 )
             # Items at the rays' stack tops are what the next step fetches;
             # mark any the prefetcher brought in as used.
+            if recorder is not None:
+                recorder.pf_note(self._note_candidate_lines(active))
             self._note_accesses(active)
             latency, stepped, _ = warp_step(
                 self.bvh, active, self.mem, self.config, self.stats,
@@ -163,8 +187,13 @@ class PrefetchRTUnit(BaselineRTUnit):
         active = [r for r in active if not r.finished()]
         self.stats.rays_completed += launched - len(active)
         self.stats.warps_processed += 1
+        if recorder is not None:
+            recorder.end_warp(self.cycle)
 
     def run(self, on_complete=None) -> float:
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.note_prefetch_params(self.reevaluate_steps, self.min_votes)
         result = super().run(on_complete)
         self._settle_outstanding()
         return result

@@ -13,6 +13,13 @@ Commands:
 * ``cancel``  — cancel a queued job.
 * ``stats``   — render a metrics snapshot: the live server's registry, or
   the run manifest of a finished run (see docs/OBSERVABILITY.md).
+* ``trace``   — record / replay / inspect memory traces (docs/MEMTRACE.md).
+
+Two distinct trace artifacts exist: ``--trace-out`` (on ``figure`` /
+``report``) writes a **chrome activity timeline** for human viewing,
+while ``--record-trace`` (on ``render``) and ``trace record`` write a
+**memory trace** that ``trace replay`` can re-price through a different
+cache hierarchy.  ``trace info`` tells you which kind a file is.
 """
 
 from __future__ import annotations
@@ -64,8 +71,31 @@ def cmd_render(args) -> int:
     setup = default_setup()
     scene = load_scene(args.scene, scale=setup.scene_scale)
     bvh = build_scene_bvh(scene.mesh, treelet_budget_bytes=setup.gpu.treelet_bytes)
-    result = render_scene(scene, bvh, setup, policy=args.policy,
-                          sanitize=True if args.sanitize else None)
+    if args.record_trace:
+        from repro.errors import TraceError
+        from repro.memtrace import RECORDABLE_POLICIES, save_trace
+        from repro.memtrace.store import record_trace
+
+        if args.policy not in RECORDABLE_POLICIES:
+            print(f"--record-trace supports policies "
+                  f"{', '.join(RECORDABLE_POLICIES)}; not {args.policy!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            trace, result = record_trace(
+                scene, bvh, setup, args.policy, scene_name=args.scene,
+                sanitize=True if args.sanitize else None,
+            )
+            nbytes = save_trace(trace, args.record_trace)
+        except TraceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"recorded memory trace {args.record_trace} "
+              f"({nbytes:,d} bytes, {trace.num_warps()} warps, "
+              f"{trace.num_tokens()} tokens)")
+    else:
+        result = render_scene(scene, bvh, setup, policy=args.policy,
+                              sanitize=True if args.sanitize else None)
     print(f"{args.policy}: {result.cycles:,.0f} cycles, "
           f"SIMT {result.stats.simt_efficiency():.2f}, "
           f"L1 miss {result.stats.miss_rate('l1'):.2f}")
@@ -300,6 +330,118 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+# -- memory-trace verbs (docs/MEMTRACE.md) ------------------------------------
+
+
+def _parse_overrides(tokens) -> List:
+    """``--set field=value`` pairs → [(field, value), ...]; numbers typed."""
+    pairs = []
+    for token in tokens or []:
+        field, sep, raw = token.partition("=")
+        if not sep or not field:
+            raise ValueError(f"--set wants field=value, got {token!r}")
+        raw = raw.strip()
+        try:
+            value = float(raw) if "." in raw or "e" in raw.lower() else int(raw)
+        except ValueError:
+            raise ValueError(f"--set {field}: {raw!r} is not a number")
+        pairs.append((field, value))
+    return pairs
+
+
+def cmd_trace_record(args) -> int:
+    """Record one case's memory trace to a file (live run with capture on)."""
+    from repro.experiments import default_context
+    from repro.experiments.runner import scene_and_bvh
+    from repro.memtrace import save_trace
+    from repro.memtrace.store import record_trace
+
+    context = default_context(fast=args.fast)
+    scene_name = args.scene.upper()
+    scene, bvh = scene_and_bvh(scene_name, context.setup)
+    budget = context.case_budget()
+    trace, result = record_trace(
+        scene, bvh, context.setup, args.policy,
+        scene_name=scene_name,
+        allow_partial=args.allow_partial,
+        cycle_budget=budget.max_cycles if budget else None,
+        sanitize=context.sanitize,
+    )
+    out = args.output or f"{scene_name.lower()}_{args.policy}.memtrace"
+    nbytes = save_trace(trace, out)
+    partial = " (partial — replay will refuse it)" if trace.partial else ""
+    print(f"recorded {out}: {nbytes:,d} bytes, {trace.num_warps()} warps, "
+          f"{trace.num_tokens()} tokens, {result.cycles:,.0f} cycles{partial}")
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    """Replay a memory trace, optionally at a changed memory hierarchy."""
+    from repro.memtrace import load_trace, replay_trace
+
+    overrides = _parse_overrides(args.set)
+    trace = load_trace(args.path)
+    result = replay_trace(trace, tuple(overrides) or None)
+    changed = (" with " + ", ".join(f"{k}={v}" for k, v in overrides)
+               if overrides else " at the recorded config")
+    print(f"replayed {trace.scene}/{trace.policy}{changed}")
+    print(f"{result.policy}: {result.cycles:,.0f} cycles, "
+          f"SIMT {result.stats.simt_efficiency():.2f}, "
+          f"L1 miss {result.stats.miss_rate('l1'):.2f}")
+    record_wall = trace.meta.get("record_wall_s") or 0.0
+    if result.replay_wall_s > 0.0 and record_wall > 0.0:
+        print(f"replay {result.replay_wall_s:.3f}s vs recorded live run "
+              f"{record_wall:.3f}s "
+              f"({record_wall / result.replay_wall_s:.1f}x)")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    """Say which kind of trace a file is and summarize its contents."""
+    import json
+
+    from repro.memtrace import trace_file_info
+
+    info = trace_file_info(args.path)
+    if args.format == "json":
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0 if "error" not in info else 2
+    kind = info["kind"]
+    if kind == "memory-trace":
+        print(f"{info['path']}: memory trace (replayable via `repro trace "
+              f"replay`), {info['bytes']:,d} bytes")
+        if "error" in info:
+            print(f"  DEFECTIVE: {info['error']}", file=sys.stderr)
+            return 2
+        print(f"  scene {info['scene']}  policy {info['policy']}  "
+              f"version {info['version']}  SMs {info['num_sms']}")
+        print(f"  {info['warps']} warps, {info['tokens']} tokens, "
+              f"{info['cycles']:,.0f} cycles"
+              + ("  [partial]" if info["partial"] else ""))
+        if info.get("record_wall_s"):
+            print(f"  recorded in {info['record_wall_s']:.3f}s")
+    elif kind == "chrome-timeline":
+        print(f"{info['path']}: chrome activity timeline "
+              f"({info['events']} events, {info['bytes']:,d} bytes; "
+              "open in chrome://tracing or Perfetto — written by "
+              "--trace-out, not replayable)")
+    else:
+        print(f"{info['path']}: not a trace this repo writes "
+              f"({info['bytes']:,d} bytes)")
+        return 2
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.errors import TraceError
+
+    try:
+        return args.trace_func(args)
+    except (TraceError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
 # -- simulation service verbs (docs/SERVICE.md) -------------------------------
 
 
@@ -360,8 +502,11 @@ def cmd_submit(args) -> int:
                 print("submit needs a SCENE or --figure NAME", file=sys.stderr)
                 return 2
             from repro.experiments.parallel import CaseSpec
+            from repro.memtrace import normalize_overrides
 
-            specs = [CaseSpec(args.scene.upper(), args.policy)]
+            overrides = normalize_overrides(_parse_overrides(args.set)) or None
+            specs = [CaseSpec(args.scene.upper(), args.policy,
+                              gpu_overrides=overrides)]
         job_ids = []
         for spec in specs:
             job_id = client.submit_spec(
@@ -369,6 +514,7 @@ def cmd_submit(args) -> int:
                 priority=args.priority,
                 deadline_s=args.deadline,
                 client_id=args.client,
+                kind="replay" if args.replay else "case",
             )
             job_ids.append(job_id)
             print(f"submitted {job_id}  {spec.label()}")
@@ -384,7 +530,7 @@ def cmd_submit(args) -> int:
                     tail = f"  {record['result']['cycles']:,.0f} cycles"
                 print(f"{record['job_id']}  {state}{tail}")
             return 1 if failed else 0
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     return 0
@@ -417,11 +563,12 @@ def cmd_jobs(args) -> int:
             return 0
         summaries = client.jobs(state=args.state)
         if summaries:
-            print(f"\n{'job':12s} {'state':10s} {'case':18s} "
+            print(f"\n{'job':12s} {'state':10s} {'kind':6s} {'case':18s} "
                   f"{'client':10s} {'prio':>4s} {'try':>3s} {'order':>5s}")
             for row in summaries:
                 order = row["dispatch_index"]
                 print(f"{row['job_id']:12s} {row['state']:10s} "
+                      f"{row.get('kind', 'case'):6s} "
                       f"{row['scene'] + '/' + row['policy']:18s} "
                       f"{row['client_id']:10s} {row['priority']:4d} "
                       f"{row['attempts']:3d} {'-' if order is None else order:>5} "
@@ -476,6 +623,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--sanitize", action="store_true",
                    help="run the simulation-state sanitizer on the result")
+    p.add_argument("--record-trace", default=None, metavar="PATH",
+                   help="also record the run's memory trace to PATH "
+                        "(replayable with `repro trace replay`; distinct "
+                        "from --trace-out's chrome timeline)")
     p.set_defaults(func=cmd_render)
 
     p = sub.add_parser("compare", help="render one scene under every policy")
@@ -491,7 +642,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel sweep workers (default: REPRO_JOBS or CPU "
                         "count; 0 = serial, no pool)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
-                   help="also chrome-trace one representative case to PATH")
+                   help="also write a chrome activity timeline of one "
+                        "representative case to PATH (for chrome://tracing; "
+                        "not a replayable memory trace — see `repro trace`)")
     p.add_argument("--manifest", default=None, metavar="PATH",
                    help="also write a run manifest (config + git rev + "
                         "timings + metrics) to PATH")
@@ -505,7 +658,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel sweep workers (default: REPRO_JOBS or CPU "
                         "count; 0 = serial, no pool)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
-                   help="also chrome-trace one representative case to PATH")
+                   help="also write a chrome activity timeline of one "
+                        "representative case to PATH (for chrome://tracing; "
+                        "not a replayable memory trace — see `repro trace`)")
     p.add_argument("--manifest", default=None, metavar="PATH",
                    help="also write a run manifest (config + git rev + "
                         "timings + metrics) to PATH")
@@ -527,6 +682,48 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=scene_names(include_extra=True))
     p.add_argument("--fast", action="store_true")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace", help="record, replay or inspect memory traces"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser(
+        "record",
+        help="run one case live with memory-trace capture on",
+    )
+    tp.add_argument("scene", choices=scene_names(include_extra=True))
+    tp.add_argument("--policy", default="baseline",
+                    choices=("baseline", "prefetch", "vtq"))
+    tp.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="trace file (default <scene>_<policy>.memtrace)")
+    tp.add_argument("--fast", action="store_true",
+                    help="record under the fast (tests/CI) context")
+    tp.add_argument("--allow-partial", action="store_true",
+                    help="keep a budget-truncated trace instead of failing "
+                         "(replay will refuse it; see "
+                         "REPRO_TRACE_BUDGET_BYTES)")
+    tp.set_defaults(trace_func=cmd_trace_record)
+
+    tp = tsub.add_parser(
+        "replay",
+        help="re-price a recorded trace through the memory hierarchy",
+    )
+    tp.add_argument("path", help="a .memtrace file (see `trace record`)")
+    tp.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                    help="override a replay-safe GPUConfig field (repeatable), "
+                         "e.g. --set l2_bytes=4194304")
+    tp.set_defaults(trace_func=cmd_trace_replay)
+
+    tp = tsub.add_parser(
+        "info",
+        help="identify a trace file (memory trace vs chrome timeline)",
+    )
+    tp.add_argument("path")
+    tp.add_argument("--format", choices=("text", "json"), default="text")
+    tp.set_defaults(trace_func=cmd_trace_info)
+
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("serve", help="run the simulation-serving daemon")
     p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT",
@@ -553,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock deadline from submission")
     p.add_argument("--client", default=None, metavar="ID",
                    help="client id for queue fairness accounting")
+    p.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                   help="GPUConfig override for this case (repeatable)")
+    p.add_argument("--replay", action="store_true",
+                   help="submit as a replay job: the server admits it only "
+                        "if (policy, --set overrides) is replay-eligible, "
+                        "then serves it from a recorded memory trace")
     p.add_argument("--fast", action="store_true",
                    help="enumerate --figure cases under the fast context "
                         "(must match the server's)")

@@ -104,6 +104,9 @@ class VTQRTUnit:
                 continue
             if self._incoming:
                 # Idle until the next raygen warp arrives.
+                recorder = self.mem.recorder
+                if recorder is not None:
+                    recorder.advance_to(self._incoming[0][0])
                 self.cycle = max(self.cycle, self._incoming[0][0])
                 continue
             break  # pragma: no cover - has_work() excludes this
@@ -148,6 +151,9 @@ class VTQRTUnit:
         self._rays_in_unit += len(rays)
         # Writing the warp's ray records into the reserved L2 region;
         # store traffic only (stores retire through the write queue).
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.ray_write([ray.ray_id for ray in rays])
         for ray in rays:
             self.mem.ray_data_access(ray.ray_id, self.cycle, write=True)
 
@@ -205,6 +211,9 @@ class VTQRTUnit:
     def _process_treelet_queue(self, treelet: int, cb: RayCallback) -> None:
         """Fetch one treelet and drain its whole queue through the L1."""
         phase_start = self.cycle
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.tq_fetch(treelet)
         fetch_latency = self.mem.fetch_treelet(
             self.bvh.treelet_lines[treelet], self.cycle
         )
@@ -226,6 +235,8 @@ class VTQRTUnit:
             # "Ray data can also be preloaded similarly") the controller
             # fetches the next warp's records while the current warp
             # steps, hiding the load behind the previous warp's work.
+            if recorder is not None:
+                recorder.ray_load_ts([ray.ray_id for ray in rays])
             load_latency = 0.0
             for ray in rays:
                 load_latency = max(
@@ -274,6 +285,8 @@ class VTQRTUnit:
         # Section 4.3: the controller preloads the next treelet while this
         # one is processed, hiding up to this queue's processing time of
         # the next fetch.
+        if recorder is not None:
+            recorder.tq_end()
         self._preload_credit = work_cycles if self.vtq.preload_enabled else 0.0
         if self.timeline is not None:
             self.timeline.record(
@@ -305,6 +318,9 @@ class VTQRTUnit:
     def _process_final_warp(self, rays: List[SimRay], cb: RayCallback) -> None:
         """Ray-stationary traversal of grouped rays, with warp repacking."""
         phase_start = self.cycle
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.ray_load_final([ray.ray_id for ray in rays])
         load_latency = 0.0
         for ray in rays:
             load_latency = max(
@@ -344,6 +360,8 @@ class VTQRTUnit:
             ):
                 refill = self.queues.pop_any(self.config.warp_size - len(active))
                 if refill:
+                    if recorder is not None:
+                        recorder.ray_load_refill([ray.ray_id for ray in refill])
                     refill_latency = 0.0
                     for ray in refill:
                         refill_latency = max(

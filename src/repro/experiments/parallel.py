@@ -49,15 +49,35 @@ logger = logging.getLogger("repro.experiments.parallel")
 
 @dataclass(frozen=True)
 class CaseSpec:
-    """One (scene, policy, VTQ overrides) case of a sweep."""
+    """One (scene, policy, VTQ overrides, GPU overrides) case of a sweep."""
 
     scene: str
     policy: str
     vtq: Optional[VTQConfig] = None
+    # Name-sorted ((field, value), ...) GPUConfig deltas for this point —
+    # the hashable form of run_case's gpu_overrides (see
+    # repro.memtrace.safety.normalize_overrides).  Replay-safe deltas let
+    # the runner serve the point from a recorded memory trace.
+    gpu_overrides: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def label(self) -> str:
         suffix = "" if self.vtq is None else "+vtqcfg"
+        if self.gpu_overrides:
+            suffix += "+" + ",".join(
+                f"{name}={value}" for name, value in self.gpu_overrides
+            )
         return f"{self.scene}/{self.policy}{suffix}"
+
+
+def gpu_sweep_cases(
+    scene: str, policy: str, param: str, values: Sequence,
+    vtq: Optional[VTQConfig] = None,
+) -> List[CaseSpec]:
+    """One :class:`CaseSpec` per value of a single-axis GPU sweep."""
+    return [
+        CaseSpec(scene, policy, vtq, gpu_overrides=((param, value),))
+        for value in values
+    ]
 
 
 def jobs_from_env() -> int:
@@ -86,7 +106,10 @@ def jobs_from_env() -> int:
 
 def _worker(spec: CaseSpec, context: ExperimentContext):
     """Pool entry point: run one case quarantined, in a worker process."""
-    return run_case_quarantined(spec.scene, spec.policy, context, vtq=spec.vtq)
+    return run_case_quarantined(
+        spec.scene, spec.policy, context, vtq=spec.vtq,
+        gpu_overrides=spec.gpu_overrides,
+    )
 
 
 # Public alias: the serving layer (repro.service.scheduler) dispatches
@@ -172,7 +195,8 @@ def run_cases(
         for spec in cases:
             try:
                 metrics, failure = run_case_quarantined(
-                    spec.scene, spec.policy, context, vtq=spec.vtq
+                    spec.scene, spec.policy, context, vtq=spec.vtq,
+                    gpu_overrides=spec.gpu_overrides,
                 )
             except Exception as exc:  # non-ReproError: mirror the pool path
                 metrics = None

@@ -32,6 +32,17 @@ def _metrics_row(label: str, baseline_cycles: float, result) -> List[str]:
     ]
 
 
+def _metrics_row_from_dict(label: str, baseline_cycles: float, m: Dict) -> List[str]:
+    """The same row, built from a run_case metric dict."""
+    return [
+        label,
+        f"{m['cycles']:,.0f}",
+        f"{baseline_cycles / m['cycles']:.2f}x",
+        f"{m['simt_efficiency']:.2f}",
+        f"{m['mode_test_fractions']['treelet_stationary']:.3f}",
+    ]
+
+
 _HEADERS = ["value", "cycles", "speedup", "SIMT eff", "treelet share"]
 
 
@@ -76,10 +87,42 @@ def sweep_gpu_param(
 
     Each point re-renders the baseline too (the baseline changes with the
     GPU), so the speedup column stays meaningful.
+
+    The axis is classified for replay safety
+    (:func:`repro.memtrace.safety.classify_axis`): a **replay-safe** axis
+    (cache geometry, latencies, DRAM timing — anything that only changes
+    what memory transactions *cost*) routes through
+    :func:`~repro.experiments.runner.run_case` with per-point GPU
+    overrides, where each policy's points are served by replaying one
+    recorded memory trace.  A **replay-unsafe** axis (anything that
+    changes the access stream itself) runs every point live, exactly as
+    before.
     """
     setup = context.setup
     if not hasattr(setup.gpu, param):
         raise ValueError(f"GPUConfig has no field {param!r}")
+    from repro.memtrace import classify_axis
+
+    if classify_axis(param) == "replay-safe":
+        rows = []
+        for value in values:
+            overrides = ((param, value),)
+            base = run_case(
+                scene_name, "baseline", context, gpu_overrides=overrides
+            )
+            m = (
+                base
+                if policy == "baseline"
+                else run_case(scene_name, policy, context, gpu_overrides=overrides)
+            )
+            rows.append(_metrics_row_from_dict(str(value), base["cycles"], m))
+        return {
+            "title": f"GPU sweep on {scene_name}: {param} in {list(values)} "
+            f"(policy {policy})",
+            "headers": _HEADERS,
+            "rows": rows,
+        }
+
     scene, bvh = scene_and_bvh(scene_name, setup)
     rows = []
     for value in values:

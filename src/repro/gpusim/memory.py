@@ -56,6 +56,9 @@ class MemorySystem:
         # Optional observer invoked on every L1 BVH demand miss (the
         # treelet prefetcher hangs off this).
         self.l1_miss_hook = None
+        # Optional memory-trace recorder (repro.memtrace); the engines
+        # check it at each emission point.  Purely observational.
+        self.recorder = None
         # Optional banked DRAM model (per SM; see repro.gpusim.dram).
         if config.detailed_dram:
             from repro.gpusim.dram import DRAMModel

@@ -66,6 +66,9 @@ class BaselineRTUnit:
         self._seq += 1
         heapq.heappush(self._pending, (warp.ready_cycle, warp.seq, warp))
         self.stats.rays_traced += len(warp.active_rays())
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.on_submit(warp)
 
     def has_work(self) -> bool:
         return bool(self._pending)
@@ -75,6 +78,9 @@ class BaselineRTUnit:
     def process_warp(self, warp: TraceWarp) -> None:
         """Traverse every ray of ``warp`` to completion (warp buffer = 1)."""
         start = self.cycle
+        recorder = self.mem.recorder
+        if recorder is not None:
+            recorder.begin_warp(warp)
         active = warp.active_rays()
         launched = len(active)
         while active:
@@ -91,6 +97,8 @@ class BaselineRTUnit:
         active = [r for r in active if not r.finished()]
         self.stats.rays_completed += launched - len(active)
         self.stats.warps_processed += 1
+        if recorder is not None:
+            recorder.end_warp(self.cycle)
         if self.timeline is not None:
             self.timeline.record(
                 "warp", "ray_stationary", start, self.cycle,

@@ -72,13 +72,59 @@ def merge_timelines(timelines: List[ActivityTimeline]) -> List[Span]:
     return sorted(spans, key=lambda s: (s.start, s.sm))
 
 
+def _span_mode(category: str) -> str:
+    """The traversal mode a span category runs in.
+
+    All ray-stationary flavours (baseline warps, the vtq initial and
+    final phases) collapse to one mode; treelet-queue processing is the
+    other.
+    """
+    return (
+        "treelet-stationary"
+        if category == "treelet_stationary" else "ray-stationary"
+    )
+
+
+def _mode_switch_events(spans: List[Span], cycles_per_us: float) -> List[Dict]:
+    """Instant events marking each SM's ray↔treelet mode transitions.
+
+    The vtq engine interleaves its three phases, so the raw span soup
+    hides where an SM actually flipped between ray-stationary and
+    treelet-stationary execution; thread-scoped instant markers make the
+    switches visible at a glance in the viewer.
+    """
+    events: List[Dict] = []
+    last_mode: Dict[int, str] = {}
+    for span in sorted(spans, key=lambda s: (s.sm, s.start, s.end)):
+        mode = _span_mode(span.category)
+        previous = last_mode.get(span.sm)
+        if previous is not None and mode != previous:
+            events.append(
+                {
+                    "name": f"mode switch: {previous} -> {mode}",
+                    "cat": "mode_switch",
+                    "ph": "i",  # instant event
+                    "s": "t",  # thread (SM) scoped
+                    "ts": span.start / cycles_per_us,
+                    "pid": 0,
+                    "tid": span.sm,
+                    "args": {"from": previous, "to": mode},
+                }
+            )
+        last_mode[span.sm] = mode
+    return events
+
+
 def to_chrome_trace(
     spans: List[Span], cycles_per_us: float = 1365.0
 ) -> Dict:
     """Chrome tracing ("trace event") document for a list of spans.
 
-    ``cycles_per_us`` converts simulated cycles to display microseconds
-    (default: the paper's 1365 MHz core clock).
+    Each span becomes a complete ("X") event; every per-SM transition
+    between ray-stationary and treelet-stationary spans also gets an
+    instant ("i") mode-switch marker.  ``cycles_per_us`` converts
+    simulated cycles to display microseconds (default: the paper's
+    1365 MHz core clock).
     """
     if cycles_per_us <= 0:
         raise ValueError("cycles_per_us must be positive")
@@ -96,6 +142,7 @@ def to_chrome_trace(
                 "args": span.args or {},
             }
         )
+    events.extend(_mode_switch_events(spans, cycles_per_us))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -151,6 +151,8 @@ def _warp_step_scalar(
     stepped: List[SimRay] = []
     tests = 0
     item_lines = bvh.item_lines
+    recorder = mem.recorder
+    lane_lines = [] if recorder is not None else None
     for ray in rays:
         result = single_step(bvh, ray.state, in_treelet_only=in_treelet_only)
         if result is None:
@@ -164,6 +166,8 @@ def _warp_step_scalar(
             missing_lanes += 1
             misses += ray_misses
         stepped.append(ray)
+        if lane_lines is not None:
+            lane_lines.append(item_lines[item])
         tests += ray_tests
         if is_leaf:
             stats.leaf_visits += 1
@@ -172,6 +176,8 @@ def _warp_step_scalar(
     if not stepped:
         return 0.0, [], 0
     stats.triangle_tests += tests
+    if recorder is not None:
+        recorder.step(mode, lane_lines)
     return _finish_step(
         config, stats, mode, stepped, tests, max_latency, missing_lanes, misses
     )
@@ -219,6 +225,8 @@ def _warp_step_batch(
     tests = 0
     item_lines = bvh.item_lines
     leaf_tris = bvh.leaf_tris
+    recorder = mem.recorder
+    lane_lines = [] if recorder is not None else None
     for ray, item, is_leaf, local_idx in entries:
         access_latency, ray_misses = mem.access_lines(
             item_lines[item], AccessKind.BVH, cycle
@@ -228,12 +236,16 @@ def _warp_step_batch(
             missing_lanes += 1
             misses += ray_misses
         stepped.append(ray)
+        if lane_lines is not None:
+            lane_lines.append(item_lines[item])
         if is_leaf:
             tests += len(leaf_tris[local_idx])
             stats.leaf_visits += 1
         else:
             stats.node_visits += 1
     stats.triangle_tests += tests
+    if recorder is not None:
+        recorder.step(mode, lane_lines)
     return _finish_step(
         config, stats, mode, stepped, tests, max_latency, missing_lanes, misses
     )

@@ -1,0 +1,315 @@
+"""On-disk format of recorded memory traces.
+
+A trace file is one header line followed by a compressed npz payload::
+
+    memtrace <version> <sha256-of-payload>\n
+    <np.savez_compressed bytes>
+
+The header makes the kind detectable from the first bytes (chrome
+timelines, the *other* trace artifact this repo produces, start with
+``{``), carries the format version, and checksums the payload the same
+way the hardened experiment cache checksums its entries: any flipped
+byte fails verification with a typed :class:`repro.errors.TraceError`
+and the caller re-records.
+
+The payload holds, per SM, a flat ``int64`` token stream of *operations*
+plus a ``float64`` literal stream.  Two stream shapes exist:
+
+* **warp mode** (baseline / prefetch): one op span per warp, plus the
+  warp *genealogy* — each warp's ready cycle (absolute for primaries,
+  a delta from the parent's completion for children) and parent index.
+  Replay re-runs the greedy-then-oldest scheduler over the genealogy,
+  which stays exact when memory-hierarchy parameters change.
+* **linear mode** (vtq): one chronological op stream per SM with the
+  unit's idle jumps recorded as ``ADVANCE_TO`` literals.  Bit-exact at
+  the recorded configuration only (see ``docs/MEMTRACE.md``).
+
+JSON metadata (scene, policy, full GPU config, per-SM stat overlays,
+image shape, partial marker) rides inside the npz as a ``uint8`` array.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.gpusim.stats import SimStats, TraversalMode
+
+TRACE_VERSION = "1"
+_MAGIC = b"memtrace "
+
+# -- operation codes -----------------------------------------------------------
+#
+# Each op is a code token followed by its integer operands; only
+# ADVANCE_TO consumes a literal from the float stream.
+
+OP_STEP = 1            # mode, nlanes, then per lane: nlines, line ids
+OP_PF_REFRESH = 2      # nvotes, then (treelet, votes) pairs
+OP_PF_NOTE = 3         # nlines, line ids
+OP_RAY_WRITE = 4       # nrays, ray ids
+OP_RAY_LOAD_TS = 5     # nrays, ray ids (treelet-stationary warp load)
+OP_RAY_LOAD_FINAL = 6  # nrays, ray ids (final-phase warp load)
+OP_RAY_LOAD_REFILL = 7  # nrays, ray ids (warp-repack refill load)
+OP_TQ_FETCH = 8        # treelet id
+OP_TQ_END = 9          # (no operands)
+OP_CTA_SAVE = 10       # (no operands)
+OP_CTA_RESTORE = 11    # (no operands)
+OP_ADVANCE_TO = 12     # one float literal: absolute target cycle
+
+# Traversal modes are encoded by their position in the enum's definition
+# order, which is stable (the enum mirrors the paper's three phases).
+MODE_LIST = list(TraversalMode)
+MODE_CODES = {mode: idx for idx, mode in enumerate(MODE_LIST)}
+
+# Stat fields the replay *carries over* from the live run instead of
+# recomputing: everything produced by traversal logic and bookkeeping
+# that never touches the memory hierarchy.  The memory-dependent rest
+# (cache counters, traffic, DRAM, timeline, mode cycles, prefetch and
+# treelet-fetch lines, total cycles) is recomputed through fresh models.
+OVERLAY_SCALARS = (
+    "simt_active_sum",
+    "simt_steps",
+    "rays_traced",
+    "rays_completed",
+    "warps_processed",
+    "node_visits",
+    "leaf_visits",
+    "triangle_tests",
+    "treelet_queue_pushes",
+    "treelet_queue_pops",
+    "warp_repacks",
+    "cta_saves",
+    "cta_restores",
+    "queue_table_overflows",
+    "count_table_evictions",
+    "queue_table_peak_entries",
+    "count_table_peak_entries",
+)
+
+
+def overlay_from_stats(stats: SimStats) -> Dict:
+    """The carried-over view of one SM's live statistics (pure reader)."""
+    out = {name: getattr(stats, name) for name in OVERLAY_SCALARS}
+    out["mode_tests"] = {
+        mode.value: tests
+        for mode, tests in sorted(
+            stats.mode_tests.items(), key=lambda item: item[0].value
+        )
+    }
+    return out
+
+
+def apply_overlay(stats: SimStats, overlay: Dict) -> None:
+    """Add one SM's carried-over counters onto a replayed ``SimStats``."""
+    for name in OVERLAY_SCALARS:
+        if name in ("queue_table_peak_entries", "count_table_peak_entries"):
+            setattr(stats, name, max(getattr(stats, name), overlay[name]))
+        else:
+            setattr(stats, name, getattr(stats, name) + overlay[name])
+    for mode_value, tests in overlay["mode_tests"].items():
+        stats.mode_tests[TraversalMode(mode_value)] += tests
+
+
+@dataclass
+class SMTrace:
+    """One SM's recorded stream."""
+
+    ops: np.ndarray          # int64 token stream
+    fops: np.ndarray         # float64 literals (linear mode only)
+    warp_start: np.ndarray   # int64 op-span offsets, per warp (warp mode)
+    warp_end: np.ndarray
+    warp_ready: np.ndarray   # float64: absolute ready / delta from parent end
+    warp_parent: np.ndarray  # int64: -1 for primaries
+
+
+@dataclass
+class MemTrace:
+    """A decoded memory trace: metadata, static tables and SM streams."""
+
+    meta: Dict
+    image: np.ndarray
+    treelet_base: np.ndarray
+    treelet_sizes: np.ndarray
+    sms: List[SMTrace] = field(default_factory=list)
+
+    @property
+    def scene(self) -> str:
+        return self.meta.get("scene", "")
+
+    @property
+    def policy(self) -> str:
+        return self.meta.get("policy", "")
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.meta.get("partial", False))
+
+    def num_tokens(self) -> int:
+        return int(sum(len(sm.ops) + len(sm.fops) for sm in self.sms))
+
+    def num_warps(self) -> int:
+        return int(sum(len(sm.warp_start) for sm in self.sms))
+
+
+# -- encode / decode -----------------------------------------------------------
+
+
+def encode_trace(trace: MemTrace) -> bytes:
+    """Serialize to header + checksummed compressed-npz bytes."""
+    arrays = {
+        "image": np.asarray(trace.image, dtype=np.float64),
+        "treelet_base": np.asarray(trace.treelet_base, dtype=np.int64),
+        "treelet_sizes": np.asarray(trace.treelet_sizes, dtype=np.int64),
+        "meta": np.frombuffer(
+            json.dumps(trace.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    for j, sm in enumerate(trace.sms):
+        arrays[f"sm{j}_ops"] = np.asarray(sm.ops, dtype=np.int64)
+        arrays[f"sm{j}_fops"] = np.asarray(sm.fops, dtype=np.float64)
+        arrays[f"sm{j}_wstart"] = np.asarray(sm.warp_start, dtype=np.int64)
+        arrays[f"sm{j}_wend"] = np.asarray(sm.warp_end, dtype=np.int64)
+        arrays[f"sm{j}_wready"] = np.asarray(sm.warp_ready, dtype=np.float64)
+        arrays[f"sm{j}_wparent"] = np.asarray(sm.warp_parent, dtype=np.int64)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    payload = buf.getvalue()
+    digest = hashlib.sha256(payload).hexdigest()
+    header = _MAGIC + f"{TRACE_VERSION} {digest}\n".encode("ascii")
+    return header + payload
+
+
+def decode_trace(data: bytes) -> MemTrace:
+    """Parse and verify trace bytes; raises :class:`TraceError` on any defect."""
+    if not data.startswith(_MAGIC):
+        raise TraceError("not a memory trace (missing 'memtrace' header)")
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise TraceError("truncated memory trace: no header line")
+    fields = data[:newline].decode("ascii", errors="replace").split()
+    if len(fields) != 3:
+        raise TraceError("malformed memory-trace header line")
+    _magic, version, digest = fields
+    if version != TRACE_VERSION:
+        raise TraceError(
+            f"memory-trace version {version!r} unsupported "
+            f"(this build reads version {TRACE_VERSION!r})"
+        )
+    payload = data[newline + 1:]
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != digest:
+        raise TraceError(
+            f"memory-trace checksum mismatch: header says {digest[:12]}..., "
+            f"payload hashes to {actual[:12]}..."
+        )
+    try:
+        npz = np.load(io.BytesIO(payload), allow_pickle=False)
+    except Exception as exc:
+        raise TraceError(f"undecodable memory-trace payload: {exc}") from exc
+    try:
+        meta = json.loads(bytes(npz["meta"]).decode("utf-8"))
+        num_sms = int(meta["num_sms"])
+        sms = [
+            SMTrace(
+                ops=npz[f"sm{j}_ops"],
+                fops=npz[f"sm{j}_fops"],
+                warp_start=npz[f"sm{j}_wstart"],
+                warp_end=npz[f"sm{j}_wend"],
+                warp_ready=npz[f"sm{j}_wready"],
+                warp_parent=npz[f"sm{j}_wparent"],
+            )
+            for j in range(num_sms)
+        ]
+        return MemTrace(
+            meta=meta,
+            image=npz["image"],
+            treelet_base=npz["treelet_base"],
+            treelet_sizes=npz["treelet_sizes"],
+            sms=sms,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceError(f"incomplete memory-trace payload: {exc}") from exc
+
+
+def save_trace(trace: MemTrace, path) -> int:
+    """Atomically write ``trace`` to ``path``; returns bytes written."""
+    path = Path(path)
+    data = encode_trace(trace)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def load_trace(path) -> MemTrace:
+    """Read and verify a trace file; raises :class:`TraceError` on defects."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read memory trace {path}: {exc}") from exc
+    return decode_trace(data)
+
+
+def trace_file_info(path) -> Dict:
+    """What kind of trace a file is, plus a summary of its contents.
+
+    Distinguishes the two trace artifacts this repo writes: *memory
+    traces* (this module; replayable through ``repro trace replay``) and
+    *chrome activity timelines* (``--trace-out``; viewable in a
+    ``chrome://tracing``-compatible viewer).
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read {path}: {exc}") from exc
+    info: Dict = {"path": str(path), "bytes": len(data)}
+    if data.startswith(_MAGIC):
+        info["kind"] = "memory-trace"
+        try:
+            trace = decode_trace(data)
+        except TraceError as exc:
+            info["error"] = str(exc)
+            return info
+        meta = trace.meta
+        info.update(
+            version=meta.get("version"),
+            scene=trace.scene,
+            policy=trace.policy,
+            num_sms=meta.get("num_sms"),
+            partial=trace.partial,
+            tokens=trace.num_tokens(),
+            warps=trace.num_warps(),
+            record_wall_s=meta.get("record_wall_s"),
+            cycles=max(meta.get("per_sm_cycles", [0.0]) or [0.0]),
+        )
+        return info
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        info["kind"] = "unknown"
+        return info
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        info["kind"] = "chrome-timeline"
+        info["events"] = len(doc["traceEvents"])
+        return info
+    info["kind"] = "unknown"
+    return info

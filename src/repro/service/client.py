@@ -90,8 +90,15 @@ class ServiceClient:
         priority: int = 0,
         deadline_s: Optional[float] = None,
         client_id: Optional[str] = None,
+        kind: str = "case",
+        gpu_overrides=None,
     ) -> str:
-        """Submit one case; returns the job id."""
+        """Submit one case; returns the job id.
+
+        ``kind="replay"`` asks for the trace-replay path and is rejected
+        at admission unless ``gpu_overrides`` is replay-eligible for the
+        policy (docs/MEMTRACE.md).
+        """
         payload = {
             "op": "submit",
             "scene": scene,
@@ -101,10 +108,15 @@ class ServiceClient:
             "priority": priority,
             "deadline_s": deadline_s,
             "client_id": client_id,
+            "kind": kind,
+            "gpu_overrides": (
+                [list(pair) for pair in gpu_overrides] if gpu_overrides else None
+            ),
         }
         return str(self.request(payload)["job_id"])
 
     def submit_spec(self, spec: CaseSpec, **kwargs) -> str:
+        kwargs.setdefault("gpu_overrides", spec.gpu_overrides)
         return self.submit(spec.scene, spec.policy, vtq=spec.vtq, **kwargs)
 
     def status(self, job_id: str) -> Dict:

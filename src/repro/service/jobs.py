@@ -43,22 +43,37 @@ CANCELLED = "cancelled"
 STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
 
+# ``case`` jobs may run live or replay-substitute as the runner sees fit;
+# ``replay`` jobs are admission-checked to be replay-eligible up front
+# (cross-config-safe policy, replay-safe GPU overrides) so a client can
+# rely on the cheap path.
+KINDS = ("case", "replay")
+
 
 def spec_to_dict(spec: CaseSpec) -> Dict:
     return {
         "scene": spec.scene,
         "policy": spec.policy,
         "vtq": asdict(spec.vtq) if spec.vtq is not None else None,
+        "gpu_overrides": (
+            [list(pair) for pair in spec.gpu_overrides]
+            if spec.gpu_overrides else None
+        ),
     }
 
 
 def spec_from_dict(payload: Dict) -> CaseSpec:
     try:
         vtq = payload.get("vtq")
+        overrides = payload.get("gpu_overrides")
         return CaseSpec(
             scene=payload["scene"],
             policy=payload["policy"],
             vtq=VTQConfig(**vtq) if vtq is not None else None,
+            gpu_overrides=(
+                tuple((str(name), value) for name, value in overrides)
+                if overrides else None
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"unusable case spec {payload!r}: {exc}") from exc
@@ -71,6 +86,9 @@ class Job:
     job_id: str
     client_id: str
     spec: CaseSpec
+    # "case" (run live or replay-substituted) or "replay" (admission
+    # guarantees the spec is replay-eligible; see KINDS).
+    kind: str = "case"
     priority: int = 0
     # Wall-clock seconds from submission the job may take, end to end;
     # the scheduler folds the *remaining* allowance into the case budget.
@@ -118,6 +136,8 @@ class Job:
             raise ServiceError(f"unusable job record: {exc}") from exc
         if job.state not in STATES:
             raise ServiceError(f"job {job.job_id} has unknown state {job.state!r}")
+        if job.kind not in KINDS:
+            raise ServiceError(f"job {job.job_id} has unknown kind {job.kind!r}")
         return job
 
 
@@ -126,14 +146,18 @@ def new_job(
     client_id: str = "anonymous",
     priority: int = 0,
     deadline_s: Optional[float] = None,
+    kind: str = "case",
 ) -> Job:
     """A fresh ``queued`` job with a unique id, stamped now."""
     if deadline_s is not None and deadline_s <= 0:
         raise ServiceError("deadline_s must be positive when set")
+    if kind not in KINDS:
+        raise ServiceError(f"unknown job kind {kind!r}; expected one of {KINDS}")
     return Job(
         job_id=uuid.uuid4().hex[:12],
         client_id=client_id or "anonymous",
         spec=spec,
+        kind=kind,
         priority=int(priority),
         deadline_s=deadline_s,
         submitted_at=time.time(),

@@ -248,6 +248,7 @@ class SimulationServer:
                 "scene": request.get("scene"),
                 "policy": request.get("policy", "vtq"),
                 "vtq": request.get("vtq"),
+                "gpu_overrides": request.get("gpu_overrides"),
             }
         )
         if spec.scene not in scene_names(include_extra=True):
@@ -256,12 +257,20 @@ class SimulationServer:
             raise ServiceError(
                 f"unknown policy {spec.policy!r}; expected one of {POLICIES}"
             )
+        kind = str(request.get("kind") or jobstates.KINDS[0])
+        if kind not in jobstates.KINDS:
+            raise ServiceError(
+                f"unknown job kind {kind!r}; expected one of {jobstates.KINDS}"
+            )
+        if kind == "replay":
+            self._check_replay_job(spec)
         deadline = request.get("deadline_s")
         job = new_job(
             spec,
             client_id=str(request.get("client_id") or "anonymous"),
             priority=int(request.get("priority") or 0),
             deadline_s=float(deadline) if deadline is not None else None,
+            kind=kind,
         )
         self.queue.submit(job)  # raises AdmissionRejected with a reason
         self.store.save(job)
@@ -272,6 +281,26 @@ class SimulationServer:
         ).labels(scene=spec.scene, policy=spec.policy).inc()
         self.scheduler.kick()
         return protocol.ok(job_id=job.job_id, state=job.state)
+
+    @staticmethod
+    def _check_replay_job(spec) -> None:
+        """Replay jobs must be replay-eligible at admission, not at run
+        time — the client asked for the cheap path and should hear "no"
+        synchronously, not via a failed job record."""
+        from repro.memtrace import CROSS_CONFIG_POLICIES, overrides_replay_safe
+
+        if not spec.gpu_overrides:
+            raise ServiceError(
+                "replay jobs need gpu_overrides (a plain case job "
+                "already runs at the recorded configuration)"
+            )
+        if not overrides_replay_safe(spec.policy, dict(spec.gpu_overrides)):
+            raise ServiceError(
+                f"spec {spec.label()!r} is not replay-eligible: policy must "
+                f"be one of {CROSS_CONFIG_POLICIES} and every override "
+                "replay-safe (see docs/MEMTRACE.md); submit it as a plain "
+                "case job to run live"
+            )
 
     def _require_job_id(self, request: Dict) -> str:
         job_id = request.get("job_id")
@@ -325,6 +354,7 @@ class SimulationServer:
                 {
                     "job_id": job.job_id,
                     "state": job.state,
+                    "kind": job.kind,
                     "scene": job.spec.scene,
                     "policy": job.spec.policy,
                     "client_id": job.client_id,

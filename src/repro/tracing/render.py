@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import faults
 from repro.baselines.prefetch import PrefetchRTUnit
+from repro.errors import TraceError
 from repro.core.config import VTQConfig
 from repro.core.rt_unit_vtq import VTQRTUnit
 from repro.core.virtualization import CTATracker, cta_state_bytes
@@ -74,6 +75,7 @@ def render_scene(
     cycle_budget: Optional[float] = None,
     sanitize: Optional[bool] = None,
     record_timeline: bool = False,
+    trace_recorder=None,
 ) -> RenderResult:
     """Path trace ``scene`` through the selected timing engine.
 
@@ -84,10 +86,17 @@ def render_scene(
     ``record_timeline`` attaches one
     :class:`repro.gpusim.timeline.ActivityTimeline` per SM (returned in
     ``RenderResult.timelines``) — recording is purely observational and
-    does not change any simulated number.
+    does not change any simulated number.  ``trace_recorder`` attaches a
+    :class:`repro.memtrace.TraceRecorder` (same observational guarantee)
+    that captures the memory transaction stream for later replay.
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if trace_recorder is not None and trace_recorder.policy != policy:
+        raise TraceError(
+            f"trace recorder was built for policy {trace_recorder.policy!r} "
+            f"but the render runs {policy!r}"
+        )
     config = setup.gpu
     width, height = setup.image_width, setup.image_height
     pixels = width * height
@@ -137,7 +146,13 @@ def render_scene(
             vtq_config, policy, next_ray_id, cycle_budget=cycle_budget,
             timeline=timeline,
         )
+        if trace_recorder is not None:
+            trace_recorder.begin_sm()
+            mems[sm].recorder = trace_recorder
         per_sm_cycles.append(driver.run())
+        if trace_recorder is not None:
+            trace_recorder.end_sm(sm_stats[sm], per_sm_cycles[-1])
+            mems[sm].recorder = None
 
     merged = SimStats()
     for stats in sm_stats:
@@ -401,6 +416,9 @@ class _VTQDriver(_DriverBase):
 
         def charge_save() -> None:
             if vtq.virtualization_overheads:
+                recorder = self.mem.recorder
+                if recorder is not None:
+                    recorder.cta_save()
                 self.mem.cta_state_transfer(state_bytes)
                 engine.cycle += bandwidth_occupancy
             self.stats.cta_saves += 1
@@ -409,6 +427,9 @@ class _VTQDriver(_DriverBase):
             self.stats.cta_restores += 1
             if not vtq.virtualization_overheads:
                 return 0.0
+            recorder = self.mem.recorder
+            if recorder is not None:
+                recorder.cta_restore()
             restore = self.mem.cta_state_transfer(state_bytes)
             engine.cycle += bandwidth_occupancy
             return restore + config.cta_resume_schedule_cycles

@@ -182,7 +182,11 @@ class TestCLIJobsAndTrace:
         doc = json.loads(trace.read_text())
         events = doc["traceEvents"]
         assert events
-        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ph"] in ("X", "i") for e in events)
+        assert any(e["ph"] == "X" for e in events)
+        assert all(
+            e["cat"] == "mode_switch" for e in events if e["ph"] == "i"
+        )
 
     def test_trace_out_without_simulator_cases(
         self, tmp_path, capsys, monkeypatch

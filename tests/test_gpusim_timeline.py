@@ -106,13 +106,41 @@ class TestChromeExport:
 
     def test_event_fields(self):
         doc = to_chrome_trace(self.make_spans())
-        events = doc["traceEvents"]
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
         assert len(events) == 2
         first = events[0]
         assert first["ph"] == "X"
         assert first["tid"] == 2
         assert first["dur"] == pytest.approx(1.0)  # 1365 cycles at 1365 MHz
         assert first["args"] == {"rays": 32}
+
+    def test_mode_switch_markers(self):
+        """Per-SM ray↔treelet transitions become instant events."""
+        t = ActivityTimeline(sm=1)
+        t.record("initial warp", "initial_ray_stationary", 0, 100)
+        t.record("treelet 3", "treelet_stationary", 100, 300)
+        t.record("treelet 4", "treelet_stationary", 300, 500)  # no switch
+        t.record("final warp", "final_ray_stationary", 500, 600)
+        doc = to_chrome_trace(t.spans, cycles_per_us=1.0)
+        markers = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [m["args"] for m in markers] == [
+            {"from": "ray-stationary", "to": "treelet-stationary"},
+            {"from": "treelet-stationary", "to": "ray-stationary"},
+        ]
+        assert [m["ts"] for m in markers] == [100, 500]
+        assert all(m["cat"] == "mode_switch" for m in markers)
+        assert all(m["s"] == "t" and m["tid"] == 1 for m in markers)
+
+    def test_mode_switches_are_per_sm(self):
+        """Interleaved spans of different SMs don't fake transitions."""
+        a = ActivityTimeline(sm=0)
+        b = ActivityTimeline(sm=1)
+        a.record("warp", "ray_stationary", 0, 10)
+        b.record("treelet 1", "treelet_stationary", 5, 15)
+        a.record("warp", "ray_stationary", 10, 20)
+        b.record("treelet 2", "treelet_stationary", 15, 25)
+        doc = to_chrome_trace(merge_timelines([a, b]))
+        assert [e for e in doc["traceEvents"] if e["ph"] == "i"] == []
 
     def test_cycles_per_us_validated(self):
         with pytest.raises(ValueError):
@@ -122,5 +150,6 @@ class TestChromeExport:
         path = tmp_path / "trace.json"
         write_chrome_trace(self.make_spans(), path)
         doc = json.loads(path.read_text())
-        assert len(doc["traceEvents"]) == 2
+        # two complete events + the ray->treelet mode-switch marker
+        assert len(doc["traceEvents"]) == 3
         assert doc["otherData"]["source"].startswith("repro")
