@@ -14,6 +14,9 @@ Commands:
 * ``stats``   — render a metrics snapshot: the live server's registry, or
   the run manifest of a finished run (see docs/OBSERVABILITY.md).
 * ``trace``   — record / replay / inspect memory traces (docs/MEMTRACE.md).
+* ``chaos``   — run a seeded chaos schedule (worker kills/hangs, disk
+  full, slow I/O) against a real sweep and assert the resilience
+  invariants (docs/ROBUSTNESS.md).
 
 Two distinct trace artifacts exist: ``--trace-out`` (on ``figure`` /
 ``report``) writes a **chrome activity timeline** for human viewing,
@@ -509,13 +512,20 @@ def cmd_submit(args) -> int:
                               gpu_overrides=overrides)]
         job_ids = []
         for spec in specs:
-            job_id = client.submit_spec(
-                spec,
+            kwargs = dict(
                 priority=args.priority,
                 deadline_s=args.deadline,
                 client_id=args.client,
                 kind="replay" if args.replay else "case",
             )
+            if args.admit_wait > 0:
+                # Wait out retryable rejections (queue-full/quota/
+                # circuit-open), honoring the server's retry_after_s hint.
+                job_id = client.submit_admitted(
+                    spec, max_wait_s=args.admit_wait, **kwargs
+                )
+            else:
+                job_id = client.submit_spec(spec, **kwargs)
             job_ids.append(job_id)
             print(f"submitted {job_id}  {spec.label()}")
         if args.wait:
@@ -590,6 +600,52 @@ def cmd_cancel(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the deterministic chaos harness against a real sweep."""
+    import json as json_mod
+
+    from repro.errors import ReproError
+    from repro.experiments import default_context
+    from repro.experiments.parallel import CaseSpec, cases_for_figure
+    from repro.resilience import run_chaos_sweep
+
+    context = default_context(fast=args.fast)
+    try:
+        if args.figure:
+            if args.figure not in _figures():
+                print(f"unknown figure {args.figure!r}; choose from: "
+                      + ", ".join(sorted(_figures())), file=sys.stderr)
+                return 2
+            specs = cases_for_figure(args.figure, context)
+        else:
+            specs = [
+                CaseSpec(scene, policy)
+                for scene in context.scenes()
+                for policy in ("baseline", "prefetch")
+            ]
+        report = run_chaos_sweep(
+            specs,
+            context,
+            seed=args.seed,
+            jobs=args.jobs,
+            hang_timeout_s=args.hang_timeout,
+        )
+    except (ReproError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_mod.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for line in report.schedule:
+            print(f"  scheduled: {line}")
+        for site, key in report.fired:
+            print(f"  fired: {site} [{key}]")
+        for problem in report.untyped_failures + report.mismatched:
+            print(f"  INVARIANT VIOLATION: {problem}")
+    return 0 if report.ok else 1
 
 
 def _jobs_arg(value: str) -> int:
@@ -763,8 +819,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="poll until every submitted job is terminal")
     p.add_argument("--timeout", type=float, default=600.0,
                    help="--wait timeout in seconds")
+    p.add_argument("--admit-wait", type=float, default=0.0, metavar="SECONDS",
+                   help="retry retryable rejections (queue-full/quota/"
+                        "circuit-open) for up to this long, honoring the "
+                        "server's retry_after_s hint (0 = single-shot)")
     p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a sweep under seeded process-level faults and check the "
+             "resilience invariants",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-schedule seed (same seed, same kills/hangs)")
+    p.add_argument("--figure", default=None, metavar="NAME",
+                   help="chaos-test one figure's case list (default: every "
+                        "scene under baseline+prefetch)")
+    p.add_argument("--jobs", type=_jobs_arg, default=2,
+                   help="supervised worker count for the chaos run (min 2)")
+    p.add_argument("--hang-timeout", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="supervisor hang-detection timeout for the chaos run")
+    p.add_argument("--fast", action="store_true",
+                   help="use the fast two-scene context (tests/CI)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("jobs", help="show server health and job records")
     p.add_argument("job_id", nargs="?", default=None,

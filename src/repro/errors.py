@@ -14,7 +14,9 @@ Hierarchy::
     ├── BVHError          (also ValueError)  corrupt/mismatched BVH data
     ├── CacheError                           unusable experiment cache entry
     ├── ServiceError                         simulation-serving subsystem fault
+    │   ├── ServiceUnavailable               transport failure; safe to retry
     │   └── AdmissionRejected                job refused at the queue door
+    │       └── CircuitOpen                  scene's circuit breaker is open
     ├── TraceError                           unusable/unreplayable memory trace
     │   └── TraceBudgetExceeded              recording overran its size budget
     └── SimulationError                      a simulated case went wrong
@@ -49,18 +51,69 @@ class CacheError(ReproError):
 class ServiceError(ReproError):
     """The simulation-serving subsystem (:mod:`repro.service`) hit an
     operational fault: an unusable job record, a malformed request, or a
-    missing endpoint."""
+    missing endpoint.
+
+    ``retryable`` classifies the failure for callers that automate
+    recovery: ``True`` means the operation certainly never reached the
+    server (repeating it cannot duplicate work), ``False`` means either
+    the server rejected it deliberately or the outcome is unknown.
+    """
+
+    retryable = False
+
+
+class ServiceUnavailable(ServiceError):
+    """A transport-level failure talking to the service: the endpoint
+    refused the connection, the socket dropped before the request was
+    sent, or the server vanished mid-handshake.  Always safe to retry —
+    the request was never (observably) accepted."""
+
+    retryable = True
 
 
 class AdmissionRejected(ServiceError):
     """The job queue refused a submission.  ``reason`` is a short
     machine-usable tag (``"queue-full"``, ``"client-quota"``,
-    ``"draining"``); the message is the human explanation the server
-    relays to the client."""
+    ``"draining"``, ``"circuit-open"``); the message is the human
+    explanation the server relays to the client.  ``retry_after_s``,
+    when set, is the server's machine-readable hint of how long to back
+    off before the same submission is likely to be admitted."""
 
-    def __init__(self, message: str, *, reason: str = "rejected"):
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "rejected",
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__(message)
         self.reason = reason
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:  # type: ignore[override]
+        # A rejection carrying a backoff hint is an explicit "try again
+        # later"; one without is a policy refusal (e.g. draining).
+        return self.retry_after_s is not None
+
+
+class CircuitOpen(AdmissionRejected):
+    """A scene's circuit breaker is open: its cases kept failing, so the
+    scheduler refuses new work for it until the cooldown elapses.
+    ``scene`` names the tripped circuit; ``retry_after_s`` says when a
+    probe will next be admitted."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        scene: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ):
+        super().__init__(
+            message, reason="circuit-open", retry_after_s=retry_after_s
+        )
+        self.scene = scene
 
 
 class TraceError(ReproError):

@@ -10,11 +10,23 @@ idle.  This module adds the missing layer:
   the cases each paper figure will request (a mirror of the figure
   loops — an out-of-date entry degrades to a serial computation, never a
   wrong result).
-* :func:`run_cases` executes a case list on a ``ProcessPoolExecutor``
+* :func:`run_cases` executes a case list across worker processes
   (``REPRO_JOBS`` workers, default ``os.cpu_count()``), returning results
   in input order.  Workers run :func:`run_case_quarantined`, so a failing
   case becomes a recorded :class:`CaseFailure` in the parent; a crashed
   worker process is likewise converted instead of aborting the sweep.
+  Parallel sweeps run on the supervised pool
+  (:class:`repro.resilience.SupervisedPool`): per-worker heartbeats
+  attribute crashes and hangs to the exact case that caused them, the
+  pool rebuilds itself, and a case that destroys
+  ``REPRO_MAX_CASE_CRASHES`` workers is poisoned (quarantined with a
+  typed reason) instead of retried forever.  ``REPRO_SUPERVISED=0``
+  falls back to the legacy ``ProcessPoolExecutor`` path.
+* Sweeps with a disk cache checkpoint their progress in a crash-safe
+  journal (:class:`repro.resilience.SweepJournal`): a sweep killed
+  mid-flight resumes from the last completed case — including
+  quarantined failures — instead of re-enumerating.
+  ``REPRO_SWEEP_JOURNAL=0`` disables journalling.
 * :func:`warm_cases` is the integration point the CLI uses: fan the
   figure's cases out so every worker writes the shared disk cache, then
   let the unchanged figure code replay them as cache hits.  The per-case
@@ -163,11 +175,40 @@ def _count_case(status: str) -> None:
     ).labels(status=status).inc()
 
 
+def _supervised_enabled() -> bool:
+    """Supervised pool is the default; ``REPRO_SUPERVISED=0`` opts out."""
+    return os.environ.get("REPRO_SUPERVISED", "1") != "0"
+
+
+def _resume_from_journal(
+    journal, keys, cases, results, record_failures
+) -> List[int]:
+    """Fill ``results`` from journaled progress; returns pending indices."""
+    from repro.resilience import deserialize_failure
+
+    progress = journal.load() if journal is not None else {}
+    pending: List[int] = []
+    for index, spec in enumerate(cases):
+        entry = progress.get(keys[index]) if keys else None
+        if entry is None:
+            pending.append(index)
+            continue
+        metrics, failure_data = entry
+        failure = deserialize_failure(failure_data) if failure_data else None
+        if failure is not None and record_failures:
+            record_failure(failure)
+        _count_case("resumed")
+        results[index] = (metrics, failure)
+        logger.info("resumed %s from sweep journal", spec.label())
+    return pending
+
+
 def run_cases(
     cases: Sequence[CaseSpec],
     context: ExperimentContext,
     jobs: Optional[int] = None,
     record_failures: bool = True,
+    journal="auto",
 ) -> List[Tuple[Optional[Dict], Optional[CaseFailure]]]:
     """Run every case, fanning out across processes; results in input order.
 
@@ -177,7 +218,15 @@ def run_cases(
     :func:`record_failure` unless ``record_failures`` is False (cache
     warming passes False so the figure replay records them once, in
     figure order).
+
+    Progress checkpoints into a :class:`repro.resilience.SweepJournal`
+    (``journal="auto"``; pass ``None`` to disable, or a journal instance
+    to share one): a sweep killed mid-flight resumes completed cases —
+    successes *and* quarantined failures — from the journal instead of
+    re-resolving them.  A completed sweep deletes its journal.
     """
+    from repro.resilience import SweepJournal, serialize_failure
+
     cases = list(cases)
     if not cases:
         return []
@@ -186,47 +235,136 @@ def run_cases(
     jobs = int(jobs)
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0 (0 = serial, no pool), got {jobs}")
-    # jobs == 0 is the explicit serial mode; jobs == 1 degenerates to it
-    # too (a one-worker pool would only add process overhead).
-    jobs = min(jobs, len(cases))
-    if jobs <= 1:
-        start = time.perf_counter()
-        results = []
-        for spec in cases:
-            try:
-                metrics, failure = run_case_quarantined(
-                    spec.scene, spec.policy, context, vtq=spec.vtq,
-                    gpu_overrides=spec.gpu_overrides,
-                )
-            except Exception as exc:  # non-ReproError: mirror the pool path
-                metrics = None
-                failure = CaseFailure(
-                    scene=spec.scene,
-                    policy=spec.policy,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                )
-                if record_failures:
-                    record_failure(failure)
-            else:
-                if failure is not None and not record_failures:
-                    # run_case_quarantined already recorded it; undo to
-                    # honor the caller (warming must not double-report).
-                    _unrecord(failure)
-            _count_case("ok" if failure is None else "quarantined")
-            results.append((metrics, failure))
-        _observe_sweep("serial", time.perf_counter() - start, None)
-        return results
+    if journal == "auto":
+        journal = SweepJournal.for_cases(cases, context)
+    keys: Optional[List[str]] = None
+    if journal is not None:
+        from repro.experiments.runner import case_key_for
+
+        keys = [
+            case_key_for(
+                spec.scene, spec.policy, context, spec.vtq, spec.gpu_overrides
+            )
+            for spec in cases
+        ]
 
     results: List[Optional[Tuple[Optional[Dict], Optional[CaseFailure]]]]
     results = [None] * len(cases)
+    pending = _resume_from_journal(journal, keys, cases, results, record_failures)
+
+    def checkpoint(index: int, metrics, failure) -> None:
+        if journal is not None:
+            journal.record(
+                keys[index], metrics,
+                serialize_failure(failure) if failure is not None else None,
+            )
+
+    try:
+        if pending:
+            # jobs == 0 is the explicit serial mode; jobs == 1 degenerates
+            # to it too (a one-worker pool would only add overhead).
+            workers = min(jobs, len(pending))
+            if workers <= 1:
+                _run_serial(
+                    cases, pending, context, results, record_failures, checkpoint
+                )
+            elif _supervised_enabled():
+                _run_supervised(
+                    cases, pending, context, results, record_failures,
+                    checkpoint, workers,
+                )
+            else:
+                _run_executor(
+                    cases, pending, context, results, record_failures,
+                    checkpoint, workers,
+                )
+        if journal is not None:
+            journal.complete()
+    finally:
+        if journal is not None:
+            journal.close()
+    return results  # type: ignore[return-value]
+
+
+def _run_serial(
+    cases, pending, context, results, record_failures, checkpoint
+) -> None:
+    start = time.perf_counter()
+    for index in pending:
+        spec = cases[index]
+        try:
+            metrics, failure = run_case_quarantined(
+                spec.scene, spec.policy, context, vtq=spec.vtq,
+                gpu_overrides=spec.gpu_overrides,
+            )
+        except Exception as exc:  # non-ReproError: mirror the pool path
+            metrics = None
+            failure = CaseFailure(
+                scene=spec.scene,
+                policy=spec.policy,
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+            if record_failures:
+                record_failure(failure)
+        else:
+            if failure is not None and not record_failures:
+                # run_case_quarantined already recorded it; undo to
+                # honor the caller (warming must not double-report).
+                _unrecord(failure)
+        _count_case("ok" if failure is None else "quarantined")
+        results[index] = (metrics, failure)
+        checkpoint(index, metrics, failure)
+    _observe_sweep("serial", time.perf_counter() - start, None)
+
+
+def _run_supervised(
+    cases, pending, context, results, record_failures, checkpoint, workers
+) -> None:
+    """Parallel path on the supervised pool (crash/hang attribution)."""
+    from repro.resilience import SupervisedPool
+
+    start = time.perf_counter()
+    pool = SupervisedPool(workers, context)
+    done = 0
+
+    def on_result(sub_index: int, outcome) -> None:
+        nonlocal done
+        index = pending[sub_index]
+        metrics, failure = outcome
+        _count_case("ok" if failure is None else "quarantined")
+        results[index] = outcome
+        checkpoint(index, metrics, failure)
+        done += 1
+        logger.info(
+            "parallel sweep %d/%d %s%s",
+            done, len(pending), cases[index].label(),
+            "" if failure is None else f" [quarantined: {failure.error_type}]",
+        )
+
+    pool.run(
+        [cases[index] for index in pending],
+        on_result=on_result,
+        record_failures=record_failures,
+    )
+    elapsed = time.perf_counter() - start
+    _observe_sweep(
+        "parallel", elapsed,
+        pool.busy_seconds / (elapsed * workers) if elapsed > 0 else 0.0,
+    )
+
+
+def _run_executor(
+    cases, pending, context, results, record_failures, checkpoint, workers
+) -> None:
+    """Legacy parallel path (``REPRO_SUPERVISED=0``): plain executor."""
     done = 0
     busy = 0.0
     start = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(case_worker_obs, spec, context): index
-            for index, spec in enumerate(cases)
+            pool.submit(case_worker_obs, cases[index], context): index
+            for index in pending
         }
         for future in as_completed(futures):
             index = futures[future]
@@ -253,17 +391,17 @@ def run_cases(
                 record_failure(failure)
             _count_case("ok" if failure is None else "quarantined")
             results[index] = (metrics, failure)
+            checkpoint(index, metrics, failure)
             done += 1
             logger.info(
                 "parallel sweep %d/%d %s%s",
-                done, len(cases), spec.label(),
+                done, len(pending), spec.label(),
                 "" if failure is None else f" [quarantined: {failure.error_type}]",
             )
     elapsed = time.perf_counter() - start
     _observe_sweep(
-        "parallel", elapsed, busy / (elapsed * jobs) if elapsed > 0 else 0.0
+        "parallel", elapsed, busy / (elapsed * workers) if elapsed > 0 else 0.0
     )
-    return results  # type: ignore[return-value]
 
 
 def _unrecord(failure: CaseFailure) -> None:

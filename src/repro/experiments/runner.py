@@ -169,6 +169,27 @@ def _case_key(scene: str, policy: str, setup: ScaledSetup, vtq: Optional[VTQConf
     return hashlib.sha256(blob).hexdigest()[:24]
 
 
+def case_key_for(
+    scene: str,
+    policy: str,
+    context: ExperimentContext,
+    vtq: Optional[VTQConfig] = None,
+    gpu_overrides=None,
+) -> str:
+    """The disk-cache key :func:`run_case` would use for this case.
+
+    Public so the sweep journal (:mod:`repro.resilience.journal`) can
+    identify completed cases by exactly the identity the cache uses —
+    any input change that would invalidate the cache also invalidates
+    the journal entry.
+    """
+    from repro.memtrace.safety import normalize_overrides
+
+    overrides = dict(normalize_overrides(gpu_overrides))
+    point = _point_context(context, overrides)
+    return _case_key(scene, policy, point.setup, vtq)
+
+
 def _metrics_checksum(metrics: Dict) -> str:
     blob = json.dumps(metrics, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
@@ -256,25 +277,19 @@ def _trace_cache(event: str, key: str) -> None:
 def _case_claim(key: str):
     """Cross-process mutex for one cache key.
 
-    Blocks on an ``flock`` over ``<key>.lock`` in the cache directory so
+    An ``flock`` over ``<key>.lock`` in the cache directory, managed by
+    the shared retry policy (:func:`repro.resilience.flock_claim`), so
     two sweep workers never simulate the same case concurrently: the
     loser of the race waits, then finds the winner's entry on disk.  On
     platforms without ``fcntl`` the claim degrades to a no-op (the cache
     write is still atomic; at worst a case is computed twice).
     """
-    try:
-        import fcntl
-    except ImportError:  # pragma: no cover - non-POSIX fallback
-        yield
-        return
+    from repro.resilience import flock_claim
+
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    with open(directory / f"{key}.lock", "w") as handle:
-        fcntl.flock(handle, fcntl.LOCK_EX)
-        try:
-            yield
-        finally:
-            fcntl.flock(handle, fcntl.LOCK_UN)
+    with flock_claim(directory / f"{key}.lock", describe=f"case:{key}"):
+        yield
 
 
 def clear_cache() -> None:

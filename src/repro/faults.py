@@ -38,6 +38,15 @@ STATS_CORRUPT = "gpusim.stats.corrupt"         # break a sanitizer invariant
 MESH_NAN = "scenes.mesh.nan"                   # poison loaded geometry with NaNs
 BVH_TRUNCATE = "bvh.serialize.truncate"        # truncate a saved BVH blob
 
+# Process-level sites (repro.resilience / docs/ROBUSTNESS.md): these fire
+# in worker processes and transport paths, exercising the supervision,
+# retry and checkpoint machinery rather than the simulation itself.
+WORKER_KILL = "resilience.worker.kill"         # worker process dies (os._exit)
+WORKER_HANG = "resilience.worker.hang"         # worker stops making progress
+SOCKET_DROP = "service.socket.drop"            # client connection torn down
+DISK_FULL = "resilience.disk.full"             # a journal/spool write hits ENOSPC
+SLOW_IO = "resilience.io.slow"                 # an I/O path stalls for a while
+
 ALL_SITES = (
     CACHE_CORRUPT,
     CASE_FAIL,
@@ -45,6 +54,11 @@ ALL_SITES = (
     STATS_CORRUPT,
     MESH_NAN,
     BVH_TRUNCATE,
+    WORKER_KILL,
+    WORKER_HANG,
+    SOCKET_DROP,
+    DISK_FULL,
+    SLOW_IO,
 )
 
 
@@ -198,6 +212,32 @@ def injected(*specs: FaultSpec) -> Iterator[FaultRegistry]:
     finally:
         for spec in specs:
             _REGISTRY.remove(spec)
+
+
+# -- process-level hook helpers -----------------------------------------------------
+#
+# Call sites for SLOW_IO / DISK_FULL are one-liners: the helpers fold the
+# should_fire check and the misbehaviour together so I/O paths stay legible.
+
+
+def maybe_slow_io(key: str = "") -> None:
+    """SLOW_IO hook: stall for ``payload["seconds"]`` (default 0.01s)."""
+    spec = should_fire(SLOW_IO, key)
+    if spec is not None:
+        import time
+
+        time.sleep(float(spec.payload.get("seconds", 0.01)))
+
+
+def maybe_disk_full(key: str = "") -> None:
+    """DISK_FULL hook: raise the ``OSError`` a full disk would."""
+    spec = should_fire(DISK_FULL, key)
+    if spec is not None:
+        import errno
+
+        raise OSError(
+            errno.ENOSPC, "No space left on device (injected fault)", key
+        )
 
 
 # -- corruption helpers ----------------------------------------------------------

@@ -91,20 +91,17 @@ def _observe_bytes(direction: str, nbytes: int) -> None:
 
 @contextmanager
 def _trace_claim(key: str):
-    """Cross-process mutex for one trace key (flock; no-op without fcntl)."""
-    try:
-        import fcntl
-    except ImportError:  # pragma: no cover - non-POSIX fallback
-        yield
-        return
+    """Cross-process mutex for one trace key.
+
+    Contention is managed by the shared retry policy
+    (:func:`repro.resilience.flock_claim`); no-op without ``fcntl``.
+    """
+    from repro.resilience import flock_claim
+
     directory = trace_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    with open(directory / f"{key}.lock", "w") as handle:
-        fcntl.flock(handle, fcntl.LOCK_EX)
-        try:
-            yield
-        finally:
-            fcntl.flock(handle, fcntl.LOCK_UN)
+    with flock_claim(directory / f"{key}.lock", describe=f"trace:{key}"):
+        yield
 
 
 def store_trace(trace: MemTrace, key: str) -> Path:

@@ -1,0 +1,227 @@
+"""Per-scene circuit breakers for the scheduler.
+
+A scene whose cases keep failing (bad geometry on disk, a poisoned BVH
+blob, a replay trace recorded at the wrong config) will fail *every* job
+submitted for it, and each failure costs a full dispatch: pool slot,
+cache claim, possibly a crash-retry cycle.  A circuit breaker turns that
+repeated cost into a fast typed rejection.
+
+Standard three-state machine:
+
+* **closed** — normal operation; consecutive failures are counted, a
+  success resets the count.
+* **open** — ``failure_threshold`` consecutive failures trip the
+  breaker; :meth:`allow` raises :class:`~repro.errors.CircuitOpen`
+  (carrying the scene name and a ``retry_after_s`` hint) until
+  ``cooldown_s`` elapses.
+* **half-open** — after the cooldown one probe is admitted; its success
+  closes the circuit, its failure re-opens it for a fresh cooldown.
+
+The scheduler consults breakers at two points with different helpers:
+``check()`` at admission (non-consuming — it never claims the half-open
+probe slot, so an admission check cannot starve the dispatch path of its
+probe) and ``allow()`` at dispatch (consuming — this is the probe).
+State transitions and rejections land in the
+``repro_resilience_breaker_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import CircuitOpen
+
+logger = logging.getLogger("repro.resilience")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def _observe_transition(scene: str, to: str) -> None:
+    from repro.obs import registry as obs_registry
+
+    obs_registry().counter(
+        "repro_resilience_breaker_transitions_total",
+        "Circuit-breaker state transitions, by scene and target state",
+        ("scene", "to"),
+    ).labels(scene=scene, to=to).inc()
+
+
+def _observe_rejection(scene: str) -> None:
+    from repro.obs import registry as obs_registry
+
+    obs_registry().counter(
+        "repro_resilience_breaker_rejections_total",
+        "Work rejected because a scene's circuit breaker was open",
+        ("scene",),
+    ).labels(scene=scene).inc()
+
+
+class CircuitBreaker:
+    """One scene's breaker.  Not thread-safe; the scheduler owns it from
+    a single event loop."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_out = False
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def retry_after_s(self) -> Optional[float]:
+        """Seconds until the cooldown admits a probe (None when not open)."""
+        if self._state != OPEN or self._opened_at is None:
+            return None
+        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> Dict:
+        """State for health endpoints: name, state, failure count."""
+        return {
+            "scene": self.name,
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "retry_after_s": self.retry_after_s(),
+        }
+
+    # -- gating -----------------------------------------------------------------
+
+    def check(self) -> None:
+        """Admission-time gate: raise :class:`CircuitOpen` while fully
+        open.  Never consumes the half-open probe slot."""
+        self._maybe_half_open()
+        if self._state == OPEN:
+            _observe_rejection(self.name)
+            raise self._rejection()
+
+    def allow(self) -> None:
+        """Dispatch-time gate: raise :class:`CircuitOpen` unless work may
+        proceed.  In the half-open state this claims the single probe
+        slot; the caller must report the probe's outcome via
+        :meth:`record_success` / :meth:`record_failure`."""
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return
+        if self._state == HALF_OPEN and not self._probe_out:
+            self._probe_out = True
+            return
+        _observe_rejection(self.name)
+        raise self._rejection()
+
+    # -- outcome reporting ------------------------------------------------------
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_out = False
+        if self._state != CLOSED:
+            self._transition(CLOSED)
+            self._opened_at = None
+
+    def release(self) -> None:
+        """Return a claimed half-open probe slot without recording an
+        outcome (the probe never actually ran, e.g. its job's deadline
+        had already expired before dispatch)."""
+        self._probe_out = False
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        self._probe_out = False
+        if self._state == HALF_OPEN:
+            # The probe failed: back to a fresh cooldown.
+            self._transition(OPEN)
+            self._opened_at = self._clock()
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(OPEN)
+            self._opened_at = self._clock()
+
+    # -- internals --------------------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_out = False
+
+    def _transition(self, to: str) -> None:
+        logger.info("circuit %s: %s -> %s", self.name, self._state, to)
+        self._state = to
+        _observe_transition(self.name, to)
+
+    def _rejection(self) -> CircuitOpen:
+        after = self.retry_after_s()
+        # Half-open with the probe already out: suggest a short poll.
+        if after is None:
+            after = 1.0
+        return CircuitOpen(
+            f"circuit for scene {self.name!r} is open after "
+            f"{self._consecutive_failures} consecutive failures; "
+            f"retry in {after:.1f}s",
+            scene=self.name,
+            retry_after_s=after,
+        )
+
+
+class BreakerBoard:
+    """The scheduler's collection of per-scene breakers, created lazily."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, scene: str) -> CircuitBreaker:
+        found = self._breakers.get(scene)
+        if found is None:
+            found = CircuitBreaker(
+                scene,
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                clock=self._clock,
+            )
+            self._breakers[scene] = found
+        return found
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Per-scene state for health/metrics endpoints (non-closed only,
+        plus any breaker that has recorded failures)."""
+        return {
+            name: brk.snapshot()
+            for name, brk in sorted(self._breakers.items())
+            if brk.state != CLOSED or brk._consecutive_failures > 0
+        }

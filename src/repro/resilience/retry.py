@@ -1,0 +1,278 @@
+"""Unified retry/backoff policy for everything that talks to flaky things.
+
+Before this module each subsystem hand-rolled its own recovery: the
+scheduler had a blind ``for attempt in range(retries + 1)`` loop, the
+sync client had one socket attempt and a prayer, and the flock claims
+blocked forever.  :class:`RetryPolicy` replaces all of them with one
+declarative object:
+
+* **exponential backoff with decorrelated jitter** — each delay is drawn
+  uniformly from ``[base, 3 * previous]`` and capped at ``max_delay_s``
+  (the AWS "decorrelated jitter" scheme), so synchronized retry storms
+  cannot form;
+* **deadline awareness** — a policy carrying ``deadline_s`` never sleeps
+  into its deadline: when the next backoff would cross it, the last
+  error is raised immediately.  :meth:`RetryPolicy.for_budget` tightens
+  a policy to a :class:`~repro.gpusim.budget.CaseBudget`'s wall
+  allowance, so retries respect the same limits the work itself does;
+* **hint awareness** — an exception carrying ``retry_after_s`` (e.g. an
+  :class:`~repro.errors.AdmissionRejected` with a server backoff hint)
+  stretches the next delay to at least that long;
+* **sync and async** — :meth:`call` sleeps with ``time.sleep``,
+  :meth:`acall` with ``asyncio.sleep``, same schedule either way.
+
+Every attempt outcome lands in the ``repro_resilience_retry_*`` metrics
+(labelled by ``component``), so an operator can see who is retrying and
+why.  ``seed`` pins the jitter stream for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Tuple, Union
+
+logger = logging.getLogger("repro.resilience")
+
+
+def _observe(component: str, outcome: str) -> None:
+    from repro.obs import registry as obs_registry
+
+    obs_registry().counter(
+        "repro_resilience_retry_attempts_total",
+        "Retry-policy attempt outcomes, by component",
+        ("component", "outcome"),
+    ).labels(component=component, outcome=outcome).inc()
+
+
+def _observe_backoff(component: str, seconds: float) -> None:
+    from repro.obs import registry as obs_registry
+
+    obs_registry().counter(
+        "repro_resilience_retry_backoff_seconds_total",
+        "Seconds spent sleeping between retry attempts, by component",
+        ("component",),
+    ).labels(component=component).inc(seconds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = no retries).
+    base_delay_s / max_delay_s:
+        Bounds of the decorrelated-jitter backoff schedule.
+    deadline_s:
+        Wall-clock budget from the *first* attempt; a backoff that would
+        cross it raises the pending error instead of sleeping.  ``None``
+        means unbounded.
+    seed:
+        Pins the jitter RNG (tests); ``None`` draws fresh randomness.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: Optional[float] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+
+    # -- derivation -------------------------------------------------------------
+
+    def with_deadline(self, deadline_s: Optional[float]) -> "RetryPolicy":
+        """This policy bounded by ``deadline_s`` (``None`` clears it)."""
+        return replace(self, deadline_s=deadline_s)
+
+    def for_budget(self, budget) -> "RetryPolicy":
+        """This policy tightened to a :class:`CaseBudget`'s wall allowance.
+
+        The tighter of the existing deadline and the budget's
+        ``wall_seconds`` wins; a budget-less call returns the policy
+        unchanged.
+        """
+        wall = getattr(budget, "wall_seconds", None) if budget else None
+        if wall is None:
+            return self
+        if self.deadline_s is not None:
+            wall = min(wall, self.deadline_s)
+        return replace(self, deadline_s=wall)
+
+    # -- schedule ---------------------------------------------------------------
+
+    def delays(self) -> Iterator[float]:
+        """The (unbounded) backoff schedule: decorrelated jitter."""
+        rng = random.Random(self.seed)
+        prev = self.base_delay_s
+        while True:
+            prev = min(self.max_delay_s, rng.uniform(self.base_delay_s, prev * 3))
+            yield prev
+
+    # -- execution --------------------------------------------------------------
+
+    def call(
+        self,
+        fn: Callable,
+        *,
+        component: str = "generic",
+        describe: str = "",
+        classify: Optional[Callable[[BaseException], bool]] = None,
+        retry_on: Tuple[type, ...] = (OSError,),
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """Run ``fn()`` under this policy; returns its result.
+
+        ``classify(exc) -> bool`` decides retryability (default:
+        ``isinstance(exc, retry_on)``).  A non-retryable error, the last
+        attempt's error, and an error whose backoff would cross the
+        deadline all propagate to the caller unchanged.
+        """
+        start = clock()
+        schedule = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = fn()
+            except Exception as exc:
+                delay = self._next_delay(
+                    exc, attempt, schedule, start, clock(), classify, retry_on,
+                    component, describe,
+                )
+                if delay is None:
+                    raise
+                sleep(delay)
+            else:
+                _observe(component, "ok" if attempt == 1 else "recovered")
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def acall(
+        self,
+        fn: Callable,
+        *,
+        component: str = "generic",
+        describe: str = "",
+        classify: Optional[Callable[[BaseException], bool]] = None,
+        retry_on: Tuple[type, ...] = (Exception,),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """Async twin of :meth:`call`: awaits ``fn()``, sleeps on the loop."""
+        import asyncio
+
+        start = clock()
+        schedule = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = await fn()
+            except Exception as exc:
+                delay = self._next_delay(
+                    exc, attempt, schedule, start, clock(), classify, retry_on,
+                    component, describe,
+                )
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
+            else:
+                _observe(component, "ok" if attempt == 1 else "recovered")
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _next_delay(
+        self, exc, attempt, schedule, start, now, classify, retry_on,
+        component, describe,
+    ) -> Optional[float]:
+        """The backoff before the next attempt, or ``None`` to give up."""
+        retryable = (
+            classify(exc) if classify is not None else isinstance(exc, retry_on)
+        )
+        if not retryable:
+            _observe(component, "fatal")
+            return None
+        if attempt >= self.max_attempts:
+            _observe(component, "exhausted")
+            return None
+        delay = next(schedule)
+        hint = getattr(exc, "retry_after_s", None)
+        if hint:
+            delay = max(delay, float(hint))
+        if self.deadline_s is not None and (now - start) + delay >= self.deadline_s:
+            _observe(component, "deadline")
+            return None
+        _observe(component, "retry")
+        _observe_backoff(component, delay)
+        logger.debug(
+            "%s%s attempt %d/%d failed (%s); retrying in %.3fs",
+            component, f" {describe}" if describe else "", attempt,
+            self.max_attempts, exc, delay,
+        )
+        return delay
+
+
+#: Defaults shared by the idempotent service-client verbs.
+CLIENT_POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.05, max_delay_s=1.0)
+
+#: Defaults for cross-process flock contention (claims are short-lived,
+#: so the schedule is tight but patient).
+FLOCK_POLICY = RetryPolicy(
+    max_attempts=24, base_delay_s=0.01, max_delay_s=0.25, deadline_s=30.0
+)
+
+
+@contextmanager
+def flock_claim(
+    path: Union[str, Path],
+    policy: Optional[RetryPolicy] = None,
+    describe: str = "",
+):
+    """Cross-process mutex on ``path`` with retry-managed contention.
+
+    Acquisition first spins non-blocking attempts under ``policy``
+    (default :data:`FLOCK_POLICY`) so contention is observable in the
+    retry metrics and bounded by the policy's deadline; a claim still
+    contended past the policy's patience degrades to one final blocking
+    wait — correctness (single computation per key) beats latency.  On
+    platforms without ``fcntl`` the claim is a no-op, exactly like the
+    pre-policy behaviour.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    from repro import faults
+
+    policy = policy if policy is not None else FLOCK_POLICY
+    faults.maybe_slow_io(f"claim:{describe or Path(path).name}")
+    with open(path, "w") as handle:
+
+        def grab():
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+
+        try:
+            policy.call(
+                grab,
+                component="flock",
+                describe=describe,
+                retry_on=(BlockingIOError, PermissionError),
+            )
+        except (BlockingIOError, PermissionError):
+            logger.warning(
+                "flock claim %s contended past the retry policy; blocking",
+                describe or path,
+            )
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)

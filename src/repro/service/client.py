@@ -6,7 +6,24 @@ JSON reply, close.  That keeps the client free of connection-state
 bookkeeping and makes it trivially safe to use from scripts, tests and
 the CLI.  A server-side rejection comes back as
 :class:`repro.errors.ServiceError` (admission rejections as
-:class:`repro.errors.AdmissionRejected` with the server's reason tag).
+:class:`repro.errors.AdmissionRejected` with the server's reason tag
+and, for load rejections, its ``retry_after_s`` backoff hint).
+
+Failure handling is typed, not hopeful:
+
+* **Idempotent verbs** (:data:`IDEMPOTENT_OPS` — status/result/health/
+  jobs/metrics) retry transport failures under the unified
+  :class:`repro.resilience.RetryPolicy`: a connection that never
+  reached the server (:class:`~repro.errors.ServiceUnavailable`) is
+  safe to repeat, so a flaky socket no longer fails a status poll.
+* **``submit`` stays single-shot** — blindly resubmitting could
+  duplicate a job — but its failures are classified: a
+  ``ServiceUnavailable`` (``retryable=True``) means the submission
+  certainly never arrived and the caller may resubmit; any other
+  ``ServiceError`` means the outcome is unknown (or a deliberate
+  rejection) and the caller should check ``jobs`` before retrying.
+  :meth:`ServiceClient.submit_admitted` wraps the polite-retry loop for
+  rejections that carry ``retry_after_s``.
 """
 
 from __future__ import annotations
@@ -16,13 +33,23 @@ import time
 from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import AdmissionRejected, ServiceError
+from repro import faults
+from repro.errors import (
+    AdmissionRejected,
+    CircuitOpen,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.experiments.parallel import CaseSpec
+from repro.resilience import CLIENT_POLICY, RetryPolicy
 from repro.service import protocol
 from repro.service.jobs import TERMINAL_STATES
 
 #: Admission-rejection reason tags the server can reply with.
-REJECTION_REASONS = ("queue-full", "client-quota", "draining")
+REJECTION_REASONS = ("queue-full", "client-quota", "draining", "circuit-open")
+
+#: Verbs a client may safely repeat after a transport failure.
+IDEMPOTENT_OPS = ("status", "result", "health", "jobs", "metrics")
 
 
 class ServiceClient:
@@ -32,9 +59,11 @@ class ServiceClient:
         self,
         endpoint: Optional[str] = None,
         timeout: float = 60.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.endpoint = protocol.resolve_endpoint(endpoint)
         self.timeout = timeout
+        self.retry_policy = retry_policy if retry_policy is not None else CLIENT_POLICY
 
     # -- transport -------------------------------------------------------------
 
@@ -53,19 +82,37 @@ class ServiceClient:
                 raise
             return sock
         except OSError as exc:
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"cannot reach service at {self.endpoint!r} ({exc}); "
                 "is `repro serve` running?"
             ) from exc
 
-    def request(self, payload: Dict) -> Dict:
-        """One round trip; raises on transport or server-side errors."""
+    def _roundtrip(self, payload: Dict) -> Dict:
+        """One connect/send/read cycle, with SOCKET_DROP fault hooks.
+
+        The hook keys are phase-tagged (``<op>:connect`` fires before
+        the request could reach the server, ``<op>:reply`` after it
+        did), so chaos schedules can exercise both the retryable and the
+        outcome-unknown failure classes deliberately.
+        """
+        op = str(payload.get("op"))
+        if faults.should_fire(faults.SOCKET_DROP, f"{op}:connect") is not None:
+            raise ServiceUnavailable(
+                f"connection dropped before {op!r} was sent (injected fault)"
+            )
         sock = self._connect()
         try:
             sock.sendall(protocol.encode(payload))
+            if faults.should_fire(faults.SOCKET_DROP, f"{op}:reply") is not None:
+                raise ServiceError(
+                    f"connection dropped awaiting the {op!r} reply "
+                    "(injected fault)"
+                )
             with sock.makefile("rb") as stream:
                 line = stream.readline()
         except OSError as exc:
+            # The request may or may not have been consumed: outcome
+            # unknown, so not marked retryable.
             raise ServiceError(f"service request failed: {exc}") from exc
         finally:
             sock.close()
@@ -73,12 +120,37 @@ class ServiceClient:
             raise ServiceError("service closed the connection without replying")
         response = protocol.decode(line)
         if not response.get("ok"):
-            message = response.get("error", "request failed")
-            reason = response.get("reason", "error")
-            if reason in REJECTION_REASONS:
-                raise AdmissionRejected(message, reason=reason)
-            raise ServiceError(message)
+            raise self._response_error(response)
         return response
+
+    @staticmethod
+    def _response_error(response: Dict) -> ServiceError:
+        message = response.get("error", "request failed")
+        reason = response.get("reason", "error")
+        retry_after = response.get("retry_after_s")
+        if reason == "circuit-open":
+            return CircuitOpen(message, retry_after_s=retry_after)
+        if reason in REJECTION_REASONS:
+            return AdmissionRejected(
+                message, reason=reason, retry_after_s=retry_after
+            )
+        return ServiceError(message)
+
+    def request(self, payload: Dict) -> Dict:
+        """One logical request; raises on transport or server errors.
+
+        Idempotent verbs retry transport-level failures
+        (``ServiceUnavailable``) under the client's retry policy; all
+        other verbs are single-shot.
+        """
+        if payload.get("op") in IDEMPOTENT_OPS:
+            return self.retry_policy.call(
+                lambda: self._roundtrip(payload),
+                component="client",
+                describe=str(payload.get("op")),
+                classify=lambda exc: isinstance(exc, ServiceUnavailable),
+            )
+        return self._roundtrip(payload)
 
     # -- verbs -----------------------------------------------------------------
 
@@ -95,6 +167,12 @@ class ServiceClient:
     ) -> str:
         """Submit one case; returns the job id.
 
+        Deliberately single-shot: an automatic resubmission could
+        duplicate a job the server already admitted.  Failures are
+        typed instead — a raised error with ``retryable=True``
+        (``ServiceUnavailable``, or an ``AdmissionRejected`` carrying a
+        ``retry_after_s`` hint) is safe to resubmit; anything else means
+        the outcome is unknown or the rejection is a policy decision.
         ``kind="replay"`` asks for the trace-replay path and is rejected
         at admission unless ``gpu_overrides`` is replay-eligible for the
         policy (docs/MEMTRACE.md).
@@ -118,6 +196,33 @@ class ServiceClient:
     def submit_spec(self, spec: CaseSpec, **kwargs) -> str:
         kwargs.setdefault("gpu_overrides", spec.gpu_overrides)
         return self.submit(spec.scene, spec.policy, vtq=spec.vtq, **kwargs)
+
+    def submit_admitted(
+        self,
+        spec: CaseSpec,
+        max_wait_s: float = 30.0,
+        poll_s: float = 0.25,
+        **kwargs,
+    ) -> str:
+        """Submit, politely waiting out retryable rejections.
+
+        A rejection carrying ``retry_after_s`` (full queue, client
+        quota, open circuit) is retried after honoring the server's
+        hint, until ``max_wait_s`` is exhausted — then the last
+        rejection propagates.  Non-retryable failures propagate
+        immediately.
+        """
+        deadline = time.monotonic() + max_wait_s
+        while True:
+            try:
+                return self.submit_spec(spec, **kwargs)
+            except AdmissionRejected as exc:
+                if exc.retry_after_s is None:
+                    raise
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(max(float(exc.retry_after_s), poll_s), remaining))
 
     def status(self, job_id: str) -> Dict:
         return self.request({"op": "status", "job_id": job_id})["job"]

@@ -33,6 +33,9 @@ Environment knobs (all optional, all prefixed ``REPRO_SERVICE_``):
 ``REPRO_SERVICE_CLIENT_MAX`` per-client queued-job quota (default 32)
 ``REPRO_SERVICE_JOBS``       worker pool size (default ``REPRO_JOBS``)
 ``REPRO_SERVICE_RETRIES``    retries after a worker crash (default 1)
+``REPRO_SERVICE_RETRY_AFTER_S``      backoff hint sent with load rejections (default 1.0)
+``REPRO_SERVICE_BREAKER_THRESHOLD``  consecutive failures tripping a scene circuit (default 3)
+``REPRO_SERVICE_BREAKER_COOLDOWN_S`` open-circuit cooldown before a probe (default 30.0)
 ====================== ==============================================
 """
 
@@ -74,6 +77,19 @@ def _env_int(name: str, default: int, minimum: int = 0) -> int:
     return value
 
 
+def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ServiceError(f"{name} must be a number, got {raw!r}") from None
+    if value < minimum:
+        raise ServiceError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
 def queue_max() -> int:
     return _env_int("REPRO_SERVICE_QUEUE_MAX", 64, minimum=1)
 
@@ -84,6 +100,23 @@ def client_max() -> int:
 
 def retries() -> int:
     return _env_int("REPRO_SERVICE_RETRIES", 1, minimum=0)
+
+
+def retry_after_hint() -> float:
+    """The ``retry_after_s`` hint attached to load-shedding rejections
+    (queue-full, client-quota).  ``REPRO_SERVICE_RETRY_AFTER_S``
+    overrides the 1-second default."""
+    return _env_float("REPRO_SERVICE_RETRY_AFTER_S", 1.0)
+
+
+def breaker_threshold() -> int:
+    """Consecutive failures that trip a scene's circuit breaker."""
+    return _env_int("REPRO_SERVICE_BREAKER_THRESHOLD", 3, minimum=1)
+
+
+def breaker_cooldown() -> float:
+    """Seconds an open scene circuit waits before admitting a probe."""
+    return _env_float("REPRO_SERVICE_BREAKER_COOLDOWN_S", 30.0, minimum=0.001)
 
 
 def service_jobs() -> int:

@@ -4,7 +4,10 @@ Admission control happens at the door: a submission is either accepted
 (and will eventually run) or rejected **with a reason** —
 :class:`repro.errors.AdmissionRejected` carrying ``"queue-full"``,
 ``"client-quota"`` or ``"draining"`` — so backpressure is explicit and a
-client can tell "retry later" from "you are hogging the queue".
+client can tell "retry later" from "you are hogging the queue".  Load
+rejections (full queue, quota) additionally carry a machine-readable
+``retry_after_s`` backoff hint (``REPRO_SERVICE_RETRY_AFTER_S``), which
+the client's retry policy and the CLI's ``--admit-wait`` honor.
 
 Ordering is priority-first, then **fair across client ids**: each job is
 stamped with its client's queued-job count at submission, so at equal
@@ -74,16 +77,20 @@ class JobQueue:
         """
         fair_rank = self._client_depth(job.client_id)
         if enforce_bounds:
+            from repro.service.protocol import retry_after_hint
+
             if len(self._entries) >= self.max_depth:
                 raise AdmissionRejected(
                     f"queue is full ({self.max_depth} jobs queued); retry later",
                     reason="queue-full",
+                    retry_after_s=retry_after_hint(),
                 )
             if self.per_client_max is not None and fair_rank >= self.per_client_max:
                 raise AdmissionRejected(
                     f"client {job.client_id!r} already has {fair_rank} queued "
                     f"jobs (quota {self.per_client_max})",
                     reason="client-quota",
+                    retry_after_s=retry_after_hint(),
                 )
         # Higher priority first; at equal priority, clients interleave by
         # how many jobs they already had queued; submission order last.

@@ -25,9 +25,20 @@ What the serving layer adds on top:
   ``run_case`` serves it from a recorded memory trace instead of a live
   simulation (docs/MEMTRACE.md); dispatch itself is identical.
 * **Crash retry** — a worker process dying (or the pool breaking) is
-  retried up to ``retries`` times (default 1) on a fresh pool before
-  the job is failed and quarantined through the PR 1 machinery
+  retried on a fresh pool under the unified
+  :class:`repro.resilience.RetryPolicy` (``retries`` extra attempts,
+  default 1, with jittered backoff between them, bounded by the job's
+  effective wall budget) before the job is failed and quarantined
+  through the PR 1 machinery
   (:func:`repro.experiments.runner.record_failure`).
+* **Per-scene circuit breakers** — a scene whose jobs keep failing
+  trips its :class:`repro.resilience.CircuitBreaker`
+  (``REPRO_SERVICE_BREAKER_THRESHOLD`` consecutive failures): further
+  jobs for that scene fail fast with a typed ``CircuitOpen`` error
+  carrying a ``retry_after_s`` hint instead of burning pool slots,
+  until a cooldown probe succeeds.  The server also consults the
+  breaker at admission (:meth:`Scheduler.admission_check`), rejecting
+  new submissions for an open scene at the door.
 
 The scheduler is event-driven, not polled: :meth:`kick` fills free
 worker slots, and every completed job kicks again.  It runs entirely on
@@ -44,7 +55,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Callable, List, Optional, Set
 
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, CircuitOpen
 from repro.experiments.parallel import case_worker, case_worker_obs
 from repro.experiments.runner import (
     CaseFailure,
@@ -53,7 +64,9 @@ from repro.experiments.runner import (
 )
 from repro.obs import registry as obs_registry
 from repro.gpusim.budget import merge_wall_budget
+from repro.resilience import BreakerBoard, RetryPolicy
 from repro.service import jobs as jobstates
+from repro.service import protocol
 from repro.service.jobs import Job, JobStore
 from repro.service.queue import JobQueue
 
@@ -71,6 +84,8 @@ class Scheduler:
         jobs: int = 1,
         retries: int = 1,
         worker_fn: Callable = case_worker,
+        breakers: Optional[BreakerBoard] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0 (0 = serial, no pool), got {jobs}")
@@ -82,6 +97,15 @@ class Scheduler:
         self.jobs = jobs
         self.retries = retries
         self.worker_fn = worker_fn
+        self.breakers = breakers if breakers is not None else BreakerBoard(
+            failure_threshold=protocol.breaker_threshold(),
+            cooldown_s=protocol.breaker_cooldown(),
+        )
+        # Crash retry under the unified policy: `retries` extra attempts
+        # with jittered backoff, tightened per job to its wall budget.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy(
+            max_attempts=retries + 1, base_delay_s=0.05, max_delay_s=1.0
+        )
         # In pool mode the stock worker runs in another process, whose
         # registry the parent cannot see; the obs-wrapped entry point
         # ships each case's metrics delta home.  Custom worker_fns keep
@@ -102,6 +126,14 @@ class Scheduler:
     @property
     def running_count(self) -> int:
         return len(self._tasks)
+
+    def admission_check(self, scene: str) -> None:
+        """Raise :class:`CircuitOpen` when ``scene``'s circuit is open.
+
+        Non-consuming (it never claims the half-open probe slot), so the
+        server can call it for every submission without starving the
+        dispatch path of its cooldown probe."""
+        self.breakers.breaker(scene).check()
 
     # -- dispatch --------------------------------------------------------------
 
@@ -201,6 +233,52 @@ class Scheduler:
             budget=merge_wall_budget(self.context.case_budget(), remaining),
         )
 
+    async def _attempt_job(self, job: Job, context: ExperimentContext):
+        """The job's execution attempts under the unified retry policy.
+
+        Returns ``(metrics, failure)``.  A worker crash discards the
+        broken pool and retries with jittered backoff; the policy is
+        tightened to the job's effective wall budget so retries never
+        sleep a deadline away.  A crash surviving every attempt becomes
+        a quarantined :class:`CaseFailure`, exactly like the sweep path.
+        """
+
+        async def attempt():
+            job.attempts += 1
+            if job.attempts > 1:
+                self.store.save(job)  # persist the retry before it runs
+            try:
+                return await self._execute(job, context)
+            except Exception as exc:
+                logger.warning(
+                    "job %s crashed a worker (attempt %d/%d): %s",
+                    job.label(), job.attempts, self.retry_policy.max_attempts, exc,
+                )
+                # A dead worker breaks the whole pool; start fresh.
+                self._discard_pool()
+                raise
+
+        policy = self.retry_policy.for_budget(context.case_budget())
+        try:
+            metrics, failure = await policy.acall(
+                attempt, component="scheduler", describe=job.label()
+            )
+        except Exception as crash:
+            failure = CaseFailure(
+                scene=job.spec.scene,
+                policy=job.spec.policy,
+                error_type=type(crash).__name__,
+                message=f"worker crashed: {crash}",
+            )
+            record_failure(failure)
+            return None, failure
+        if failure is not None and self.jobs != 0:
+            # Pool workers quarantined the failure in their own process;
+            # re-record it here so the server's failure summary sees it
+            # (serial mode already recorded it).
+            record_failure(failure)
+        return metrics, failure
+
     async def _run_job(self, job: Job) -> None:
         job.state = jobstates.RUNNING
         job.started_at = time.time()
@@ -216,47 +294,39 @@ class Scheduler:
         ).labels(kind=job.kind).inc()
 
         metrics = failure = None
+        retry_after: Optional[float] = None
+        breaker = self.breakers.breaker(job.spec.scene)
         try:
-            context = self._job_context(job)
-        except BudgetExceeded as exc:
+            breaker.allow()
+        except CircuitOpen as exc:
+            # Fast-fail without touching the pool: the scene is tripped.
+            retry_after = exc.retry_after_s
             failure = CaseFailure(
                 scene=job.spec.scene,
                 policy=job.spec.policy,
-                error_type=type(exc).__name__,
+                error_type="CircuitOpen",
                 message=str(exc),
             )
-            record_failure(failure)
         else:
-            crash: Optional[BaseException] = None
-            for attempt in range(self.retries + 1):
-                job.attempts += 1
-                if attempt:
-                    self.store.save(job)  # persist the retry before it runs
-                try:
-                    metrics, failure = await self._execute(job, context)
-                    crash = None
-                    break
-                except Exception as exc:
-                    crash = exc
-                    logger.warning(
-                        "job %s crashed a worker (attempt %d/%d): %s",
-                        job.label(), job.attempts, self.retries + 1, exc,
-                    )
-                    # A dead worker breaks the whole pool; start fresh.
-                    self._discard_pool()
-            if crash is not None:
+            try:
+                context = self._job_context(job)
+            except BudgetExceeded as exc:
                 failure = CaseFailure(
                     scene=job.spec.scene,
                     policy=job.spec.policy,
-                    error_type=type(crash).__name__,
-                    message=f"worker crashed: {crash}",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
                 )
                 record_failure(failure)
-            elif failure is not None and self.jobs != 0:
-                # Pool workers quarantined the failure in their own
-                # process; re-record it here so the server's failure
-                # summary sees it (serial mode already recorded it).
-                record_failure(failure)
+                # The deadline expired before any work ran: not evidence
+                # about the scene, so return the probe without an outcome.
+                breaker.release()
+            else:
+                metrics, failure = await self._attempt_job(job, context)
+                if failure is None:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
 
         job.finished_at = time.time()
         if failure is not None:
@@ -266,6 +336,8 @@ class Scheduler:
                 "message": failure.message,
                 "partial": dict(failure.partial),
             }
+            if retry_after is not None:
+                job.error["retry_after_s"] = retry_after
         else:
             job.state = jobstates.DONE
             job.result = metrics

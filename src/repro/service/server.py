@@ -6,7 +6,9 @@ line-delimited JSON protocol (see :mod:`repro.service.protocol`) on a
 unix-domain socket (default) or localhost TCP.  Verbs:
 
 ``submit``   admit one case as a job → ``{"job_id": ...}`` or a typed
-             rejection (``queue-full`` / ``client-quota`` / ``draining``)
+             rejection (``queue-full`` / ``client-quota`` / ``draining``
+             / ``circuit-open``); load rejections carry a
+             machine-readable ``retry_after_s`` backoff hint
 ``status``   one job's record, without the result payload
 ``result``   one job's full record, including metrics once ``done``
 ``cancel``   cancel a *queued* job; running/terminal jobs are refused
@@ -179,7 +181,13 @@ class SimulationServer:
                     response = await self._dispatch(request)
                 except ServiceError as exc:
                     reason = getattr(exc, "reason", "error")
-                    response = protocol.error(str(exc), reason=reason)
+                    extra = {}
+                    retry_after = getattr(exc, "retry_after_s", None)
+                    if retry_after is not None:
+                        # Machine-readable backoff hint (queue-full,
+                        # client-quota, circuit-open rejections).
+                        extra["retry_after_s"] = retry_after
+                    response = protocol.error(str(exc), reason=reason, **extra)
                 except Exception as exc:  # never kill the connection loop
                     logger.exception("request failed")
                     response = protocol.error(
@@ -257,6 +265,9 @@ class SimulationServer:
             raise ServiceError(
                 f"unknown policy {spec.policy!r}; expected one of {POLICIES}"
             )
+        # A scene with an open circuit breaker is rejected at the door
+        # (CircuitOpen is an AdmissionRejected, reason "circuit-open").
+        self.scheduler.admission_check(spec.scene)
         kind = str(request.get("kind") or jobstates.KINDS[0])
         if kind not in jobstates.KINDS:
             raise ServiceError(
@@ -376,6 +387,7 @@ class SimulationServer:
             workers=self.jobs,
             adopted=self.adopted,
             dispatched=len(self.scheduler.dispatch_log),
+            breakers=self.scheduler.breakers.snapshot(),
             cache=_cache_counters(),
             uptime_s=(
                 time.time() - self.started_at if self.started_at else 0.0

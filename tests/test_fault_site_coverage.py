@@ -1,0 +1,78 @@
+"""Every declared fault site is hooked in src/ and exercised by tests.
+
+A fault site that nothing hooks is a lie in the docs; a site no test
+injects is a recovery path that will rot.  This test closes the loop
+structurally: for each constant in ``faults.ALL_SITES`` there must be
+(a) a hook referencing it somewhere under ``src/repro`` outside
+``faults.py`` itself, and (b) at least one test (or the chaos harness's
+schedule builder, which the chaos tests drive) that injects it.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+TESTS = REPO / "tests"
+TOOLS = REPO / "tools"
+
+#: Attribute name of each site constant, e.g. "resilience.worker.kill"
+#: -> "WORKER_KILL".
+SITE_NAMES = {
+    getattr(faults, name): name
+    for name in dir(faults)
+    if name.isupper() and isinstance(getattr(faults, name), str)
+    and getattr(faults, name) in faults.ALL_SITES
+}
+
+#: Helper calls that consult a site implicitly rather than by constant.
+IMPLICIT_HOOKS = {
+    faults.SLOW_IO: r"maybe_slow_io\(",
+    faults.DISK_FULL: r"maybe_disk_full\(",
+}
+
+
+def _referencing_files(root: Path, pattern: str, exclude=()):
+    regex = re.compile(pattern)
+    hits = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in exclude:
+            continue
+        if regex.search(path.read_text()):
+            hits.append(path)
+    return hits
+
+
+def test_every_site_has_a_name():
+    assert set(SITE_NAMES) == set(faults.ALL_SITES)
+
+
+@pytest.mark.parametrize("site", sorted(faults.ALL_SITES))
+def test_site_is_hooked_in_src(site):
+    name = SITE_NAMES[site]
+    pattern = rf"faults\.{name}\b|\b{name}\b"
+    if site in IMPLICIT_HOOKS:
+        pattern += f"|{IMPLICIT_HOOKS[site]}"
+    hooked = _referencing_files(
+        SRC, pattern, exclude=("faults.py", "__init__.py")
+    )
+    assert hooked, (
+        f"fault site {name} ({site}) is declared but nothing under "
+        "src/repro hooks it"
+    )
+
+
+@pytest.mark.parametrize("site", sorted(faults.ALL_SITES))
+def test_site_is_exercised_by_a_test(site):
+    name = SITE_NAMES[site]
+    pattern = rf"faults\.{name}\b"
+    exercised = _referencing_files(TESTS, pattern, exclude=(Path(__file__).name,))
+    exercised += _referencing_files(TOOLS, pattern)
+    assert exercised, (
+        f"fault site {name} ({site}) is never injected by any test in "
+        "tests/ or smoke tool in tools/"
+    )

@@ -1,0 +1,159 @@
+"""Circuit-breaker state machine, probe accounting and the board."""
+
+import pytest
+
+from repro.errors import AdmissionRejected, CircuitOpen, ServiceError
+from repro.resilience import BreakerBoard, CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        "SPNZA", failure_threshold=3, cooldown_s=10.0, clock=clock
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        breaker.check()
+        breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never reached 3 consecutive
+
+    def test_threshold_consecutive_failures_open_it(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+
+    def test_rejection_is_typed_and_hinted(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpen) as info:
+            breaker.check()
+        exc = info.value
+        assert isinstance(exc, AdmissionRejected)
+        assert isinstance(exc, ServiceError)
+        assert exc.scene == "SPNZA"
+        assert exc.reason == "circuit-open"
+        assert exc.retry_after_s == pytest.approx(6.0)
+        assert exc.retryable
+
+    def test_cooldown_half_opens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.retry_after_s() is None
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    def test_invalid_parameters_rejected(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker("X", failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker("X", cooldown_s=0.0, clock=clock)
+
+
+class TestProbeAccounting:
+    def _opened(self, clock):
+        brk = CircuitBreaker("B", failure_threshold=1, cooldown_s=5.0,
+                             clock=clock)
+        brk.record_failure()
+        clock.advance(5.0)
+        return brk
+
+    def test_only_one_probe_at_a_time(self, clock):
+        brk = self._opened(clock)
+        brk.allow()  # claims the probe
+        with pytest.raises(CircuitOpen):
+            brk.allow()  # second dispatch must wait
+
+    def test_check_never_consumes_the_probe(self, clock):
+        brk = self._opened(clock)
+        brk.check()
+        brk.check()  # admission checks are free...
+        brk.allow()  # ...the dispatch path still gets its probe
+
+    def test_release_returns_an_unused_probe(self, clock):
+        brk = self._opened(clock)
+        brk.allow()
+        brk.release()  # e.g. the job's deadline expired before dispatch
+        brk.allow()  # the slot is available again
+
+    def test_half_open_rejection_suggests_a_short_poll(self, clock):
+        brk = self._opened(clock)
+        brk.allow()
+        with pytest.raises(CircuitOpen) as info:
+            brk.allow()
+        assert info.value.retry_after_s == pytest.approx(1.0)
+
+
+class TestSnapshotAndBoard:
+    def test_snapshot_shape(self, breaker):
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {
+            "scene": "SPNZA",
+            "state": CLOSED,
+            "consecutive_failures": 1,
+            "retry_after_s": None,
+        }
+
+    def test_board_is_lazy_and_stable(self, clock):
+        board = BreakerBoard(failure_threshold=2, cooldown_s=7.0, clock=clock)
+        first = board.breaker("BUNNY")
+        assert board.breaker("BUNNY") is first
+        assert first.failure_threshold == 2
+        assert first.cooldown_s == 7.0
+
+    def test_board_snapshot_hides_healthy_breakers(self, clock):
+        board = BreakerBoard(failure_threshold=2, cooldown_s=7.0, clock=clock)
+        board.breaker("HEALTHY").record_success()
+        board.breaker("SHAKY").record_failure()
+        board.breaker("BROKEN").record_failure()
+        board.breaker("BROKEN").record_failure()
+        snap = board.snapshot()
+        assert set(snap) == {"SHAKY", "BROKEN"}
+        assert snap["BROKEN"]["state"] == OPEN

@@ -1,0 +1,123 @@
+"""Resilience equivalence: interrupted execution changes nothing.
+
+The contract under test: crash-retry, checkpoint/resume and the chaos
+harness may change *how* a sweep executes, never *what* it produces —
+survivor metrics are byte-identical (``json.dumps(..., sort_keys=True)``
+equality, the same discipline as ``tests/test_obs_equivalence.py``).
+"""
+
+import json
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro import faults
+from repro.experiments import default_context
+from repro.experiments.parallel import CaseSpec, run_cases
+from repro.resilience import SweepJournal, run_chaos_sweep, serialize_failure
+from repro.resilience.chaos import build_schedule
+
+
+@pytest.fixture
+def ctx(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    faults.clear()
+    runner.clear_failures()
+    yield default_context(fast=True)
+    faults.clear()
+    runner.clear_failures()
+
+
+CASES = [
+    CaseSpec(scene, policy)
+    for scene in ("BUNNY", "SPNZA")
+    for policy in ("baseline", "prefetch")
+]
+
+
+def dumps(results):
+    return [
+        (json.dumps(metrics, sort_keys=True), failure)
+        for metrics, failure in results
+    ]
+
+
+class TestCheckpointResume:
+    def test_partial_journal_resume_is_byte_identical(self, ctx, tmp_path,
+                                                      monkeypatch):
+        # Uninterrupted reference sweep, in its own cache universe.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ref"))
+        reference = run_cases(CASES, ctx, jobs=0)
+        assert all(f is None for _m, f in reference)
+
+        # Simulate a sweep killed after two checkpoints: hand-write the
+        # journal entries the dead sweep would have left behind.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "resume"))
+        from repro.experiments.runner import case_key_for
+
+        journal = SweepJournal.for_cases(CASES, ctx)
+        assert journal is not None
+        keys = [
+            case_key_for(s.scene, s.policy, ctx, s.vtq, s.gpu_overrides)
+            for s in CASES
+        ]
+        for index in (0, 1):
+            journal.record(keys[index], reference[index][0], None)
+        journal.close()
+
+        resumed = run_cases(CASES, ctx, jobs=0)
+        assert dumps(resumed) == dumps(reference)
+        # A completed sweep deletes its journal.
+        assert not journal.path.exists()
+
+    def test_journaled_failures_resume_as_failures(self, ctx, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "failres"))
+        cases = CASES[:2]
+        from repro.experiments.runner import CaseFailure, case_key_for
+
+        journal = SweepJournal.for_cases(cases, ctx)
+        failure = CaseFailure(scene=cases[0].scene, policy=cases[0].policy,
+                              error_type="SimulationError", message="boom")
+        key = case_key_for(cases[0].scene, cases[0].policy, ctx,
+                           cases[0].vtq, cases[0].gpu_overrides)
+        journal.record(key, None, serialize_failure(failure))
+        journal.close()
+
+        results = run_cases(cases, ctx, jobs=0)
+        metrics, restored = results[0]
+        assert metrics is None
+        assert restored == failure
+        # The resumed failure is re-recorded in the parent, exactly as
+        # an uninterrupted sweep would have recorded it.
+        assert [f.error_type for f in runner.failures()] == ["SimulationError"]
+
+    def test_disabled_journal_changes_nothing(self, ctx, monkeypatch):
+        baseline = run_cases(CASES, ctx, jobs=0, journal=None)
+        monkeypatch.setenv("REPRO_SWEEP_JOURNAL", "0")
+        again = run_cases(CASES, ctx, jobs=0)
+        assert dumps(again) == dumps(baseline)
+
+
+class TestChaosEquivalence:
+    def test_schedule_is_a_pure_function_of_seed_and_cases(self):
+        first = build_schedule(3, CASES)
+        second = build_schedule(3, CASES)
+        assert [(s.site, s.match) for s in first] == [
+            (s.site, s.match) for s in second
+        ]
+        other = build_schedule(4, CASES)
+        assert [(s.site, s.match) for s in first] != [
+            (s.site, s.match) for s in other
+        ]
+
+    def test_chaos_survivors_match_the_clean_run(self, ctx):
+        # Two cases: the seeded schedule poisons one and transiently
+        # kills the other; the harness itself asserts byte-identity of
+        # every survivor against the fault-free baseline.
+        report = run_chaos_sweep(CASES[:2], ctx, seed=1, jobs=2)
+        assert report.ok, json.dumps(report.as_dict(), indent=2)
+        assert report.lost == 0
+        assert report.mismatched == []
+        assert report.untyped_failures == []
+        assert report.survived + report.quarantined == 2

@@ -1,0 +1,238 @@
+"""Unit tests for the unified retry policy and the flock claim helper."""
+
+import asyncio
+import fcntl
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.resilience import CLIENT_POLICY, FLOCK_POLICY, RetryPolicy, flock_claim
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, exc=None, value="ok"):
+        self.failures = failures
+        self.exc = exc if exc is not None else OSError("boom")
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+class TestSchedule:
+    def test_seeded_schedule_is_deterministic(self):
+        policy = RetryPolicy(seed=7)
+        first = policy.delays()
+        second = policy.delays()
+        assert [next(first) for _ in range(6)] == [next(second) for _ in range(6)]
+
+    def test_unseeded_schedules_are_independent(self):
+        policy = RetryPolicy()
+        a = [next(policy.delays()) for _ in range(20)]
+        assert len(set(a)) > 1  # fresh randomness, not a constant
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        base=st.floats(0.001, 0.5),
+        span=st.floats(0.0, 2.0),
+    )
+    def test_delays_respect_bounds(self, seed, base, span):
+        policy = RetryPolicy(
+            seed=seed, base_delay_s=base, max_delay_s=base + span
+        )
+        schedule = policy.delays()
+        for _ in range(10):
+            delay = next(schedule)
+            assert policy.base_delay_s <= delay <= policy.max_delay_s
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestCall:
+    def test_first_attempt_success_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(seed=0)
+        assert policy.call(lambda: 42, sleep=slept.append) == 42
+        assert slept == []
+
+    def test_transient_failure_recovers(self):
+        slept = []
+        fn = Flaky(failures=2)
+        policy = RetryPolicy(max_attempts=4, seed=0)
+        assert policy.call(fn, sleep=slept.append) == "ok"
+        assert fn.calls == 3
+        assert len(slept) == 2
+        assert all(d >= policy.base_delay_s for d in slept)
+
+    def test_exhaustion_raises_last_error(self):
+        fn = Flaky(failures=99, exc=OSError("always"))
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        with pytest.raises(OSError, match="always"):
+            policy.call(fn, sleep=lambda _d: None)
+        assert fn.calls == 3
+
+    def test_non_retryable_type_is_fatal_immediately(self):
+        fn = Flaky(failures=99, exc=KeyError("nope"))
+        policy = RetryPolicy(max_attempts=5, seed=0)
+        with pytest.raises(KeyError):
+            policy.call(fn, sleep=lambda _d: None, retry_on=(OSError,))
+        assert fn.calls == 1
+
+    def test_classify_overrides_retry_on(self):
+        fn = Flaky(failures=1, exc=KeyError("transient"))
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        result = policy.call(
+            fn,
+            sleep=lambda _d: None,
+            classify=lambda exc: isinstance(exc, KeyError),
+        )
+        assert result == "ok" and fn.calls == 2
+
+    def test_retry_after_hint_floors_the_delay(self):
+        class Hinted(OSError):
+            retry_after_s = 0.75
+
+        slept = []
+        fn = Flaky(failures=1, exc=Hinted("hinted"))
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                             max_delay_s=0.05, seed=0)
+        assert policy.call(fn, sleep=slept.append) == "ok"
+        assert slept == [0.75]
+
+    def test_deadline_stops_before_sleeping_into_it(self):
+        # A fake clock: each attempt "takes" 1s, deadline is 1.5s — the
+        # first backoff would cross it, so the error propagates without
+        # a retry ever running.
+        ticks = iter([0.0, 1.0, 1.0, 1.0])
+        slept = []
+        fn = Flaky(failures=99, exc=OSError("slow"))
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.6,
+                             max_delay_s=0.6, deadline_s=1.5, seed=0)
+        with pytest.raises(OSError, match="slow"):
+            policy.call(fn, sleep=slept.append, clock=lambda: next(ticks))
+        assert fn.calls == 1
+        assert slept == []
+
+    def test_acall_recovers(self):
+        fn = Flaky(failures=1, exc=RuntimeError("flaky"))
+
+        async def attempt():
+            return fn()
+
+        async def main():
+            policy = RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                                 max_delay_s=0.002, seed=0)
+            return await policy.acall(attempt)
+
+        assert asyncio.run(main()) == "ok"
+        assert fn.calls == 2
+
+
+class TestDerivation:
+    def test_with_deadline(self):
+        policy = RetryPolicy()
+        assert policy.with_deadline(3.0).deadline_s == 3.0
+        assert policy.with_deadline(3.0).with_deadline(None).deadline_s is None
+
+    def test_for_budget_tightens_to_wall_seconds(self):
+        class Budget:
+            wall_seconds = 2.0
+
+        assert RetryPolicy().for_budget(Budget()).deadline_s == 2.0
+        assert RetryPolicy(deadline_s=1.0).for_budget(Budget()).deadline_s == 1.0
+        assert RetryPolicy(deadline_s=5.0).for_budget(Budget()).deadline_s == 2.0
+
+    def test_for_budget_without_budget_is_identity(self):
+        policy = RetryPolicy(deadline_s=4.0)
+        assert policy.for_budget(None) is policy
+
+    def test_shared_policies_are_sane(self):
+        assert CLIENT_POLICY.max_attempts >= 2
+        assert FLOCK_POLICY.deadline_s is not None
+
+
+class TestFlockClaim:
+    def test_uncontended_claim_is_exclusive(self, tmp_path):
+        path = tmp_path / "case.lock"
+        with flock_claim(path, describe="test"):
+            probe = open(path, "w")
+            with pytest.raises(BlockingIOError):
+                fcntl.flock(probe, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            probe.close()
+        # Released on exit: a fresh non-blocking claim succeeds.
+        probe = open(path, "w")
+        fcntl.flock(probe, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        fcntl.flock(probe, fcntl.LOCK_UN)
+        probe.close()
+
+    def test_contended_claim_retries_until_released(self, tmp_path):
+        path = tmp_path / "case.lock"
+        holder = open(path, "w")
+        fcntl.flock(holder, fcntl.LOCK_EX)
+        timer = threading.Timer(
+            0.15, lambda: fcntl.flock(holder, fcntl.LOCK_UN)
+        )
+        timer.start()
+        start = time.monotonic()
+        policy = RetryPolicy(max_attempts=100, base_delay_s=0.01,
+                             max_delay_s=0.05, seed=1)
+        try:
+            with flock_claim(path, policy=policy, describe="contended"):
+                waited = time.monotonic() - start
+        finally:
+            timer.join()
+            holder.close()
+        assert waited >= 0.1  # actually waited for the holder
+
+    def test_exhausted_policy_falls_back_to_blocking(self, tmp_path):
+        path = tmp_path / "case.lock"
+        holder = open(path, "w")
+        fcntl.flock(holder, fcntl.LOCK_EX)
+        timer = threading.Timer(
+            0.15, lambda: fcntl.flock(holder, fcntl.LOCK_UN)
+        )
+        timer.start()
+        # One non-blocking attempt, then the blocking fallback: the
+        # claim must still succeed, never raise.
+        policy = RetryPolicy(max_attempts=1, seed=0)
+        try:
+            with flock_claim(path, policy=policy, describe="exhausted"):
+                pass
+        finally:
+            timer.join()
+            holder.close()
+
+    def test_slow_io_fault_hooks_the_claim(self, tmp_path):
+        spec = faults.install(faults.FaultSpec(
+            site=faults.SLOW_IO, match="claim:hooked",
+            payload={"seconds": 0.05},
+        ))
+        start = time.monotonic()
+        with flock_claim(tmp_path / "x.lock", describe="hooked"):
+            pass
+        assert time.monotonic() - start >= 0.05
+        assert spec is not None
