@@ -61,6 +61,9 @@ class PrefetchRTUnit(BaselineRTUnit):
         self._votes: Counter = Counter()
         # line -> used?  for unused-prefetch accounting, per treelet
         self._outstanding: Dict[int, Dict[int, bool]] = {}
+        # line -> treelet (or None outside the BVH image): pure memo over
+        # the static layout, so repeated demand misses skip the bisect.
+        self._treelet_of_line: Dict[int, Optional[int]] = {}
         mem.l1_miss_hook = self._on_demand_miss
 
     # -- prefetch machinery ------------------------------------------------------
@@ -79,12 +82,23 @@ class PrefetchRTUnit(BaselineRTUnit):
                 votes[nxt] += 1
         self._votes = votes
 
+    def _popular_treelets(self) -> Set[int]:
+        """Treelets whose current vote count clears ``min_votes``."""
+        return {t for t, v in self._votes.items() if v >= self.min_votes}
+
     def _on_demand_miss(self, line: int) -> None:
         """A BVH demand miss: prefetch its treelet if it is popular."""
-        address = line * self.config.line_bytes
         try:
-            treelet = self.bvh.layout.treelet_of_address(address)
-        except ValueError:  # pragma: no cover - access outside BVH image
+            treelet = self._treelet_of_line[line]
+        except KeyError:
+            try:
+                treelet = self.bvh.layout.treelet_of_address(
+                    line * self.config.line_bytes
+                )
+            except ValueError:  # pragma: no cover - access outside BVH image
+                treelet = None
+            self._treelet_of_line[line] = treelet
+        if treelet is None:  # pragma: no cover - access outside BVH image
             return
         if treelet in self._outstanding:
             return  # already prefetched and still being tracked
@@ -118,7 +132,7 @@ class PrefetchRTUnit(BaselineRTUnit):
             return
         flat = {}
         for per_treelet in self._outstanding.values():
-            flat.update((line, per_treelet) for line in per_treelet)
+            flat.update(dict.fromkeys(per_treelet, per_treelet))
         for ray in rays:
             state = ray.state
             if state.finished() or not state.current_stack:
@@ -163,11 +177,7 @@ class PrefetchRTUnit(BaselineRTUnit):
                 if recorder is not None:
                     recorder.pf_refresh(dict(self._votes))
                 # Stop tracking prefetches for treelets nobody wants now.
-                self._settle_outstanding(
-                    keep={
-                        t for t, v in self._votes.items() if v >= self.min_votes
-                    }
-                )
+                self._settle_outstanding(keep=self._popular_treelets())
             # Items at the rays' stack tops are what the next step fetches;
             # mark any the prefetcher brought in as used.
             if recorder is not None:

@@ -231,6 +231,36 @@ def pop_next(bvh, state: RayTraversalState, in_treelet_only: bool = False):
         return item, is_leaf, local_idx
 
 
+def pop_next_recording(bvh, state: RayTraversalState):
+    """:func:`pop_next` (TREELET order, non-treelet mode) that also reports
+    which treelets were entered along the way.
+
+    Returns ``(popped, chain)`` where ``popped`` is ``(item, is_leaf,
+    local_idx)`` or ``None`` when the ray retires, and ``chain`` is the
+    tuple of treelet ids :meth:`RayTraversalState.advance_treelet` entered
+    during this pop (usually empty).  The SoA plan builder
+    (:mod:`repro.gpusim.soa`) uses the chain to replay the exact treelet
+    entry points later under the treelet-stationary policy units, where the
+    same advances happen through explicit ``enter_treelet`` calls.
+
+    Must mirror :func:`pop_next` exactly — any change to pop semantics has
+    to land in both.
+    """
+    chain = ()
+    while True:
+        if not state.current_stack:
+            nxt = state.advance_treelet()
+            if nxt is None:
+                return None, chain
+            chain += (nxt,)
+            continue
+        item, is_leaf, local_idx, entry_t = state.current_stack.pop()
+        if entry_t > state.t_hit:
+            state.culled += 1
+            continue
+        return (item, is_leaf, local_idx), chain
+
+
 def single_step(bvh, state: RayTraversalState, in_treelet_only: bool = False):
     """Advance ``state`` by one BVH item visit.
 

@@ -32,12 +32,12 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
-from repro import faults
 from repro.core.config import VTQConfig
 from repro.core.treelet_queue import TreeletQueues
 from repro.gpusim.budget import check_cycle_budget
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.memory import MemorySystem
+from repro.gpusim.rt_unit import apply_stall_fault
 from repro.gpusim.stats import SimStats, TraversalMode
 from repro.gpusim.warp import SimRay, TraceWarp, warp_step
 
@@ -91,9 +91,7 @@ class VTQRTUnit:
 
     def run(self, on_ray_complete: RayCallback) -> float:
         """Drain all work; ``on_ray_complete`` may submit further warps."""
-        spec = faults.should_fire(faults.SIM_STALL, type(self).__name__)
-        if spec is not None:
-            self.cycle += float(spec.payload.get("extra_cycles", 1e12))
+        apply_stall_fault(self)
         while self.has_work():
             check_cycle_budget(self.cycle, self.cycle_budget, self.stats)
             if self._try_arrival(on_ray_complete):

@@ -19,6 +19,10 @@ Modules:
 * :mod:`repro.gpusim.warp` — warps, trace jobs and SIMT bookkeeping.
 * :mod:`repro.gpusim.rt_unit` — the baseline ray-stationary RT unit.
 * :mod:`repro.gpusim.stats` — counters and timelines shared by all models.
+* :mod:`repro.gpusim.soa` / :mod:`repro.gpusim.soa_engines` — the
+  struct-of-arrays warp engine: precomputed render plans replayed through
+  pure timing loops (``REPRO_SOA_ENGINE``, default on; bit-identical to
+  the scalar engines).
 """
 
 from repro.gpusim.config import GPUConfig, ScaledSetup, paper_config, scaled_config
@@ -34,6 +38,7 @@ from repro.gpusim.warp import (
     warp_step,
 )
 from repro.gpusim.rt_unit import BaselineRTUnit
+from repro.gpusim.soa import set_soa_engine, soa_engine_enabled
 from repro.gpusim.dram import DRAMModel
 from repro.gpusim.timeline import ActivityTimeline, write_chrome_trace
 
@@ -55,6 +60,8 @@ __all__ = [
     "set_batch_kernels",
     "warp_step",
     "BaselineRTUnit",
+    "set_soa_engine",
+    "soa_engine_enabled",
     "DRAMModel",
     "ActivityTimeline",
     "write_chrome_trace",

@@ -69,6 +69,18 @@ class Cache:
             self._sets[idx] = s
         return s
 
+    def set_of(self, line: int) -> OrderedDict:
+        """The (lazily created) LRU set holding ``line``.
+
+        Public so the batched access path
+        (:meth:`repro.gpusim.memory.MemorySystem.access_lines_batch`) can
+        operate on sets directly and amortize per-line method-call
+        overhead; the set layout (an ``OrderedDict`` in LRU order, line id
+        -> True, indexed by ``line % num_sets``) is a stable contract
+        between the two modules.
+        """
+        return self._set_of(line)
+
     def lookup(self, line: int) -> bool:
         """Non-allocating probe: hit updates LRU order, miss changes nothing."""
         self.accesses += 1

@@ -21,6 +21,7 @@ Access rules (Sections 4.2-4.3 of the paper):
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from typing import Iterable, Optional, Tuple
 
 from repro.gpusim.cache import Cache
@@ -122,6 +123,201 @@ class MemorySystem:
                 misses += 1
             latency = max(latency, line_latency)
         return latency, misses
+
+    def access_lines_batch(self, lane_lines, cycle: float, fold) -> Tuple[float, int, int]:
+        """Batched BVH access path for the SoA replay engines.
+
+        ``lane_lines`` is one line tuple per stepped lane (in lane order);
+        ``fold`` is a :class:`repro.gpusim.stats.StatsFold` that absorbs
+        the deferred counters.  Returns ``(max_latency, missing_lanes,
+        misses)`` — exactly what :func:`repro.gpusim.warp.step_latency`
+        needs.
+
+        This inlines the L1/L2 probe-insert sequence of :meth:`access` for
+        every line of every lane, preserving the *exact* order of cache
+        mutations, miss-hook firings (the treelet prefetcher's demand-miss
+        observer runs live, mid-batch, so its L1 insertions are visible to
+        later lanes) and DRAM model calls.  Only the statistics writes are
+        deferred — all integer counters, folded with presence-exact
+        guards, so ``SimStats.snapshot()`` is bit-identical to the scalar
+        path.  Not valid with a trace recorder attached (the engines fall
+        back to scalar in that case).
+        """
+        config = self.config
+        l1 = self.l1
+        l2 = self.l2
+        l1_sets = l1._sets
+        l1_num_sets = l1.num_sets
+        l1_assoc = l1.assoc
+        l2_sets = l2._sets
+        l2_num_sets = l2.num_sets
+        l2_assoc = l2.assoc
+        l1_lat = float(config.l1_latency)
+        l2_lat = float(config.l2_latency)
+        dram_lat = float(config.dram_latency)
+        l1_threshold = config.l1_latency
+        line_bytes = config.line_bytes
+        hook = self.l1_miss_hook
+        dram = self.dram
+
+        fold.set_window(int(cycle // fold.window_cycles))
+
+        # Per-call tallies.  Several of the counters the scalar path keeps
+        # separately are arithmetically tied together, so only the
+        # independent ones are counted in the loop and the rest derived
+        # afterwards: every line is one L1 probe (``total``), every L1
+        # miss is one L2 probe and one L2->L1 fill (``n_l1_miss``), and
+        # every L2 miss is one L2 insertion and one DRAM access
+        # (``dram_n``).
+        total = 0
+        n_l1_miss = 0
+        l2_hit = 0
+        dram_n = 0
+        c1_ins = 0
+        c1_ev = 0
+        c2_ev = 0
+
+        max_latency = 0.0
+        missing_lanes = 0
+        misses = 0
+        if l1_num_sets == 1:
+            # The common configuration: a fully-associative L1 has one
+            # set, so its lookup hoists out of the loop entirely and the
+            # hit path reduces to a membership test plus an LRU touch.
+            s1 = l1_sets.get(0)
+            if s1 is None:
+                s1 = OrderedDict()
+                l1_sets[0] = s1
+            s1_move = s1.move_to_end
+            for lines in lane_lines:
+                # Every line costs at least the L1 hit latency; only
+                # misses can raise the lane's latency above it.
+                lane_latency = l1_lat if lines else 0.0
+                lane_misses = 0
+                total += len(lines)
+                for line in lines:
+                    if line in s1:
+                        s1_move(line)
+                        continue
+                    n_l1_miss += 1
+                    if hook is not None:
+                        # May insert lines into the L1 (prefetch) — the
+                        # membership re-check below mirrors Cache.insert.
+                        hook(line)
+                    idx2 = line % l2_num_sets
+                    s2 = l2_sets.get(idx2)
+                    if s2 is None:
+                        s2 = OrderedDict()
+                        l2_sets[idx2] = s2
+                    if line in s2:
+                        s2.move_to_end(line)
+                        l2_hit += 1
+                        hit_l2 = True
+                    else:
+                        hit_l2 = False
+                    if line in s1:
+                        s1_move(line)
+                    else:
+                        if len(s1) >= l1_assoc:
+                            s1.popitem(last=False)
+                            c1_ev += 1
+                        s1[line] = True
+                        c1_ins += 1
+                    if hit_l2:
+                        line_latency = l2_lat
+                    else:
+                        if len(s2) >= l2_assoc:
+                            s2.popitem(last=False)
+                            c2_ev += 1
+                        s2[line] = True
+                        dram_n += 1
+                        line_latency = dram.access(line, cycle) if dram is not None else dram_lat
+                    if line_latency > l1_threshold:
+                        lane_misses += 1
+                    if line_latency > lane_latency:
+                        lane_latency = line_latency
+                if lane_misses:
+                    missing_lanes += 1
+                    misses += lane_misses
+                if lane_latency > max_latency:
+                    max_latency = lane_latency
+        else:
+            for lines in lane_lines:
+                lane_latency = l1_lat if lines else 0.0
+                lane_misses = 0
+                total += len(lines)
+                for line in lines:
+                    idx = line % l1_num_sets
+                    s1 = l1_sets.get(idx)
+                    if s1 is None:
+                        s1 = OrderedDict()
+                        l1_sets[idx] = s1
+                    if line in s1:
+                        s1.move_to_end(line)
+                        continue
+                    n_l1_miss += 1
+                    if hook is not None:
+                        hook(line)
+                    idx2 = line % l2_num_sets
+                    s2 = l2_sets.get(idx2)
+                    if s2 is None:
+                        s2 = OrderedDict()
+                        l2_sets[idx2] = s2
+                    if line in s2:
+                        s2.move_to_end(line)
+                        l2_hit += 1
+                        hit_l2 = True
+                    else:
+                        hit_l2 = False
+                    if line in s1:
+                        s1.move_to_end(line)
+                    else:
+                        if len(s1) >= l1_assoc:
+                            s1.popitem(last=False)
+                            c1_ev += 1
+                        s1[line] = True
+                        c1_ins += 1
+                    if hit_l2:
+                        line_latency = l2_lat
+                    else:
+                        if len(s2) >= l2_assoc:
+                            s2.popitem(last=False)
+                            c2_ev += 1
+                        s2[line] = True
+                        dram_n += 1
+                        line_latency = dram.access(line, cycle) if dram is not None else dram_lat
+                    if line_latency > l1_threshold:
+                        lane_misses += 1
+                    if line_latency > lane_latency:
+                        lane_latency = line_latency
+                if lane_misses:
+                    missing_lanes += 1
+                    misses += lane_misses
+                if lane_latency > max_latency:
+                    max_latency = lane_latency
+
+        # Commit the per-call tallies: Cache's own int counters directly
+        # (nothing reads them mid-phase and integer addition commutes),
+        # SimStats counters into the fold.
+        l1_hit = total - n_l1_miss
+        l1.accesses += total
+        l1.hits += l1_hit
+        l1.insertions += c1_ins
+        l1.evictions += c1_ev
+        l2.accesses += n_l1_miss
+        l2.hits += l2_hit
+        l2.insertions += dram_n
+        l2.evictions += c2_ev
+        fold.l1_acc += total
+        fold.l1_hit += l1_hit
+        fold.l2_acc += n_l1_miss
+        fold.l2_hit += l2_hit
+        fold.win_hits += l1_hit
+        fold.win_misses += n_l1_miss
+        fold.dram_n += dram_n
+        fold.bytes_l2_to_l1 += line_bytes * n_l1_miss
+        fold.bytes_dram += line_bytes * dram_n
+        return max_latency, missing_lanes, misses
 
     # -- ray data ---------------------------------------------------------------
 

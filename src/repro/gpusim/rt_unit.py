@@ -29,6 +29,18 @@ from repro.gpusim.warp import TraceWarp, warp_step
 CompletionCallback = Callable[[TraceWarp, float], None]
 
 
+def apply_stall_fault(engine) -> None:
+    """Charge the SIM_STALL chaos fault, if armed for this engine class.
+
+    Fault specs match on the engine's class name; the SoA replay engines
+    subclass the scalar units with names that contain the parent's, so
+    specs written against either keep firing.
+    """
+    spec = faults.should_fire(faults.SIM_STALL, type(engine).__name__)
+    if spec is not None:
+        engine.cycle += float(spec.payload.get("extra_cycles", 1e12))
+
+
 class BaselineRTUnit:
     """One SM's baseline RT unit."""
 
@@ -112,9 +124,7 @@ class BaselineRTUnit:
         and may call :meth:`submit` to enqueue follow-up warps (shading /
         secondary rays).
         """
-        spec = faults.should_fire(faults.SIM_STALL, type(self).__name__)
-        if spec is not None:
-            self.cycle += float(spec.payload.get("extra_cycles", 1e12))
+        apply_stall_fault(self)
         while self._pending:
             check_cycle_budget(self.cycle, self.cycle_budget, self.stats)
             ready, _, warp = heapq.heappop(self._pending)

@@ -274,3 +274,92 @@ class SimStats:
         self.count_table_peak_entries = max(
             self.count_table_peak_entries, other.count_table_peak_entries
         )
+
+
+class StatsFold:
+    """Deferred accumulator for the batched BVH memory path.
+
+    The SoA replay engines (:mod:`repro.gpusim.soa_engines`) price
+    thousands of cache lines per phase; paying a defaultdict lookup per
+    line for counters nobody reads mid-phase is most of the scalar
+    engine's overhead.  This fold batches them in plain ints and commits
+    into a :class:`SimStats` with ``flush()``.
+
+    The commit is *presence-exact*: every write is guarded by ``if
+    delta``, so a counter key exists in the stats dicts iff the scalar
+    engine would have inserted it, and ``snapshot()`` (which sorts keys)
+    compares bit-identical.  All folded quantities are integers, so the
+    deferred addition is order-independent; float accumulators
+    (``simt_active_sum``, ``mode_cycles``) are *not* folded here — the
+    engines thread those through ordered locals instead, because float
+    addition is not associative.
+
+    Timeline windows need one extra rule: an engine's cycle counter is
+    monotonically non-decreasing, so the fold keeps only the *current*
+    window's hit/miss tallies and flushes them whenever the window
+    advances (``set_window``).
+    """
+
+    __slots__ = (
+        "stats", "window_cycles", "window", "win_hits", "win_misses",
+        "l1_acc", "l1_hit", "l2_acc", "l2_hit",
+        "dram_n", "bytes_l2_to_l1", "bytes_dram",
+    )
+
+    def __init__(self, stats: SimStats):
+        self.stats = stats
+        self.window_cycles = stats.l1_bvh_timeline.window_cycles
+        self.window: int | None = None
+        self.win_hits = 0
+        self.win_misses = 0
+        self.l1_acc = 0
+        self.l1_hit = 0
+        self.l2_acc = 0
+        self.l2_hit = 0
+        self.dram_n = 0
+        self.bytes_l2_to_l1 = 0
+        self.bytes_dram = 0
+
+    def set_window(self, window: int) -> None:
+        """Make ``window`` current, committing the previous window's tallies."""
+        if window != self.window:
+            self._flush_window()
+            self.window = window
+
+    def _flush_window(self) -> None:
+        if self.window is None:
+            return
+        timeline = self.stats.l1_bvh_timeline
+        if self.win_hits:
+            timeline.hits[self.window] += self.win_hits
+            self.win_hits = 0
+        if self.win_misses:
+            timeline.misses[self.window] += self.win_misses
+            self.win_misses = 0
+
+    def flush(self) -> None:
+        """Commit everything accumulated so far into the stats object."""
+        self._flush_window()
+        self.window = None
+        stats = self.stats
+        if self.l1_acc:
+            stats.cache_accesses[("l1", "bvh")] += self.l1_acc
+            self.l1_acc = 0
+        if self.l1_hit:
+            stats.cache_hits[("l1", "bvh")] += self.l1_hit
+            self.l1_hit = 0
+        if self.l2_acc:
+            stats.cache_accesses[("l2", "bvh")] += self.l2_acc
+            self.l2_acc = 0
+        if self.l2_hit:
+            stats.cache_hits[("l2", "bvh")] += self.l2_hit
+            self.l2_hit = 0
+        if self.dram_n:
+            stats.dram_accesses["bvh"] += self.dram_n
+            self.dram_n = 0
+        if self.bytes_l2_to_l1:
+            stats.traffic_bytes["l2_to_l1"] += self.bytes_l2_to_l1
+            self.bytes_l2_to_l1 = 0
+        if self.bytes_dram:
+            stats.traffic_bytes["dram"] += self.bytes_dram
+            self.bytes_dram = 0

@@ -251,6 +251,36 @@ def _warp_step_batch(
     )
 
 
+def step_latency(
+    config: GPUConfig,
+    lanes: int,
+    max_latency: float,
+    missing_lanes: int,
+    misses: int,
+) -> float:
+    """The cycle cost of one warp step with ``lanes`` stepped lanes.
+
+    Fractional-stall cost: the RT unit's memory scheduler keeps servicing
+    lanes whose data is ready while the missing lanes wait, so a step
+    costs the hit latency plus the worst miss latency weighted by the
+    fraction of lanes that missed.  (A pure max() model would make every
+    partially-missing step cost a full DRAM round trip, erasing the
+    benefit of anything — prefetching, treelets — that converts *some*
+    lanes' misses into hits.)  Each distinct miss beyond the first also
+    pays the configured miss-port serialization.
+
+    Shared by the scalar warp step and the SoA replay engines; the float
+    operation order here is part of the bit-exactness contract.
+    """
+    latency = float(config.l1_latency)
+    if missing_lanes:
+        miss_fraction = missing_lanes / lanes
+        latency += miss_fraction * max(0.0, max_latency - config.l1_latency)
+        latency += config.miss_serialization_cycles * (misses - 1)
+    latency += config.intersection_latency
+    return latency
+
+
 def _finish_step(
     config: GPUConfig,
     stats: SimStats,
@@ -261,20 +291,7 @@ def _finish_step(
     missing_lanes: int,
     misses: int,
 ) -> Tuple[float, List[SimRay], int]:
-    # Fractional-stall cost: the RT unit's memory scheduler keeps servicing
-    # lanes whose data is ready while the missing lanes wait, so a step
-    # costs the hit latency plus the worst miss latency weighted by the
-    # fraction of lanes that missed.  (A pure max() model would make every
-    # partially-missing step cost a full DRAM round trip, erasing the
-    # benefit of anything — prefetching, treelets — that converts *some*
-    # lanes' misses into hits.)  Each distinct miss beyond the first also
-    # pays the configured miss-port serialization.
-    latency = float(config.l1_latency)
-    if missing_lanes:
-        miss_fraction = missing_lanes / len(stepped)
-        latency += miss_fraction * max(0.0, max_latency - config.l1_latency)
-        latency += config.miss_serialization_cycles * (misses - 1)
-    latency += config.intersection_latency
+    latency = step_latency(config, len(stepped), max_latency, missing_lanes, misses)
     stats.record_simt(len(stepped), config.warp_size)
     stats.record_mode(mode, latency, tests)
     return latency, stepped, tests

@@ -40,6 +40,13 @@ from repro.core.virtualization import CTATracker, cta_state_bytes
 from repro.gpusim.config import GPUConfig, ScaledSetup
 from repro.gpusim.memory import MemorySystem, make_shared_l2
 from repro.gpusim.rt_unit import BaselineRTUnit
+from repro.gpusim.soa import get_plan, soa_engine_enabled
+from repro.gpusim.soa_engines import (
+    ReplayState,
+    SoABaselineRTUnit,
+    SoAPrefetchRTUnit,
+    SoAVTQRTUnit,
+)
 from repro.gpusim.stats import SimStats
 from repro.gpusim.warp import SimRay, TraceWarp
 from repro.tracing.path_tracer import PathState, ShadingEngine
@@ -60,6 +67,10 @@ class RenderResult:
     # One ActivityTimeline per SM when the render was asked to record
     # spans (``record_timeline=True``); empty otherwise.
     timelines: List = field(default_factory=list)
+    # Which engine actually ran: "soa" (plan replay) or "scalar", with the
+    # reason for falling back when the SoA path was bypassed.
+    engine: str = "scalar"
+    engine_fallback_reason: Optional[str] = None
 
     def mean_radiance(self) -> float:
         return float(self.image.mean())
@@ -100,22 +111,46 @@ def render_scene(
     config = setup.gpu
     width, height = setup.image_width, setup.image_height
     pixels = width * height
-
-    shading = ShadingEngine(scene, bvh, max_bounces=setup.max_bounces, seed=seed)
-    # Sample-major path slots: all of sample 0's pixels, then sample 1's,
-    # and so on — consecutive slots stay screen-coherent within a sample,
-    # which is how a GPU would dispatch multi-spp raygen CTAs too.
     spp = max(1, setup.samples_per_pixel)
-    paths: List[PathState] = []
-    for sample in range(spp):
-        jitter = sample if spp > 1 else None
-        primaries = scene.camera.primary_rays(width, height, jitter_seed=jitter)
-        paths.extend(
-            shading.make_primary(
-                p, primaries.origins[p], primaries.directions[p], sample=sample
+
+    # The SoA engine replays a precomputed render plan (one functional
+    # pass per scene, shared across policies and configs) through pure
+    # timing loops.  Fall back to the scalar engines when it cannot
+    # reproduce the scalar path exactly: the memory-trace recorder hooks
+    # into warp internals the replay does not execute, and the sorted
+    # policy re-forms warps from live ray geometry mid-render.
+    fallback_reason: Optional[str] = None
+    if not soa_engine_enabled():
+        fallback_reason = "disabled"
+    elif trace_recorder is not None:
+        fallback_reason = "trace-recorder-attached"
+    elif policy == "sorted":
+        fallback_reason = "policy-sorted"
+    plans = None
+    if fallback_reason is None:
+        plans = get_plan(scene, bvh, setup, seed)
+
+    if plans is None:
+        shading = ShadingEngine(scene, bvh, max_bounces=setup.max_bounces, seed=seed)
+        # Sample-major path slots: all of sample 0's pixels, then sample
+        # 1's, and so on — consecutive slots stay screen-coherent within a
+        # sample, which is how a GPU would dispatch multi-spp raygen CTAs
+        # too.
+        paths: List[PathState] = []
+        for sample in range(spp):
+            jitter = sample if spp > 1 else None
+            primaries = scene.camera.primary_rays(width, height, jitter_seed=jitter)
+            paths.extend(
+                shading.make_primary(
+                    p, primaries.origins[p], primaries.directions[p], sample=sample
+                )
+                for p in range(pixels)
             )
-            for p in range(pixels)
-        )
+    else:
+        # Plan replay never shades or touches path state; the functional
+        # results live in the plan.
+        shading = None
+        paths = []
 
     shared_l2 = make_shared_l2(config)
     sm_stats = [SimStats() for _ in range(config.num_sms)]
@@ -124,7 +159,9 @@ def render_scene(
     if vtq_config is None:
         vtq_config = VTQConfig().scaled_to(config.max_virtual_rays_per_sm)
 
-    if policy == "vtq":
+    if plans is not None:
+        driver_cls = _SoAVTQDriver if policy == "vtq" else _SoAWarpDriver
+    elif policy == "vtq":
         driver_cls = _VTQDriver
     elif policy == "sorted":
         driver_cls = _SortedDriver
@@ -144,7 +181,7 @@ def render_scene(
         driver = driver_cls(
             sm, scene, bvh, setup, shading, paths, mems[sm], sm_stats[sm],
             vtq_config, policy, next_ray_id, cycle_budget=cycle_budget,
-            timeline=timeline,
+            timeline=timeline, plans=plans,
         )
         if trace_recorder is not None:
             trace_recorder.begin_sm()
@@ -157,9 +194,12 @@ def render_scene(
     merged = SimStats()
     for stats in sm_stats:
         merged.merge(stats)
-    accum = np.zeros((pixels, 3))
-    for path in paths:
-        accum[path.pixel] += path.radiance
+    if plans is not None:
+        accum = plans.image_accum()
+    else:
+        accum = np.zeros((pixels, 3))
+        for path in paths:
+            accum[path.pixel] += path.radiance
     image = (accum / spp).reshape(height, width, 3)
     result = RenderResult(
         policy=policy,
@@ -169,6 +209,8 @@ def render_scene(
         per_sm_cycles=per_sm_cycles,
         scene_name=getattr(scene, "name", ""),
         timelines=timelines,
+        engine="scalar" if plans is None else "soa",
+        engine_fallback_reason=fallback_reason,
     )
     _apply_stats_fault(result)
     from repro.gpusim.sanitize import check_render, sanitizer_enabled
@@ -211,8 +253,10 @@ class _DriverBase:
     def __init__(
         self, sm, scene, bvh, setup, shading, paths, mem, stats,
         vtq_config, policy, ray_id_counter, cycle_budget=None, timeline=None,
+        plans=None,
     ):
         self.sm = sm
+        self.plans = plans
         self.cycle_budget = cycle_budget
         self.timeline = timeline
         self.scene = scene
@@ -232,6 +276,14 @@ class _DriverBase:
         self._ray_id_counter[0] += 1
         return rid
 
+    def _num_slots(self) -> int:
+        """How many path slots the render covers (pixels x samples)."""
+        return len(self.paths)
+
+    def _begin_ray_state(self, slot: int):
+        """The traversal state a primary ray starts with for ``slot``."""
+        return self.shading.begin_traversal(self.paths[slot])
+
     def _sm_ctas(self) -> List[List[int]]:
         """Path-slot lists of the CTAs this SM owns (round-robin assignment).
 
@@ -239,7 +291,7 @@ class _DriverBase:
         spp > 1 each sample's screen tiles form their own CTAs.
         """
         config = self.config
-        slots = len(self.paths)
+        slots = self._num_slots()
         ctas = []
         for cta_start in range(0, slots, config.cta_threads):
             cta_id = cta_start // config.cta_threads
@@ -265,10 +317,7 @@ class _DriverBase:
             for w_start in range(0, len(pixel_list), config.warp_size):
                 lane_pixels = pixel_list[w_start : w_start + config.warp_size]
                 rays = [
-                    SimRay(
-                        self._new_ray_id(), p, cta_id, 0,
-                        self.shading.begin_traversal(self.paths[p]),
-                    )
+                    SimRay(self._new_ray_id(), p, cta_id, 0, self._begin_ray_state(p))
                     for p in lane_pixels
                 ]
                 warps.append(TraceWarp(rays, cta_id, ready_cycle=float(base_ready)))
@@ -295,18 +344,20 @@ class _WarpDriver(_DriverBase):
     inefficiency on secondary bounces.
     """
 
+    def _make_engine(self):
+        if self.policy == "prefetch":
+            return PrefetchRTUnit(
+                self.bvh, self.config, self.mem, self.stats,
+                cycle_budget=self.cycle_budget,
+            )
+        return BaselineRTUnit(
+            self.bvh, self.config, self.mem, self.stats,
+            cycle_budget=self.cycle_budget,
+        )
+
     def run(self) -> float:
         config = self.config
-        if self.policy == "prefetch":
-            engine = PrefetchRTUnit(
-                self.bvh, config, self.mem, self.stats,
-                cycle_budget=self.cycle_budget,
-            )
-        else:
-            engine = BaselineRTUnit(
-                self.bvh, config, self.mem, self.stats,
-                cycle_budget=self.cycle_budget,
-            )
+        engine = self._make_engine()
         engine.timeline = self.timeline
 
         def on_complete(warp: TraceWarp, cycle: float) -> None:
@@ -395,13 +446,16 @@ class _VTQDriver(_DriverBase):
     next bounce's rays and suspends again.
     """
 
+    def _make_engine(self):
+        return VTQRTUnit(
+            self.bvh, self.config, self.vtq_config, self.mem, self.stats,
+            cycle_budget=self.cycle_budget,
+        )
+
     def run(self) -> float:
         config = self.config
         vtq = self.vtq_config
-        engine = VTQRTUnit(
-            self.bvh, config, vtq, self.mem, self.stats,
-            cycle_budget=self.cycle_budget,
-        )
+        engine = self._make_engine()
         engine.timeline = self.timeline
         tracker = CTATracker()
         state_bytes = cta_state_bytes(config)
@@ -463,3 +517,54 @@ class _VTQDriver(_DriverBase):
             for warp in warps:
                 engine.submit(warp)
         return engine.run(on_ray_complete)
+
+
+class _SoAPlanMixin:
+    """Plan-replay overrides shared by the SoA drivers.
+
+    Rays carry :class:`ReplayState` objects built from the plan's traces;
+    shading is replaced by a trace lookup (the plan recorded which paths
+    survived each bounce), so the drivers' CTA/warp plumbing, completion
+    callbacks and ray-id allocation run unchanged — in the same order as
+    the scalar path, which keeps the ray-data address stream identical.
+    """
+
+    def _num_slots(self) -> int:
+        return self.plans.num_slots
+
+    def _begin_ray_state(self, slot: int):
+        return ReplayState(self.plans.traces[(slot, 0)])
+
+    def _shade_ray(self, ray: SimRay) -> Optional[SimRay]:
+        trace = self.plans.traces.get((ray.pixel, ray.bounce + 1))
+        if trace is None:
+            return None
+        return SimRay(
+            self._new_ray_id(), ray.pixel, ray.cta_id, ray.bounce + 1,
+            ReplayState(trace),
+        )
+
+
+class _SoAWarpDriver(_SoAPlanMixin, _WarpDriver):
+    """Plan replay through the SoA baseline/prefetch units."""
+
+    def _make_engine(self):
+        if self.policy == "prefetch":
+            return SoAPrefetchRTUnit(
+                self.bvh, self.config, self.mem, self.stats,
+                cycle_budget=self.cycle_budget,
+            )
+        return SoABaselineRTUnit(
+            self.bvh, self.config, self.mem, self.stats,
+            cycle_budget=self.cycle_budget,
+        )
+
+
+class _SoAVTQDriver(_SoAPlanMixin, _VTQDriver):
+    """Plan replay through the SoA VTQ unit."""
+
+    def _make_engine(self):
+        return SoAVTQRTUnit(
+            self.bvh, self.config, self.vtq_config, self.mem, self.stats,
+            cycle_budget=self.cycle_budget,
+        )

@@ -7,9 +7,12 @@ Times a fixed sweep of fast-scene cases through four phases —
 * ``kernel``         — warp-inner-loop intersection math, scalar loops vs
                        the vectorized batch kernels, at several batch sizes,
 * ``serial_sweep``   — the case list end-to-end in one process (scalar
-                       kernels vs batch kernels),
+                       kernels vs batch kernels vs the SoA replay engine),
+* ``soa_sweep``      — the SoA engine's end-to-end speedup over the
+                       scalar engines on the same serial sweep,
 * ``parallel_sweep`` — the same list through the parallel executor
-                       (``--jobs`` workers) into a fresh disk cache,
+                       (``min(cpu_count, 4)`` workers by default) into a
+                       fresh disk cache,
 * ``memtrace_replay`` — record one case's memory trace live, verify the
                        same-config replay is bit-for-bit identical, then
                        time cross-config replays at two L2 sizes against
@@ -48,7 +51,7 @@ from repro.geometry.batch import (  # noqa: E402
     intersect_tri_batch,
     safe_inverse,
 )
-from repro.gpusim import set_batch_kernels  # noqa: E402
+from repro.gpusim import set_batch_kernels, set_soa_engine  # noqa: E402
 
 
 def _case_list(fast: bool):
@@ -211,27 +214,71 @@ def bench_kernels(reps=5):
 
 
 def bench_serial(context, specs, reps):
-    """The sweep in-process, scalar kernels vs batch kernels."""
+    """The sweep in-process: scalar kernels, batch kernels, SoA replay.
+
+    All three labels produce bit-identical results (enforced by
+    tests/test_kernel_equivalence.py and tests/test_soa_engine.py); only
+    wall clock differs.  The "soa" label is the steady-state replay rate
+    — the warm-up sweep builds the render plans, so best-of reps measures
+    plan reuse, which is how sweeps amortize the plan cost in practice.
+    """
     nocache = _nocache(context)
 
     def sweep():
         results = run_cases(specs, nocache, jobs=1, record_failures=False)
         assert all(m is not None for m, _ in results), "sweep case failed"
 
-    sweep()  # warm the per-process scene cache
+    sweep()  # warm the per-process scene cache (and the SoA plan cache)
     out = {}
-    for label, enabled in (("scalar", False), ("batch", True)):
-        previous = set_batch_kernels(enabled)
+    for label, batch, soa in (
+        ("scalar", False, False),
+        ("batch", True, False),
+        ("soa", True, True),
+    ):
+        prev_batch = set_batch_kernels(batch)
+        prev_soa = set_soa_engine(soa)
         try:
             elapsed = _best_of(sweep, reps)
         finally:
-            set_batch_kernels(previous)
+            set_batch_kernels(prev_batch)
+            set_soa_engine(prev_soa)
         out[label] = {
             "wall_s": elapsed,
             "cases_per_s": len(specs) / elapsed,
         }
     out["batch_speedup"] = out["scalar"]["wall_s"] / out["batch"]["wall_s"]
+    out["soa_speedup"] = out["scalar"]["wall_s"] / out["soa"]["wall_s"]
     return out
+
+
+def profile_sweep(context, specs, top=20):
+    """One SoA sweep pass under cProfile; top-N cumulative hotspots."""
+    import cProfile
+    import pstats
+
+    nocache = _nocache(context)
+    prev_soa = set_soa_engine(True)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        results = run_cases(specs, nocache, jobs=1, record_failures=False)
+        profiler.disable()
+    finally:
+        set_soa_engine(prev_soa)
+    assert all(m is not None for m, _ in results), "profiled sweep case failed"
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append({
+            "function": f"{filename}:{line}({name})",
+            "ncalls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    return {"sort": "cumulative", "top": rows}
 
 
 def bench_parallel(context, specs, jobs):
@@ -333,9 +380,14 @@ def main(argv=None):
     parser.add_argument("--fast", action="store_true",
                         help="2 scenes / 8 cases (the CI smoke configuration)")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="parallel phase workers (default REPRO_JOBS or CPUs)")
+                        help="parallel phase workers (default: REPRO_JOBS or "
+                             "CPUs, clamped to 4 — beyond that the workers "
+                             "fight over memory bandwidth, not compute)")
     parser.add_argument("--reps", type=int, default=2,
                         help="repetitions per timed phase (best-of)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run one SoA sweep pass under cProfile and embed "
+                             "the top-20 cumulative hotspots in the report")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default: BENCH_<date>.json with a "
                              ".runN suffix if that exists; never clobbers)")
@@ -346,7 +398,8 @@ def main(argv=None):
 
     from repro.experiments.parallel import jobs_from_env
 
-    jobs = args.jobs if args.jobs is not None else jobs_from_env()
+    cpu_count = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else min(jobs_from_env(), 4)
     context = default_context(fast=True)
     specs = _case_list(args.fast)
 
@@ -361,23 +414,45 @@ def main(argv=None):
     serial = phases["serial_sweep"]
     print(f"  serial_sweep: scalar {serial['scalar']['wall_s']:.2f}s, "
           f"batch {serial['batch']['wall_s']:.2f}s "
-          f"({serial['batch_speedup']:.2f}x)")
+          f"({serial['batch_speedup']:.2f}x), "
+          f"soa {serial['soa']['wall_s']:.2f}s "
+          f"({serial['soa_speedup']:.2f}x)")
+    # The SoA engine's headline number gets its own phase entry so CI can
+    # assert on it without digging through serial_sweep's labels.
+    phases["soa_sweep"] = {
+        "wall_s": serial["soa"]["wall_s"],
+        "cases_per_s": serial["soa"]["cases_per_s"],
+        "soa_speedup": serial["soa_speedup"],
+    }
     phases["parallel_sweep"] = bench_parallel(context, specs, jobs)
     par = phases["parallel_sweep"]
-    par["speedup_vs_serial"] = serial["batch"]["wall_s"] / par["wall_s"]
-    print(f"  parallel_sweep: {par['wall_s']:.2f}s with {jobs} jobs "
-          f"({par['speedup_vs_serial']:.2f}x vs serial)")
+    if cpu_count == 1:
+        # One core: the workers time-slice it, so "speedup vs serial"
+        # would only measure scheduler noise.
+        par["speedup_vs_serial"] = None
+        par["skipped_reason"] = "cpu_count == 1: workers time-slice one core"
+        print(f"  parallel_sweep: {par['wall_s']:.2f}s with {jobs} jobs "
+              "(speedup n/a on a single-cpu host)")
+    else:
+        par["speedup_vs_serial"] = serial["batch"]["wall_s"] / par["wall_s"]
+        print(f"  parallel_sweep: {par['wall_s']:.2f}s with {jobs} jobs "
+              f"({par['speedup_vs_serial']:.2f}x vs serial)")
     phases["memtrace_replay"] = bench_memtrace_replay(context, args.reps)
     replay = phases["memtrace_replay"]
     print(f"  memtrace_replay: {replay['case']} recorded in "
           f"{replay['record_s']:.2f}s, replay {replay['replay_speedup']:.2f}x "
           "vs live across L2 points (bit-for-bit verified)")
+    if args.profile:
+        phases["profile"] = profile_sweep(context, specs)
+        hottest = phases["profile"]["top"][:3]
+        for row in hottest:
+            print(f"  profile: {row['cumtime_s']:.2f}s cum  {row['function']}")
 
     report = {
         "date": datetime.date.today().isoformat(),
         "fast": args.fast,
         "cases": [spec.label() for spec in specs],
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "phases": phases,
