@@ -3,13 +3,21 @@
 from repro.analytic.model import (
     RayTrace,
     analytical_speedup,
+    baseline_cycles,
     collect_workload_traces,
     concurrency_sweep,
+    treelet_queue_cycles,
+    treelet_reuse_histogram,
+    unique_treelets_per_batch,
 )
 
 __all__ = [
     "RayTrace",
     "analytical_speedup",
+    "baseline_cycles",
     "collect_workload_traces",
     "concurrency_sweep",
+    "treelet_queue_cycles",
+    "treelet_reuse_histogram",
+    "unique_treelets_per_batch",
 ]

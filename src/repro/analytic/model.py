@@ -85,6 +85,70 @@ def collect_workload_traces(
     return traces
 
 
+def baseline_cycles(
+    traces: Sequence[RayTrace], memory_latency: float = 471.0
+) -> float:
+    """Section 2.4's no-caching baseline: every visit is one full miss."""
+    return sum(t.visits for t in traces) * memory_latency
+
+
+def unique_treelets_per_batch(
+    traces: Sequence[RayTrace], concurrent_rays: int
+) -> List[int]:
+    """Unique treelets touched by each ``concurrent_rays``-sized batch.
+
+    This is the curve behind the treelet-queue estimate (and a feature
+    source for :mod:`repro.surrogate`): the flatter it stays as batches
+    grow, the more duplicate treelet fetches sharing removes.
+    """
+    if concurrent_rays < 1:
+        raise ValueError("concurrent_rays must be >= 1")
+    counts: List[int] = []
+    for start in range(0, len(traces), concurrent_rays):
+        unique: set = set()
+        for trace in traces[start : start + concurrent_rays]:
+            unique.update(trace.treelets)
+        counts.append(len(unique))
+    return counts
+
+
+def treelet_reuse_histogram(traces: Sequence[RayTrace]) -> Dict[int, int]:
+    """Total visit count per treelet over the whole workload.
+
+    The skew of this histogram (a few hot treelets absorbing most
+    visits) is what makes treelet queues pay off; the surrogate layer
+    summarizes it into scene features.
+    """
+    hist: Dict[int, int] = {}
+    for trace in traces:
+        for treelet in trace.treelets:
+            hist[treelet] = hist.get(treelet, 0) + 1
+    return hist
+
+
+def treelet_queue_cycles(
+    traces: Sequence[RayTrace],
+    concurrent_rays: int,
+    items_per_treelet: float,
+    memory_latency: float = 471.0,
+) -> float:
+    """Section 2.4's treelet-queue cycle estimate for one concurrency level.
+
+    Each ``concurrent_rays`` batch fetches each treelet it touches once
+    (``unique x items_per_treelet`` misses).  Guaranteed monotonically
+    non-increasing along divisibility chains of ``concurrent_rays``
+    (c, 2c, 4c, ...): a doubled batch is the union of two old batches,
+    and ``|unique(A ∪ B)| <= |unique(A)| + |unique(B)|``.  Between
+    arbitrary levels whose batch boundaries do not nest, small local
+    increases are possible.
+    """
+    return (
+        sum(unique_treelets_per_batch(traces, concurrent_rays))
+        * items_per_treelet
+        * memory_latency
+    )
+
+
 def analytical_speedup(
     traces: Sequence[RayTrace],
     concurrent_rays: int,
@@ -99,14 +163,10 @@ def analytical_speedup(
         raise ValueError("concurrent_rays must be >= 1")
     if not traces:
         return 1.0
-    baseline = sum(t.visits for t in traces) * memory_latency
-    treelet_cycles = 0.0
-    for start in range(0, len(traces), concurrent_rays):
-        batch = traces[start : start + concurrent_rays]
-        unique = set()
-        for trace in batch:
-            unique.update(trace.treelets)
-        treelet_cycles += len(unique) * items_per_treelet * memory_latency
+    baseline = baseline_cycles(traces, memory_latency)
+    treelet_cycles = treelet_queue_cycles(
+        traces, concurrent_rays, items_per_treelet, memory_latency
+    )
     if treelet_cycles == 0:
         return 1.0
     return baseline / treelet_cycles

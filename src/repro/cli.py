@@ -14,6 +14,8 @@ Commands:
 * ``stats``   — render a metrics snapshot: the live server's registry, or
   the run manifest of a finished run (see docs/OBSERVABILITY.md).
 * ``trace``   — record / replay / inspect memory traces (docs/MEMTRACE.md).
+* ``pareto``  — surrogate-price a cache x queue grid and emit a verified
+  speedup-vs-cost Pareto frontier (JSON + SVG; docs/SURROGATE.md).
 * ``chaos``   — run a seeded chaos schedule (worker kills/hangs, disk
   full, slow I/O) against a real sweep and assert the resilience
   invariants (docs/ROBUSTNESS.md).
@@ -168,7 +170,7 @@ def _write_trace(trace_out: str, names, context) -> None:
           "open in chrome://tracing or Perfetto)")
 
 
-def _write_run_manifest(manifest_path, started, config) -> None:
+def _write_run_manifest(manifest_path, started, config, **extra) -> None:
     """Write a run manifest (config + git rev + timings + metrics)."""
     import time
 
@@ -181,6 +183,7 @@ def _write_run_manifest(manifest_path, started, config) -> None:
         finished=time.time(),
         config=config,
         failures=len(failures()),
+        **extra,
     )
     if path is not None:
         print(f"wrote run manifest {path}")
@@ -476,6 +479,88 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_pareto(args) -> int:
+    """Surrogate-price a cache x queue grid; emit the verified frontier."""
+    import time
+
+    from repro.errors import ReproError
+    from repro.experiments import clear_failures, default_context
+    from repro.surrogate import render_pareto_svg, run_pareto
+
+    clear_failures()
+    started = time.time()
+    context = default_context(fast=args.fast)
+    kwargs = dict(
+        policy=args.policy,
+        baseline_policy=args.baseline,
+        cache_axis=args.cache_axis,
+        queue_axis=args.queue_axis,
+        cache_values=args.cache_values,
+        queue_values=args.queue_values,
+        cache_count=args.cache_count,
+        queue_count=args.queue_count,
+        error_bound=args.bound,
+        exact_budget=args.exact_budget,
+        frontier_epsilon=args.epsilon,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    if args.exact_fraction is not None:
+        kwargs["exact_fraction"] = args.exact_fraction
+    try:
+        result = run_pareto(args.scene, context, **kwargs)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    payload = result.payload
+    out = args.output or f"{args.scene.lower()}_pareto.json"
+    result.write(out)
+    svg = args.svg
+    if svg is None:
+        svg = (out[:-len(".json")] if out.endswith(".json") else out) + ".svg"
+    with open(svg, "w") as handle:
+        handle.write(render_pareto_svg(result))
+
+    err = payload["surrogate_error"]
+    exact = payload["exact_runs"]
+    print(f"{payload['scene']}/{payload['policy']}: priced "
+          f"{payload['grid']['size']} grid points with {exact['total']} "
+          f"exact runs ({payload['exact_fraction']:.1%}: "
+          f"{exact['replay']} replay, {exact['live']} live)")
+    heldout = err["policy_final_heldout"].get("cycles", 0.0)
+    print(f"held-out cycle error {heldout:.1%}, frontier verification max "
+          f"{err['frontier_verification']['max']:.1%} "
+          f"(bound {err['bound']:.0%} "
+          + ("met)" if err["bound_met"] else "NOT met)"))
+    print(f"{'cache':>12s} {'queue':>7s} {'cycles':>14s} "
+          f"{'speedup':>8s} {'vs ref':>7s} {'kind':>6s}")
+    for row in payload["frontier"]:
+        print(f"{row['cache']:12,.0f} {row['queue']:7g} "
+              f"{row['cycles']:14,.0f} {row['speedup']:7.2f}x "
+              f"{row['speedup_vs_ref']:6.2f}x {row['kind']:>6s}")
+    print(f"wrote {out} and {svg}")
+    if args.manifest:
+        _write_run_manifest(
+            args.manifest, started,
+            {
+                "scene": args.scene,
+                "policy": args.policy,
+                "baseline_policy": args.baseline,
+                "cache_axis": args.cache_axis,
+                "queue_axis": args.queue_axis,
+                "error_bound": args.bound,
+                "frontier_epsilon": args.epsilon,
+                "seed": args.seed,
+                "fast": args.fast,
+            },
+            outputs={"json": out, "svg": svg},
+            surrogate_error=err,
+        )
+    if args.strict and not err["bound_met"]:
+        return 3
+    return 0
+
+
 def _service_client(args):
     from repro.service.client import ServiceClient
 
@@ -510,13 +595,29 @@ def cmd_submit(args) -> int:
             overrides = normalize_overrides(_parse_overrides(args.set)) or None
             specs = [CaseSpec(args.scene.upper(), args.policy,
                               gpu_overrides=overrides)]
+        if args.replay and args.pareto:
+            print("--replay and --pareto are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        params = None
+        if args.params is not None:
+            if not args.pareto:
+                print("--params needs --pareto", file=sys.stderr)
+                return 2
+            import json as json_mod
+
+            params = json_mod.loads(args.params)
+        kind = "pareto" if args.pareto else (
+            "replay" if args.replay else "case"
+        )
         job_ids = []
         for spec in specs:
             kwargs = dict(
                 priority=args.priority,
                 deadline_s=args.deadline,
                 client_id=args.client,
-                kind="replay" if args.replay else "case",
+                kind=kind,
+                params=params,
             )
             if args.admit_wait > 0:
                 # Wait out retryable rejections (queue-full/quota/
@@ -537,7 +638,9 @@ def cmd_submit(args) -> int:
                 if state == FAILED and record.get("error"):
                     tail = f"  [{record['error']['type']}]"
                 elif state == "done":
-                    tail = f"  {record['result']['cycles']:,.0f} cycles"
+                    cycles = (record.get("result") or {}).get("cycles")
+                    if cycles is not None:
+                        tail = f"  {cycles:,.0f} cycles"
                 print(f"{record['job_id']}  {state}{tail}")
             return 1 if failed else 0
     except (ReproError, ValueError) as exc:
@@ -569,7 +672,15 @@ def cmd_jobs(args) -> int:
                 if record.get(key) not in (None, 0):
                     print(f"  {key}: {record[key]}")
             if record.get("result"):
-                print(f"  cycles: {record['result']['cycles']:,.0f}")
+                cycles = record["result"].get("cycles")
+                if cycles is not None:
+                    print(f"  cycles: {cycles:,.0f}")
+                elif record["result"].get("frontier") is not None:
+                    # A pareto job's result is the whole sweep payload.
+                    front = record["result"]["frontier"]
+                    err = record["result"].get("surrogate_error", {})
+                    print(f"  frontier: {len(front)} points, bound_met="
+                          f"{err.get('bound_met')}")
             return 0
         summaries = client.jobs(state=args.state)
         if summaries:
@@ -661,6 +772,21 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _values_arg(text: str) -> List[float]:
+    """Comma-separated positive floats (``--cache-values``/``--queue-values``)."""
+    try:
+        values = [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        )
+    if not values or any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected a non-empty list of positive numbers, got {text!r}"
+        )
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -740,6 +866,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
+        "pareto",
+        help="surrogate-price a cache x queue grid; verified Pareto frontier",
+    )
+    p.add_argument("scene", choices=scene_names(include_extra=True))
+    p.add_argument("--policy", default="vtq",
+                   choices=("baseline", "prefetch", "sorted", "vtq"))
+    p.add_argument("--baseline", default="baseline", metavar="POLICY",
+                   choices=("baseline", "prefetch", "sorted", "vtq"),
+                   help="denominator policy for the speedup axis")
+    p.add_argument("--cache-axis", default="l2_bytes", metavar="FIELD",
+                   help="GPUConfig cost axis (default l2_bytes)")
+    p.add_argument("--queue-axis", default="queue_threshold", metavar="FIELD",
+                   help="VTQ/GPU tuning axis (default queue_threshold)")
+    p.add_argument("--cache-values", type=_values_arg, default=None,
+                   metavar="V1,V2,...",
+                   help="explicit cache-axis values (default: geometric "
+                        "series around the stock config)")
+    p.add_argument("--queue-values", type=_values_arg, default=None,
+                   metavar="V1,V2,...",
+                   help="explicit queue-axis values")
+    p.add_argument("--cache-count", type=int, default=8,
+                   help="generated cache-axis points when --cache-values "
+                        "is not given")
+    p.add_argument("--queue-count", type=int, default=6,
+                   help="generated queue-axis points when --queue-values "
+                        "is not given")
+    p.add_argument("--bound", type=float, default=0.10, metavar="REL",
+                   help="held-out relative cycle error bound of the "
+                        "verification contract (default 0.10)")
+    p.add_argument("--exact-fraction", type=float, default=None,
+                   metavar="FRAC",
+                   help="exact-run budget as a fraction of the grid "
+                        "(default 0.05)")
+    p.add_argument("--exact-budget", type=int, default=None, metavar="N",
+                   help="absolute exact-run budget (overrides the fraction)")
+    p.add_argument("--epsilon", type=float, default=0.02, metavar="REL",
+                   help="frontier pruning: keep a costlier point only if "
+                        "it gains at least this much (default 0.02)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed (same seed, byte-identical JSON)")
+    p.add_argument("--fast", action="store_true",
+                   help="run under the fast (tests/CI) context")
+    p.add_argument("--jobs", type=_jobs_arg, default=None,
+                   help="parallel workers for exact runs (default: "
+                        "REPRO_JOBS or CPU count; 0 = serial)")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="frontier JSON (default <scene>_pareto.json)")
+    p.add_argument("--svg", default=None, metavar="PATH",
+                   help="frontier figure (default: next to the JSON)")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="also write a run manifest carrying the achieved "
+                        "surrogate_error statistics")
+    p.add_argument("--strict", action="store_true",
+                   help="exit with status 3 if the error bound was not met")
+    p.set_defaults(func=cmd_pareto)
+
+    p = sub.add_parser(
         "trace", help="record, replay or inspect memory traces"
     )
     tsub = p.add_subparsers(dest="trace_command", required=True)
@@ -812,6 +995,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="submit as a replay job: the server admits it only "
                         "if (policy, --set overrides) is replay-eligible, "
                         "then serves it from a recorded memory trace")
+    p.add_argument("--pareto", action="store_true",
+                   help="submit as a pareto job: the server runs a whole "
+                        "surrogate-priced frontier sweep for SCENE/--policy "
+                        "(see `repro pareto` for the local equivalent)")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="pareto sweep parameters as a JSON object, e.g. "
+                        "'{\"queue_count\": 4, \"seed\": 7}' (with --pareto)")
     p.add_argument("--fast", action="store_true",
                    help="enumerate --figure cases under the fast context "
                         "(must match the server's)")

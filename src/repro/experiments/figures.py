@@ -60,7 +60,7 @@ def _quarantine_row(scene: str, exc: ReproError, width: int) -> List[str]:
     return [scene, cell] + ["-"] * max(0, width - 2)
 
 
-def _vtq_default(context: ExperimentContext) -> VTQConfig:
+def vtq_default(context: ExperimentContext) -> VTQConfig:
     """Population-scaled VTQ parameters for this context.
 
     The paper's 128-ray queue threshold assumes 4096 rays in flight per
@@ -75,6 +75,10 @@ def _vtq_default(context: ExperimentContext) -> VTQConfig:
         max(1, setup.pixels // setup.gpu.num_sms),
     )
     return VTQConfig().scaled_to(population)
+
+
+#: Back-compat alias — the sweep surrogate and bench import the public name.
+_vtq_default = vtq_default
 
 
 # ---------------------------------------------------------------------------
@@ -156,7 +160,7 @@ def fig10_overall_speedup(context: ExperimentContext) -> Dict:
     Paper: VTQ averages 1.95x over baseline (up to 2.55x) and 1.43x over
     treelet prefetching; SPNZA and CHSNT gain least.
     """
-    vtq = _vtq_default(context)
+    vtq = vtq_default(context)
     rows = []
     over_base, over_pf = [], []
     for scene in context.scenes():
@@ -203,7 +207,7 @@ def fig11_missrate_over_time(
     scene = scene or ("LANDS" if "LANDS" in context.scenes() else context.scenes()[-1])
     try:
         base = run_case(scene, "baseline", context)
-        naive = run_case(scene, "vtq", context, vtq=_vtq_default(context).naive())
+        naive = run_case(scene, "vtq", context, vtq=vtq_default(context).naive())
     except ReproError as exc:
         return {
             "title": f"Figure 11: L1 BVH miss rate over time, {scene}",
@@ -254,7 +258,7 @@ def fig12_grouping_thresholds(
     Paper: grouping at 128 is ~8x faster than the naive implementation,
     but still ~5% slower than the baseline without warp repacking.
     """
-    base_vtq = _vtq_default(context)
+    base_vtq = vtq_default(context)
     naive_cfg = base_vtq.naive()
     rows = []
     per_variant: Dict[str, List[float]] = {"naive": []}
@@ -307,7 +311,7 @@ def fig13_warp_repacking(
     threshold 16 gives 1.84x, threshold 22 gives 1.95x with SIMT ~0.82
     (baseline SIMT ~0.37).
     """
-    base_vtq = _vtq_default(context)
+    base_vtq = vtq_default(context)
     rows = []
     speeds: Dict[str, List[float]] = {"no repack": []}
     simts: Dict[str, List[float]] = {"baseline": [], "no repack": []}
@@ -365,7 +369,7 @@ def fig13_warp_repacking(
 
 
 def _mode_fraction_table(context: ExperimentContext, field: str, title: str) -> Dict:
-    vtq = _vtq_default(context)
+    vtq = vtq_default(context)
     rows = []
     sums = {m.value: [] for m in TraversalMode}
     for scene in context.scenes():
@@ -427,7 +431,7 @@ def fig15_mode_tests(context: ExperimentContext) -> Dict:
 
 def fig16_virtualization_overhead(context: ExperimentContext) -> Dict:
     """Fig. 16: slowdown from CTA save/restore (paper: ~10% on average)."""
-    vtq = _vtq_default(context)
+    vtq = vtq_default(context)
     ideal_cfg = replace(vtq, virtualization_overheads=False)
     rows = []
     overheads = []
@@ -461,7 +465,7 @@ def fig17_energy(context: ExperimentContext) -> Dict:
     Paper: treelet queues save ~60% energy; ray virtualization consumes
     ~11% of the design's total energy (mostly CTA state movement).
     """
-    vtq = _vtq_default(context)
+    vtq = vtq_default(context)
     rows = []
     rels, virt_shares = [], []
     for scene in context.scenes():
@@ -536,7 +540,7 @@ def table2_scenes(context: ExperimentContext) -> Dict:
 
 def sec65_area_overheads(context: ExperimentContext) -> Dict:
     """Section 6.5: hardware table sizes, plus observed peak occupancies."""
-    vtq = _vtq_default(context)
+    vtq = vtq_default(context)
     gpu = context.setup.gpu
     sizes = area_overheads(VTQConfig(), max_virtual_rays=4096)
     rows = [

@@ -447,10 +447,10 @@ def cases_for_figure(name: str, context: ExperimentContext) -> List[CaseSpec]:
     enumerating too few (or stale) cases only means the figure computes
     the difference serially on replay; results are identical either way.
     """
-    from repro.experiments.figures import _vtq_default
+    from repro.experiments.figures import vtq_default
 
     scenes = context.scenes()
-    vtq = _vtq_default(context)
+    vtq = vtq_default(context)
     specs: List[CaseSpec] = []
 
     def base(scene):

@@ -27,6 +27,7 @@ from repro.memtrace.safety import (
     ensure_replayable,
     normalize_overrides,
     overrides_replay_safe,
+    sweep_point_kind,
 )
 from repro.memtrace.store import (
     ensure_trace,
@@ -54,6 +55,7 @@ __all__ = [
     "ensure_replayable",
     "normalize_overrides",
     "overrides_replay_safe",
+    "sweep_point_kind",
     "ensure_trace",
     "record_trace",
     "store_trace",

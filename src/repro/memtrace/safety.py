@@ -105,6 +105,25 @@ def overrides_replay_safe(policy: str, overrides: Mapping[str, object]) -> bool:
     return True
 
 
+def sweep_point_kind(
+    policy: str,
+    gpu_overrides: Mapping[str, object],
+    vtq_overrides: Mapping[str, object] = (),
+) -> str:
+    """``"replay"`` or ``"live"`` for one sweep grid point.
+
+    The surrogate's exact-run ledger (docs/SURROGATE.md) budgets by this
+    split: VTQ axes always feed the stream, a point with no GPU
+    overrides has no recorded-trace delta to re-price, and everything
+    else defers to :func:`overrides_replay_safe`.
+    """
+    if vtq_overrides:
+        return "live"
+    if not gpu_overrides:
+        return "live"
+    return "replay" if overrides_replay_safe(policy, dict(gpu_overrides)) else "live"
+
+
 def ensure_replayable(meta: Dict, overrides: Mapping[str, object]) -> None:
     """Validate a replay request against a trace's metadata.
 

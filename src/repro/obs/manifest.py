@@ -73,6 +73,7 @@ def build_manifest(
     outputs: Optional[Dict] = None,
     failures: Optional[int] = None,
     metrics: Optional[Dict] = None,
+    surrogate_error: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the manifest dict (no I/O; callers can extend it)."""
     manifest: Dict = {
@@ -97,6 +98,11 @@ def build_manifest(
         manifest["outputs"] = outputs
     if failures is not None:
         manifest["quarantined_cases"] = failures
+    if surrogate_error is not None:
+        # The surrogate verification contract's achieved statistics
+        # (error bound, held-out errors, frontier verification); see
+        # docs/SURROGATE.md.
+        manifest["surrogate_error"] = surrogate_error
     manifest["metrics"] = (
         metrics if metrics is not None else default_registry().snapshot()
     )

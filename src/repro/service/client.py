@@ -164,6 +164,7 @@ class ServiceClient:
         client_id: Optional[str] = None,
         kind: str = "case",
         gpu_overrides=None,
+        params: Optional[Dict] = None,
     ) -> str:
         """Submit one case; returns the job id.
 
@@ -175,7 +176,9 @@ class ServiceClient:
         the outcome is unknown or the rejection is a policy decision.
         ``kind="replay"`` asks for the trace-replay path and is rejected
         at admission unless ``gpu_overrides`` is replay-eligible for the
-        policy (docs/MEMTRACE.md).
+        policy (docs/MEMTRACE.md).  ``kind="pareto"`` runs a whole
+        surrogate-priced frontier sweep; ``params`` carries its
+        ``run_pareto`` keyword arguments (validated at admission).
         """
         payload = {
             "op": "submit",
@@ -190,6 +193,7 @@ class ServiceClient:
             "gpu_overrides": (
                 [list(pair) for pair in gpu_overrides] if gpu_overrides else None
             ),
+            "params": params,
         }
         return str(self.request(payload)["job_id"])
 

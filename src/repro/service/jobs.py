@@ -46,8 +46,10 @@ TERMINAL_STATES = (DONE, FAILED, CANCELLED)
 # ``case`` jobs may run live or replay-substitute as the runner sees fit;
 # ``replay`` jobs are admission-checked to be replay-eligible up front
 # (cross-config-safe policy, replay-safe GPU overrides) so a client can
-# rely on the cheap path.
-KINDS = ("case", "replay")
+# rely on the cheap path.  ``pareto`` jobs run a whole surrogate-priced
+# frontier sweep (``repro.surrogate.run_pareto``) for the spec's
+# scene/policy; the grid and budget live in ``Job.params``.
+KINDS = ("case", "replay", "pareto")
 
 
 def spec_to_dict(spec: CaseSpec) -> Dict:
@@ -101,6 +103,10 @@ class Job:
     attempts: int = 0
     # Position in the scheduler's global dispatch order (batching proof).
     dispatch_index: Optional[int] = None
+    # Kind-specific knobs: for ``pareto`` jobs, keyword arguments for
+    # ``run_pareto`` (grid axes/values, error bound, budget, seed, ...)
+    # validated at admission; ``None`` for plain case/replay jobs.
+    params: Optional[Dict] = None
     result: Optional[Dict] = None
     error: Optional[Dict] = None
 
@@ -147,12 +153,15 @@ def new_job(
     priority: int = 0,
     deadline_s: Optional[float] = None,
     kind: str = "case",
+    params: Optional[Dict] = None,
 ) -> Job:
     """A fresh ``queued`` job with a unique id, stamped now."""
     if deadline_s is not None and deadline_s <= 0:
         raise ServiceError("deadline_s must be positive when set")
     if kind not in KINDS:
         raise ServiceError(f"unknown job kind {kind!r}; expected one of {KINDS}")
+    if params is not None and kind != "pareto":
+        raise ServiceError("params is only valid for pareto jobs")
     return Job(
         job_id=uuid.uuid4().hex[:12],
         client_id=client_id or "anonymous",
@@ -161,6 +170,7 @@ def new_job(
         priority=int(priority),
         deadline_s=deadline_s,
         submitted_at=time.time(),
+        params=dict(params) if params is not None else None,
     )
 
 

@@ -62,7 +62,7 @@ from repro.experiments.runner import (
     ExperimentContext,
     record_failure,
 )
-from repro.obs import registry as obs_registry
+from repro.obs import diff_snapshots, registry as obs_registry
 from repro.gpusim.budget import merge_wall_budget
 from repro.resilience import BreakerBoard, RetryPolicy
 from repro.service import jobs as jobstates
@@ -71,6 +71,47 @@ from repro.service.jobs import Job, JobStore
 from repro.service.queue import JobQueue
 
 logger = logging.getLogger("repro.service.scheduler")
+
+
+def pareto_worker(spec, context, params):
+    """Worker entry point for ``kind="pareto"`` jobs.
+
+    Runs the whole surrogate-priced frontier sweep serially inside its
+    worker slot (``jobs=0`` — no nested pools) and speaks the
+    scheduler's ``(metrics, failure)`` contract with the sweep payload
+    as the metrics dict, so the job record's ``result`` is the same
+    JSON document ``repro pareto`` writes.
+    """
+    from repro.errors import ReproError
+    from repro.surrogate import run_pareto
+
+    try:
+        result = run_pareto(
+            spec.scene, context, policy=spec.policy, jobs=0, **(params or {})
+        )
+    except ReproError as exc:
+        failure = CaseFailure(
+            scene=spec.scene,
+            policy=spec.policy,
+            error_type=type(exc).__name__,
+            message=str(exc),
+        )
+        record_failure(failure)
+        return None, failure
+    return result.payload, None
+
+
+def pareto_worker_obs(spec, context, params):
+    """:func:`pareto_worker` plus the pool-mode metrics delta.
+
+    Mirrors :func:`repro.experiments.parallel.case_worker_obs`: in a
+    pool process the parent cannot see this registry, so ship the
+    counters the sweep incremented home alongside the result.
+    """
+    reg = obs_registry()
+    before = reg.snapshot()
+    result = pareto_worker(spec, context, params)
+    return result, diff_snapshots(before, reg.snapshot())
 
 
 class Scheduler:
@@ -206,6 +247,20 @@ class Scheduler:
 
     async def _execute(self, job: Job, context: ExperimentContext):
         """One execution attempt; raises whatever a worker crash raises."""
+        if job.kind == "pareto":
+            # A pareto job is a whole sweep, not one case; it has its own
+            # module-level entry points and ignores custom worker_fns.
+            params = dict(job.params or {})
+            if self.jobs == 0:
+                return await asyncio.to_thread(
+                    pareto_worker, job.spec, context, params
+                )
+            future = self._ensure_pool().submit(
+                pareto_worker_obs, job.spec, context, params
+            )
+            result, obs_delta = await asyncio.wrap_future(future)
+            obs_registry().merge_snapshot(obs_delta)
+            return result
         fn = self._obs_worker or self.worker_fn
         if self.jobs == 0:
             result = await asyncio.to_thread(fn, job.spec, context)

@@ -275,6 +275,11 @@ class SimulationServer:
             )
         if kind == "replay":
             self._check_replay_job(spec)
+        params = request.get("params")
+        if kind == "pareto":
+            params = self._check_pareto_job(spec, params)
+        elif params:
+            raise ServiceError("params is only valid for pareto jobs")
         deadline = request.get("deadline_s")
         job = new_job(
             spec,
@@ -282,6 +287,7 @@ class SimulationServer:
             priority=int(request.get("priority") or 0),
             deadline_s=float(deadline) if deadline is not None else None,
             kind=kind,
+            params=params if kind == "pareto" else None,
         )
         self.queue.submit(job)  # raises AdmissionRejected with a reason
         self.store.save(job)
@@ -312,6 +318,94 @@ class SimulationServer:
                 "replay-safe (see docs/MEMTRACE.md); submit it as a plain "
                 "case job to run live"
             )
+
+    # Keyword arguments a pareto job may forward to ``run_pareto``.
+    # ``jobs`` is deliberately absent: the sweep runs serially inside its
+    # worker slot rather than nesting a second process pool.
+    _PARETO_PARAM_KEYS = frozenset({
+        "baseline_policy", "cache_axis", "queue_axis",
+        "cache_values", "queue_values", "cache_count", "queue_count",
+        "error_bound", "exact_fraction", "exact_budget",
+        "frontier_epsilon", "seed",
+    })
+
+    @classmethod
+    def _check_pareto_job(cls, spec, params) -> Dict:
+        """Validate a pareto job's sweep parameters at admission.
+
+        Like replay eligibility, a bad grid axis or an impossible budget
+        should be a synchronous "no" at submit time, not a failed job
+        record minutes later."""
+        from repro.surrogate import SurrogateError, axis_kind
+
+        if spec.gpu_overrides or spec.vtq is not None:
+            raise ServiceError(
+                "pareto jobs sweep their own grid; submit without "
+                "gpu_overrides/vtq and put the axes in params"
+            )
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            raise ServiceError("pareto params must be an object")
+        unknown = sorted(set(params) - cls._PARETO_PARAM_KEYS)
+        if unknown:
+            raise ServiceError(
+                f"unknown pareto params {unknown}; expected a subset of "
+                f"{sorted(cls._PARETO_PARAM_KEYS)}"
+            )
+        out: Dict = {}
+        try:
+            for key in ("cache_axis", "queue_axis"):
+                if key in params:
+                    try:
+                        axis_kind(str(params[key]))
+                    except SurrogateError as exc:
+                        raise ServiceError(str(exc)) from exc
+                    out[key] = str(params[key])
+            for key in ("cache_values", "queue_values"):
+                if params.get(key) is not None:
+                    values = [float(v) for v in params[key]]
+                    if not values or any(v <= 0 for v in values):
+                        raise ServiceError(
+                            f"{key} must be a non-empty list of positive "
+                            f"numbers"
+                        )
+                    out[key] = values
+            for key in ("cache_count", "queue_count"):
+                if key in params:
+                    count = int(params[key])
+                    if count < 2:
+                        raise ServiceError(f"{key} must be >= 2")
+                    out[key] = count
+            for key in ("error_bound", "exact_fraction"):
+                if key in params:
+                    bound = float(params[key])
+                    if not 0.0 < bound <= 1.0:
+                        raise ServiceError(f"{key} must be in (0, 1]")
+                    out[key] = bound
+            if params.get("exact_budget") is not None:
+                budget = int(params["exact_budget"])
+                if budget < 12:
+                    raise ServiceError("exact_budget must be >= 12")
+                out["exact_budget"] = budget
+            if "frontier_epsilon" in params:
+                eps = float(params["frontier_epsilon"])
+                if eps < 0.0:
+                    raise ServiceError("frontier_epsilon must be >= 0")
+                out["frontier_epsilon"] = eps
+            if "seed" in params:
+                out["seed"] = int(params["seed"])
+            if "baseline_policy" in params:
+                base = str(params["baseline_policy"])
+                if base not in POLICIES:
+                    raise ServiceError(
+                        f"unknown baseline_policy {base!r}; expected one "
+                        f"of {POLICIES}"
+                    )
+                out["baseline_policy"] = base
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"unusable pareto params: {exc}") from exc
+        return out
 
     def _require_job_id(self, request: Dict) -> str:
         job_id = request.get("job_id")

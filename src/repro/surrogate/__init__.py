@@ -1,0 +1,74 @@
+"""``repro.surrogate`` — surrogate-assisted mega-sweeps.
+
+A sweep surrogate prices config grids from cheap evidence (analytic
+treelet traces, one reference run, engineered axis features) so that
+only the few most-informative or frontier-critical points pay for an
+exact simulation.  The contract is verification-first: held-out error is
+measured on predictions issued *before* their exact runs, every reported
+Pareto-frontier point is exact, and the achieved error statistics travel
+in the run manifest.  See ``docs/SURROGATE.md``.
+"""
+
+from repro.surrogate.features import (
+    ANALYTIC_PROBES,
+    FeatureSpace,
+    GridPoint,
+    SceneProfile,
+    SurrogateError,
+    axis_kind,
+    build_profile,
+    make_point,
+)
+from repro.surrogate.loop import (
+    ExactLedger,
+    ExactRunner,
+    PRIMARY_FIELD,
+    RefineReport,
+    refine,
+)
+from repro.surrogate.model import (
+    SurrogateModel,
+    TARGET_TRANSFORMS,
+    error_summary,
+    relative_errors,
+)
+from repro.surrogate.pareto import (
+    DEFAULT_CACHE_AXIS,
+    DEFAULT_QUEUE_AXIS,
+    ParetoResult,
+    build_grid,
+    epsilon_prune,
+    geometric_values,
+    pareto_indices,
+    render_pareto_svg,
+    run_pareto,
+)
+
+__all__ = [
+    "ANALYTIC_PROBES",
+    "DEFAULT_CACHE_AXIS",
+    "DEFAULT_QUEUE_AXIS",
+    "ExactLedger",
+    "ExactRunner",
+    "FeatureSpace",
+    "GridPoint",
+    "PRIMARY_FIELD",
+    "ParetoResult",
+    "RefineReport",
+    "SceneProfile",
+    "SurrogateError",
+    "SurrogateModel",
+    "TARGET_TRANSFORMS",
+    "axis_kind",
+    "build_grid",
+    "build_profile",
+    "epsilon_prune",
+    "error_summary",
+    "geometric_values",
+    "make_point",
+    "pareto_indices",
+    "refine",
+    "relative_errors",
+    "render_pareto_svg",
+    "run_pareto",
+]

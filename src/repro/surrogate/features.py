@@ -1,0 +1,319 @@
+"""Per-config feature extraction for the sweep surrogate.
+
+The surrogate prices a config grid the way the paper's Section 2.4
+model prices treelet queues: from cheap, recorded evidence instead of a
+fresh simulation per point.  Evidence comes from three places:
+
+* **Analytic traces** (:mod:`repro.analytic`) — one recorded traversal
+  of the workload yields the treelet reuse histogram, the
+  unique-treelets-per-batch curve and the Section 2.4 cycle estimates
+  at any concurrency, all config-independent.
+* **A reference exact run** — one cached :func:`run_case` at the
+  context's default configuration anchors the absolute scale (cycles,
+  miss rates, queue occupancy) the analytic model deliberately ignores.
+* **The axes themselves** — every swept field contributes a small
+  nonlinear basis (polynomials in log-ratio space, cache-fit
+  saturation terms, analytic sharing terms for ray-count axes) so a
+  regularized linear model can bend around cache knees and queue
+  thresholds.
+
+Everything here is deterministic: the same scene, context and axis
+values produce bit-identical feature matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import VTQConfig
+from repro.errors import ReproError
+from repro.gpusim.config import GPUConfig
+
+_GPU_FIELDS = frozenset(f.name for f in dataclass_fields(GPUConfig))
+_VTQ_FIELDS = frozenset(f.name for f in dataclass_fields(VTQConfig))
+
+#: Concurrency probes for the analytic sharing curve (log-spaced).
+ANALYTIC_PROBES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class SurrogateError(ReproError):
+    """A surrogate-layer failure (bad axis, unusable profile, no fit)."""
+
+
+def axis_kind(field_name: str) -> str:
+    """``"gpu"`` or ``"vtq"`` for a sweepable field; raises on neither.
+
+    A field present on both dataclasses would be ambiguous; none exist
+    today and the guard keeps it that way.
+    """
+    in_gpu = field_name in _GPU_FIELDS
+    in_vtq = field_name in _VTQ_FIELDS
+    if in_gpu and in_vtq:  # pragma: no cover - no overlapping names today
+        raise SurrogateError(f"axis {field_name!r} is ambiguous (GPU and VTQ)")
+    if in_gpu:
+        return "gpu"
+    if in_vtq:
+        return "vtq"
+    raise SurrogateError(
+        f"unknown sweep axis {field_name!r}: not a GPUConfig or VTQConfig field"
+    )
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One config point of a sweep grid: name-sorted (field, value) deltas."""
+
+    gpu_overrides: Tuple[Tuple[str, float], ...] = ()
+    vtq_overrides: Tuple[Tuple[str, float], ...] = ()
+
+    def axis_values(self) -> Dict[str, float]:
+        return dict(self.gpu_overrides) | dict(self.vtq_overrides)
+
+    def label(self) -> str:
+        parts = [f"{k}={v}" for k, v in (*self.gpu_overrides, *self.vtq_overrides)]
+        return ",".join(parts) or "(default)"
+
+
+def make_point(values: Dict[str, float]) -> GridPoint:
+    """A :class:`GridPoint` from ``{field: value}``, axes routed by kind."""
+    gpu, vtq = [], []
+    for name in sorted(values):
+        (gpu if axis_kind(name) == "gpu" else vtq).append((name, values[name]))
+    return GridPoint(gpu_overrides=tuple(gpu), vtq_overrides=tuple(vtq))
+
+
+@dataclass(frozen=True)
+class SceneProfile:
+    """Config-independent workload statistics for one scene.
+
+    Extracted once (from analytic traces plus one cached reference run)
+    and reused for every grid point the surrogate prices.
+    """
+
+    scene: str
+    num_traces: int
+    total_visits: int
+    items_per_treelet: float
+    treelet_count: int
+    bvh_bytes: int
+    #: Section 2.4 treelet-queue cycle estimate at each ANALYTIC_PROBES
+    #: level, normalized by the analytic baseline.  Positive and
+    #: non-increasing; may exceed 1 at low concurrency (a lone ray
+    #: fetching whole treelets costs more than its raw visits).
+    sharing_curve: Tuple[float, ...]
+    #: Treelet reuse skew: fraction of all visits absorbed by the
+    #: hottest 1, 4 and 16 treelets.
+    reuse_skew: Tuple[float, float, float]
+    #: The reference exact run's headline metrics at the default config.
+    ref_cycles: float
+    ref_l1_miss: float
+    ref_l2_miss: float
+
+    def sharing_at(self, concurrency: float) -> float:
+        """The normalized sharing curve, log-interpolated at any level."""
+        probes = np.log2(np.asarray(ANALYTIC_PROBES, dtype=float))
+        curve = np.asarray(self.sharing_curve, dtype=float)
+        x = np.log2(max(1.0, float(concurrency)))
+        return float(np.interp(x, probes, curve))
+
+
+def build_profile(
+    scene_name: str,
+    context,
+    reference_metrics: Dict,
+    probe_pixels: int = 64,
+    max_bounces: int = 2,
+    seed: int = 0,
+) -> SceneProfile:
+    """Extract a :class:`SceneProfile` for one scene under a context.
+
+    ``reference_metrics`` is the metric dict of one exact run at the
+    context's default configuration (the caller accounts for it in the
+    exact-run budget).  The analytic probe renders a small
+    ``probe_pixels`` workload — enough to shape the sharing curve, cheap
+    enough to never dominate the sweep it replaces.
+    """
+    from repro.analytic import (
+        baseline_cycles,
+        collect_workload_traces,
+        treelet_queue_cycles,
+        treelet_reuse_histogram,
+    )
+    from repro.experiments.runner import scene_and_bvh
+
+    scene, bvh = scene_and_bvh(scene_name, context.setup)
+    side = max(2, int(round(probe_pixels ** 0.5)))
+    traces = collect_workload_traces(
+        scene, bvh, side, side, max_bounces=max_bounces, seed=seed
+    )
+    if not traces:
+        raise SurrogateError(f"no analytic traces for scene {scene_name!r}")
+    items_per_treelet = (
+        (bvh.node_count + bvh.leaf_count) / bvh.treelet_count
+        if bvh.treelet_count
+        else 1.0
+    )
+    base = baseline_cycles(traces, memory_latency=1.0)
+    curve = []
+    for level in ANALYTIC_PROBES:
+        tq = treelet_queue_cycles(
+            traces, level, items_per_treelet, memory_latency=1.0
+        )
+        curve.append(tq / base if base else 1.0)
+    hist = treelet_reuse_histogram(traces)
+    visits = sorted(hist.values(), reverse=True)
+    total = sum(visits) or 1
+    skew = tuple(
+        sum(visits[:top]) / total for top in (1, 4, 16)
+    )
+    line = context.setup.gpu.line_bytes
+    bvh_bytes = (bvh.node_count + bvh.leaf_count) * line
+    return SceneProfile(
+        scene=scene_name,
+        num_traces=len(traces),
+        total_visits=sum(t.visits for t in traces),
+        items_per_treelet=items_per_treelet,
+        treelet_count=bvh.treelet_count,
+        bvh_bytes=bvh_bytes,
+        sharing_curve=tuple(curve),
+        reuse_skew=skew,
+        ref_cycles=float(reference_metrics["cycles"]),
+        ref_l1_miss=float(reference_metrics["l1_bvh_miss_rate"]),
+        ref_l2_miss=float(reference_metrics["l2_bvh_miss_rate"]),
+    )
+
+
+#: Axes the basis treats as cache capacities (saturation terms apply).
+_CACHE_AXES = frozenset({"l1_bytes", "l2_bytes"})
+#: Axes the basis treats as in-flight ray populations (analytic sharing
+#: terms apply).
+_RAY_COUNT_AXES = frozenset({"max_virtual_rays_per_sm"})
+#: Axes the basis treats as queue/batch thresholds: sharing improves as
+#: they grow, so the analytic curve is probed at the threshold value.
+_QUEUE_AXES = frozenset({"queue_threshold", "repack_threshold",
+                         "divergence_threshold", "queue_table_entries",
+                         "count_table_entries", "rt_warp_buffer_size"})
+#: Working-set multiples at which cache knee features are generated
+#: (the BVH node image underestimates real traffic).
+_CACHE_KNEE_SCALES = (1, 4, 16)
+
+
+@dataclass(frozen=True)
+class FeatureSpace:
+    """The engineered basis for one (scene, axes) sweep family.
+
+    ``axes`` is the name-sorted list of swept fields; ``refs`` the
+    per-axis reference value (geometric median of the grid) the
+    log-ratio terms are centred on.
+    """
+
+    profile: SceneProfile
+    axes: Tuple[str, ...]
+    refs: Tuple[float, ...]
+    #: Per-axis hinge knots in the axis's TRANSFORMED coordinate (see
+    #: :meth:`coordinate`).  ``max(0, t - k)`` terms let the ridge fit
+    #: the doubly-saturating response surfaces (cache knees, queue
+    #: plateaus) a global polynomial smears out.
+    knots: Tuple[Tuple[float, ...], ...] = ()
+
+    def coordinate(self, axis: str, value: float, ref: float) -> float:
+        """The axis coordinate the polynomial basis runs over.
+
+        Cache-like axes use the centred log capacity.  Queue/ray axes
+        use the centred log of the ANALYTIC SHARING LEVEL at the value:
+        measured treelet-queue cycles track duplicate-fetch counts, so a
+        basis in sharing space inherits the curve's shape — including
+        the plateau once batches stop exposing new reuse — instead of
+        forcing a polynomial through it.
+        """
+        if axis in _RAY_COUNT_AXES or axis in _QUEUE_AXES:
+            s = max(1e-6, self.profile.sharing_at(value))
+            s_ref = max(1e-6, self.profile.sharing_at(ref))
+            return float(np.log2(s / s_ref))
+        return float(np.log2(value / ref))
+
+    @classmethod
+    def for_grid(cls, profile: SceneProfile, grid: Sequence[GridPoint]
+                 ) -> "FeatureSpace":
+        if not grid:
+            raise SurrogateError("cannot build a feature space for an empty grid")
+        axes = tuple(sorted(grid[0].axis_values()))
+        refs = []
+        knots = []
+        proto = cls(profile=profile, axes=axes, refs=())
+        for axis in axes:
+            values = np.asarray(
+                [p.axis_values()[axis] for p in grid], dtype=float
+            )
+            if np.any(values <= 0):
+                raise SurrogateError(
+                    f"axis {axis!r} has non-positive values; the log-ratio "
+                    f"basis needs positive axes"
+                )
+            ref = float(np.exp(np.mean(np.log(values))))
+            refs.append(ref)
+            ts = np.unique([
+                proto.coordinate(axis, float(v), ref)
+                for v in np.unique(values)
+            ])
+            if len(ts) >= 3:
+                qs = np.quantile(ts, (0.25, 0.5, 0.75))
+                knots.append(tuple(float(q) for q in dict.fromkeys(qs)))
+            else:
+                knots.append(())
+        return cls(profile=profile, axes=axes, refs=tuple(refs),
+                   knots=tuple(knots))
+
+    def feature_names(self) -> List[str]:
+        names: List[str] = []
+        for axis, axis_knots in zip(self.axes, self.knots):
+            names += [f"{axis}:t", f"{axis}:t2", f"{axis}:t3"]
+            names += [f"{axis}:hinge{k}" for k in range(len(axis_knots))]
+            if axis in _RAY_COUNT_AXES or axis in _QUEUE_AXES:
+                names.append(f"{axis}:rawlog")
+        for i, a in enumerate(self.axes):
+            for b in self.axes[i + 1:]:
+                names.append(f"{a}*{b}:tt")
+        for axis in self.axes:
+            if axis in _CACHE_AXES:
+                for scale in _CACHE_KNEE_SCALES:
+                    names += [f"{axis}:fit{scale}x", f"{axis}:pressure{scale}x"]
+        return names
+
+    def vector(self, point: GridPoint) -> np.ndarray:
+        values = point.axis_values()
+        coords = []
+        feats: List[float] = []
+        for axis, ref, axis_knots in zip(self.axes, self.refs, self.knots):
+            v = float(values[axis])
+            t = self.coordinate(axis, v, ref)
+            coords.append(t)
+            feats += [t, t * t, t * t * t]
+            feats += [max(0.0, t - k) for k in axis_knots]
+            if axis in _RAY_COUNT_AXES or axis in _QUEUE_AXES:
+                # A weak raw-log correction term: the sharing coordinate
+                # carries the curve's shape, but the analytic model can
+                # mis-place the plateau; the raw axis log lets the ridge
+                # bend the residual without dominating the basis.
+                feats.append(float(np.log2(v / ref)))
+        for i in range(len(self.axes)):
+            for j in range(i + 1, len(self.axes)):
+                feats.append(coords[i] * coords[j])
+        profile = self.profile
+        for axis in self.axes:
+            v = float(values[axis])
+            if axis in _CACHE_AXES:
+                # Saturating cache-fit terms at several working-set
+                # scales: the BVH node image is a lower bound on the
+                # traffic (triangles, ray state ride along), so the
+                # ridge chooses which knee location fits the data.
+                for scale in _CACHE_KNEE_SCALES:
+                    ws = max(1.0, scale * profile.bvh_bytes)
+                    feats += [min(1.0, v / ws), ws / (v + ws)]
+        return np.asarray(feats, dtype=float)
+
+    def matrix(self, grid: Sequence[GridPoint]) -> np.ndarray:
+        return np.vstack([self.vector(p) for p in grid])

@@ -1,0 +1,184 @@
+"""The predictive core: a seeded, deterministic ridge ensemble.
+
+Pure numpy, no fitted state outside the object, and every stochastic
+choice (bootstrap resamples) drawn from one explicitly-threaded
+``numpy.random.Generator`` — two fits from the same seed and data are
+bit-identical, which is what makes ``repro pareto`` reproducible.
+
+Positive targets (cycles) are modelled in log space, so the ridge
+penalty acts on *relative* deviations and predictions can never go
+negative; bounded targets (miss rates) stay linear and are clipped.
+Uncertainty is the ensemble's spread: each member fits a bootstrap
+resample, and the member disagreement at a point is the acquisition
+signal the refine loop uses to pick its next exact runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.surrogate.features import SurrogateError
+
+#: Fields the surrogate predicts, with their target transform.
+#: ``log`` targets must be positive; ``unit`` targets are clipped to [0, 1].
+TARGET_TRANSFORMS = {
+    "cycles": "log",
+    "l1_bvh_miss_rate": "unit",
+    "l2_bvh_miss_rate": "unit",
+}
+
+
+def _ridge_solve(X: np.ndarray, y: np.ndarray, lam: float) -> np.ndarray:
+    """Ridge weights for centred/standardized X with an intercept column.
+
+    The intercept (first column) is unpenalized; the normal equations
+    are solved with a pseudo-inverse fallback so a degenerate design
+    (duplicate rows from a bootstrap) never raises.
+    """
+    n, d = X.shape
+    penalty = lam * np.eye(d)
+    penalty[0, 0] = 0.0
+    lhs = X.T @ X + penalty
+    rhs = X.T @ y
+    try:
+        return np.linalg.solve(lhs, rhs)
+    except np.linalg.LinAlgError:  # pragma: no cover - pinv fallback
+        return np.linalg.pinv(lhs) @ rhs
+
+
+@dataclass
+class FieldModel:
+    """One fitted target field: standardizer + ensemble weight vectors."""
+
+    transform: str
+    mean: np.ndarray
+    scale: np.ndarray
+    weights: List[np.ndarray]
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        Z = (X - self.mean) / self.scale
+        return np.hstack([np.ones((len(Z), 1)), Z])
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(mean, spread) per row, in target units."""
+        D = self._design(np.atleast_2d(X))
+        raw = np.stack([D @ w for w in self.weights])  # (members, n)
+        if self.transform == "log":
+            # A degenerate bootstrap member can extrapolate wildly; clip
+            # in log space so exp/std never overflow.
+            raw = np.exp(np.clip(raw, -60.0, 60.0))
+        mean = raw.mean(axis=0)
+        spread = raw.std(axis=0)
+        if self.transform == "unit":
+            mean = np.clip(mean, 0.0, 1.0)
+        return mean, spread
+
+
+@dataclass
+class SurrogateModel:
+    """A per-(scene, policy) ensemble over engineered features.
+
+    ``ensemble`` bootstrap members plus one full-data member per target
+    field; ``rng`` is the one seeded generator all resampling flows
+    through (threaded from the CLI seed — see docs/SURROGATE.md's
+    determinism contract).
+    """
+
+    rng: np.random.Generator
+    ridge_lambda: float = 3e-2
+    ensemble: int = 8
+    fields: Dict[str, FieldModel] = field(default_factory=dict)
+
+    def fit(self, X: np.ndarray, targets: Dict[str, np.ndarray]) -> None:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = len(X)
+        if n < 3:
+            raise SurrogateError(f"need at least 3 exact points to fit, got {n}")
+        mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.fields = {}
+        for name, y in targets.items():
+            transform = TARGET_TRANSFORMS.get(name, "linear")
+            y = np.asarray(y, dtype=float)
+            if transform == "log":
+                if np.any(y <= 0):
+                    raise SurrogateError(
+                        f"target {name!r} must be positive for the log "
+                        f"transform"
+                    )
+                t = np.log(y)
+            else:
+                t = y.copy()
+            Z = np.hstack([np.ones((n, 1)), (X - mean) / scale])
+            weights = [_ridge_solve(Z, t, self.ridge_lambda)]
+            for _ in range(self.ensemble):
+                idx = self.rng.integers(0, n, size=n)
+                weights.append(_ridge_solve(Z[idx], t[idx], self.ridge_lambda))
+            self.fields[name] = FieldModel(
+                transform=transform, mean=mean, scale=scale, weights=weights
+            )
+
+    def predict(self, X: np.ndarray) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """``{field: (mean, spread)}`` for every fitted target field."""
+        if not self.fields:
+            raise SurrogateError("predict() before fit()")
+        return {name: fm.predict(X) for name, fm in self.fields.items()}
+
+    def loo_relative_error(
+        self, X: np.ndarray, targets: Dict[str, np.ndarray]
+    ) -> Dict[str, float]:
+        """Leave-one-out max relative error per field (closed form).
+
+        Uses the ridge hat-matrix identity on the full-data member:
+        ``resid_loo = resid / (1 - h_ii)`` — an unbiased rehearsal of
+        held-out error that costs one matrix inverse, not n refits.
+        """
+        out: Dict[str, float] = {}
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = len(X)
+        for name, fm in self.fields.items():
+            y = np.asarray(targets[name], dtype=float)
+            t = np.log(y) if fm.transform == "log" else y
+            Z = fm._design(X)
+            d = Z.shape[1]
+            penalty = self.ridge_lambda * np.eye(d)
+            penalty[0, 0] = 0.0
+            core = np.linalg.pinv(Z.T @ Z + penalty)
+            hat = np.einsum("ij,jk,ik->i", Z, core, Z)
+            resid = t - Z @ fm.weights[0]
+            denom = np.clip(1.0 - hat, 1e-6, None)
+            loo = resid / denom
+            if fm.transform == "log":
+                rel = np.abs(np.exp(loo) - 1.0)
+            else:
+                scale = np.maximum(np.abs(y), 1e-12)
+                rel = np.abs(loo) / scale
+            out[name] = float(rel.max()) if n else 0.0
+        return out
+
+
+def relative_errors(
+    predicted: np.ndarray, exact: np.ndarray
+) -> np.ndarray:
+    """``|pred - exact| / |exact|`` elementwise (exact==0 ⇒ abs error)."""
+    exact = np.asarray(exact, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    denom = np.where(np.abs(exact) > 1e-12, np.abs(exact), 1.0)
+    return np.abs(predicted - exact) / denom
+
+
+def error_summary(rel: Sequence[float]) -> Dict[str, float]:
+    """max/mean/p95 summary of a relative-error sample."""
+    arr = np.asarray(list(rel), dtype=float)
+    if arr.size == 0:
+        return {"n": 0, "max": 0.0, "mean": 0.0, "p95": 0.0}
+    return {
+        "n": int(arr.size),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "p95": float(np.quantile(arr, 0.95)),
+    }

@@ -1,6 +1,7 @@
 """Tests for the Section 2.4 analytical model."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analytic import (
     RayTrace,
@@ -8,7 +9,11 @@ from repro.analytic import (
     collect_workload_traces,
     concurrency_sweep,
 )
-from repro.analytic.model import trace_one_ray
+from repro.analytic.model import (
+    baseline_cycles,
+    trace_one_ray,
+    treelet_queue_cycles,
+)
 from repro.bvh import build_scene_bvh
 from repro.gpusim.config import default_setup
 from repro.scenes import load_scene
@@ -86,3 +91,80 @@ class TestWorkloadSweep:
         values = [sweep[4], sweep[16], sweep[64]]
         assert values == sorted(values)
         assert all(v > 0 for v in values)
+
+
+class TestTreeletQueueCycleProperties:
+    """Property coverage of the quantities the sweep surrogate builds on.
+
+    The surrogate's queue-axis features inherit the analytic sharing
+    curve's plateau (docs/SURROGATE.md), so the divisibility-chain
+    monotonicity claimed in ``treelet_queue_cycles``'s docstring is
+    foundational: if it broke, the feature basis would bend the wrong
+    way and the error bound would quietly stop meaning anything.
+    """
+
+    @given(
+        data=st.data(),
+        base=st.integers(min_value=1, max_value=4),
+        doublings=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_along_divisibility_chains(self, data, base, doublings):
+        """Cycles are non-increasing along c, 2c, 4c, ... batch sizes:
+        a doubled batch is the union of two old batches, and a union
+        never has more unique treelets than its parts combined."""
+        traces = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=7),
+                    min_size=1, max_size=6,
+                ).map(RayTrace),
+                min_size=1, max_size=40,
+            )
+        )
+        chain = [base * (2 ** k) for k in range(doublings + 1)]
+        cycles = [
+            treelet_queue_cycles(traces, c, items_per_treelet=3.0)
+            for c in chain
+        ]
+        for smaller, larger in zip(cycles, cycles[1:]):
+            assert larger <= smaller + 1e-9
+
+    @given(
+        concurrent=st.integers(min_value=1, max_value=64),
+        items=st.floats(min_value=0.25, max_value=64.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_beats_one_fetch_per_batch_floor(self, concurrent, items):
+        traces = [RayTrace([i % 4] * 3) for i in range(32)]
+        cycles = treelet_queue_cycles(traces, concurrent, items)
+        batches = -(-len(traces) // concurrent)
+        # Each batch touches at least one treelet, paying at least one
+        # treelet fetch.
+        assert cycles >= batches * items * 471.0 - 1e-9
+
+    def test_hand_counted_two_treelet_micro_scene(self):
+        """Exact cycle counts on a scene small enough to count by hand.
+
+        Four rays over treelets {A=0, B=1}: two rays ping-pong A,B,A
+        and two stay on B.  items_per_treelet=2, latency=100.
+
+        * baseline: 3+3+2+2 = 10 visits -> 10 * 100 = 1000 cycles.
+        * batches of 1: uniques 2,2,1,1 = 6 -> 6 * 2 * 100 = 1200.
+        * batches of 2: {A,B} and {B} -> 3 uniques -> 600.
+        * batches of 4: one batch, {A,B} -> 2 uniques -> 400.
+        """
+        traces = [
+            RayTrace([0, 1, 0]),
+            RayTrace([1, 0, 1]),
+            RayTrace([1, 1]),
+            RayTrace([1, 1]),
+        ]
+        assert baseline_cycles(traces, memory_latency=100) == 1000
+        assert treelet_queue_cycles(traces, 1, 2, memory_latency=100) == 1200
+        assert treelet_queue_cycles(traces, 2, 2, memory_latency=100) == 600
+        assert treelet_queue_cycles(traces, 4, 2, memory_latency=100) == 400
+        # And the speedup ratios the paper quotes follow directly.
+        assert analytical_speedup(traces, 4, 2, memory_latency=100) == (
+            pytest.approx(1000 / 400)
+        )

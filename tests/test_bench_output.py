@@ -1,4 +1,4 @@
-"""The bench harness must never clobber a same-day report."""
+"""The bench harness: report naming and the surrogate-sweep phase."""
 
 import importlib.util
 from pathlib import Path
@@ -33,3 +33,21 @@ class TestDefaultOutputPath:
         (tmp_path / "BENCH_2026-08-05.json").write_text("{}")
         path = bench.default_output_path("2026-08-06", tmp_path)
         assert path == tmp_path / "BENCH_2026-08-06.json"
+
+
+class TestSurrogateSweepPhase:
+    def test_phase_reports_contract_fields(self):
+        """The BENCH report's surrogate phase must carry the contract
+        numbers CI asserts on: grid size, exact-run count, speedup vs
+        exhaustive, and the true relative-error statistics."""
+        from repro.experiments.runner import default_context
+
+        bench = _load_bench()
+        row = bench.bench_surrogate_sweep(default_context(fast=True))
+        assert row["grid_points"] > row["exact_runs"] >= 3
+        assert row["exact_fraction"] <= 0.05 + 1e-12
+        assert row["sweep_s"] > 0 and row["exhaustive_s"] > 0
+        assert row["speedup_vs_exhaustive"] > 0
+        assert 0.0 <= row["mean_rel_error"] <= row["max_rel_error"]
+        assert row["frontier_rel_error"] <= 0.10 + 1e-12
+        assert row["bound_met"] is True

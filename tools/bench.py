@@ -17,6 +17,10 @@ Times a fixed sweep of fast-scene cases through four phases —
                        same-config replay is bit-for-bit identical, then
                        time cross-config replays at two L2 sizes against
                        the live runs they replace (docs/MEMTRACE.md),
+* ``surrogate_sweep`` — price a small cache x queue grid with the sweep
+                       surrogate, then exhaustively, and report the
+                       wall-clock ratio and the surrogate's true max
+                       relative cycle error (docs/SURROGATE.md),
 
 and writes ``BENCH_<date>.json`` with per-phase wall time, cases/sec and
 speedups (batch vs scalar, parallel vs serial, replay vs live).  Run
@@ -360,6 +364,72 @@ def bench_memtrace_replay(context, reps):
     return out
 
 
+def bench_surrogate_sweep(context, seed=3):
+    """The surrogate-priced pareto sweep vs pricing its grid exhaustively.
+
+    Runs ``run_pareto`` on a small cache x queue grid, then prices every
+    point of the same grid exactly through the same ``ExactRunner``
+    machinery, and reports the wall-clock ratio plus the surrogate's
+    true max relative cycle error against the exhaustive ground truth.
+    Both passes share one fresh disk cache, so the sweep's exact points
+    are warm for the exhaustive pass — the speedup is conservative.
+    """
+    from repro.experiments.figures import vtq_default
+    from repro.surrogate import ExactLedger, ExactRunner, build_grid, run_pareto
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-surrogate-") as scratch:
+        os.environ["REPRO_CACHE_DIR"] = scratch
+        try:
+            start = time.perf_counter()
+            result = run_pareto(
+                "BUNNY", context, cache_count=8,
+                queue_values=[float(v) for v in range(1, 64)],
+                seed=seed, jobs=0,
+            )
+            sweep_s = time.perf_counter() - start
+            payload = result.payload
+            grid = payload["grid"]
+
+            points = build_grid(
+                grid["cache_axis"], grid["cache_values"],
+                grid["queue_axis"], grid["queue_values"],
+            )
+            exhaustive = ExactRunner(
+                "BUNNY", payload["policy"], context, vtq_default(context),
+                ExactLedger(limit=None), jobs=0,
+            )
+            start = time.perf_counter()
+            exact = exhaustive.run(points)
+            exhaustive_s = time.perf_counter() - start
+        finally:
+            del os.environ["REPRO_CACHE_DIR"]
+
+    # True error over every surrogate-priced point.  The max lands on
+    # deep-dominated corners the acquisition deliberately starves of
+    # exact runs (they can never reach the frontier); the contract's
+    # bound applies to held-out and frontier errors, which the payload
+    # reports separately.
+    rel = [
+        abs(row["cycles"] - exact[p]["cycles"]) / exact[p]["cycles"]
+        for row, p in zip(payload["points"], points)
+        if not row["exact"]
+    ]
+    return {
+        "case": f"BUNNY/{payload['policy']}",
+        "grid_points": grid["size"],
+        "exact_runs": payload["exact_runs"]["total"],
+        "exact_fraction": payload["exact_fraction"],
+        "sweep_s": sweep_s,
+        "exhaustive_s": exhaustive_s,
+        "speedup_vs_exhaustive": exhaustive_s / sweep_s if sweep_s else 0.0,
+        "max_rel_error": max(rel) if rel else 0.0,
+        "mean_rel_error": sum(rel) / len(rel) if rel else 0.0,
+        "frontier_rel_error": payload["surrogate_error"]
+                                     ["frontier_verification"]["max"],
+        "bound_met": payload["surrogate_error"]["bound_met"],
+    }
+
+
 def default_output_path(date_str, directory=Path(".")):
     """A non-clobbering default report path.
 
@@ -442,6 +512,13 @@ def main(argv=None):
     print(f"  memtrace_replay: {replay['case']} recorded in "
           f"{replay['record_s']:.2f}s, replay {replay['replay_speedup']:.2f}x "
           "vs live across L2 points (bit-for-bit verified)")
+    phases["surrogate_sweep"] = bench_surrogate_sweep(context)
+    surr = phases["surrogate_sweep"]
+    print(f"  surrogate_sweep: {surr['grid_points']} grid points priced "
+          f"with {surr['exact_runs']} exact runs in {surr['sweep_s']:.2f}s "
+          f"({surr['speedup_vs_exhaustive']:.2f}x vs exhaustive; rel error "
+          f"mean {surr['mean_rel_error']:.1%} / max {surr['max_rel_error']:.1%}, "
+          f"frontier {surr['frontier_rel_error']:.1%})")
     if args.profile:
         phases["profile"] = profile_sweep(context, specs)
         hottest = phases["profile"]["top"][:3]

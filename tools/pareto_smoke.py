@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI smoke test for the surrogate predict -> sample -> refine contract.
+
+End to end, in one process (docs/SURROGATE.md):
+
+1. run ``repro pareto``'s engine on a 504-point cache x queue grid with
+   a fresh cache — the loop must predict, spend at least 3 exact
+   spot-checks (but at most 5% of the grid), and refine,
+2. assert the run manifest carries the ``surrogate_error`` statistics
+   (bound, held-out errors, frontier verification) — a missing block
+   means the contract was silently dropped,
+3. assert every reported Pareto-frontier point is exact-verified and
+   its recorded prediction error does not exceed the payload's claimed
+   ``frontier_verification.max``,
+4. assert the contract's error bound was met — held-out cycle error and
+   frontier verification both within the configured bound,
+5. assert two identical runs produce byte-identical frontier JSON
+   (the seed-determinism contract).
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/pareto_smoke.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.runner import default_context  # noqa: E402
+from repro.obs import read_manifest  # noqa: E402
+from repro.cli import main as repro_main  # noqa: E402
+
+SEED = 3
+ARGS = [
+    "pareto", "BUNNY", "--fast", "--jobs", "0",
+    "--cache-count", "8",
+    "--queue-values", ",".join(str(v) for v in range(1, 64)),
+    "--seed", str(SEED),
+]
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+def run_once(scratch, tag):
+    out = os.path.join(scratch, f"pareto_{tag}.json")
+    manifest = os.path.join(scratch, f"pareto_{tag}.manifest.json")
+    status = repro_main(ARGS + ["-o", out, "--manifest", manifest])
+    check(status == 0, f"`repro pareto` run {tag} exited 0")
+    return Path(out).read_text(), read_manifest(manifest)
+
+
+def main():
+    default_context(fast=True)  # fail fast if the context cannot build
+    with tempfile.TemporaryDirectory(prefix="repro-pareto-smoke-") as scratch:
+        os.environ["REPRO_CACHE_DIR"] = os.path.join(scratch, "cache")
+        try:
+            text_a, manifest = run_once(scratch, "a")
+            payload = json.loads(text_a)
+
+            exact_runs = payload["exact_runs"]["total"]
+            check(exact_runs >= 3,
+                  f"refine loop spent >= 3 exact spot-checks ({exact_runs})")
+            check(payload["exact_fraction"] <= 0.05 + 1e-12,
+                  f"<= 5% of the grid ran exactly "
+                  f"({payload['exact_fraction']:.1%})")
+
+            err = manifest.get("surrogate_error")
+            check(isinstance(err, dict) and err,
+                  "run manifest carries the surrogate_error block")
+            for key in ("bound", "bound_met", "policy_heldout",
+                        "policy_final_heldout", "frontier_verification"):
+                check(key in err, f"surrogate_error records {key!r}")
+
+            front = payload["frontier"]
+            check(len(front) >= 1, "a non-empty frontier was reported")
+            check(all(row["verified"] for row in front),
+                  "every reported frontier point is exact-verified")
+            exact_points = {
+                (p["cache"], p["queue"]) for p in payload["points"] if p["exact"]
+            }
+            check(all((row["cache"], row["queue"]) in exact_points
+                      for row in front),
+                  "every frontier row maps to an exact grid point")
+
+            claimed = err["frontier_verification"]["max"]
+            worst = max(
+                abs(row["predicted_speedup_vs_ref"] / row["speedup_vs_ref"] - 1.0)
+                for row in front
+            )
+            # The payload records pre-run cycle error; the speedup ratio
+            # derives from the same cycles, so it cannot exceed the
+            # claimed max by more than float noise.
+            check(worst <= claimed + 1e-9,
+                  f"frontier rows agree within the claimed bound "
+                  f"({worst:.3%} <= {claimed:.3%})")
+            check(err["bound_met"], "the sweep reports its bound as met")
+            check(claimed <= err["bound"] + 1e-12,
+                  f"frontier verification within the contract bound "
+                  f"({claimed:.1%} <= {err['bound']:.0%})")
+            heldout = err["policy_final_heldout"].get("cycles", 0.0)
+            check(heldout <= err["bound"] + 1e-12,
+                  f"held-out cycle error within the contract bound "
+                  f"({heldout:.1%} <= {err['bound']:.0%})")
+
+            text_b, _ = run_once(scratch, "b")
+            check(text_a == text_b,
+                  "two identical runs produce byte-identical frontier JSON")
+        finally:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+
+    print("pareto smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
