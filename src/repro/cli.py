@@ -463,13 +463,18 @@ def cmd_serve(args) -> int:
         spool=args.spool,
         jobs=args.jobs,
         queue_max=args.queue_max,
+        tenant_max=args.tenant_max,
         fast=args.fast,
+        node_id=args.node_id,
+        join=args.join,
     )
 
     async def _serve():
         await server.start()
-        print(f"serving on {server.endpoint} with {server.jobs} worker(s); "
-              f"spool {server.spool}")
+        role = (f"worker {server.node_id} joined to {server.join}"
+                if server.join else "head")
+        print(f"serving on {server.endpoint} with {server.jobs} worker(s) "
+              f"({role}); spool {server.spool}")
         await server.serve_forever()
 
     try:
@@ -611,24 +616,65 @@ def cmd_submit(args) -> int:
             "replay" if args.replay else "case"
         )
         job_ids = []
-        for spec in specs:
-            kwargs = dict(
+        if args.batch:
+            # One round trip for the whole list; admission is per item.
+            from dataclasses import asdict as dc_asdict
+
+            items = []
+            for spec in specs:
+                items.append({
+                    "scene": spec.scene,
+                    "policy": spec.policy,
+                    "vtq": dc_asdict(spec.vtq) if spec.vtq is not None else None,
+                    "gpu_overrides": (
+                        [list(pair) for pair in spec.gpu_overrides]
+                        if spec.gpu_overrides else None
+                    ),
+                    "params": params,
+                })
+            outcomes = client.submit_batch(
+                items,
+                client_id=args.client,
+                tenant=args.tenant,
                 priority=args.priority,
                 deadline_s=args.deadline,
-                client_id=args.client,
                 kind=kind,
-                params=params,
             )
-            if args.admit_wait > 0:
-                # Wait out retryable rejections (queue-full/quota/
-                # circuit-open), honoring the server's retry_after_s hint.
-                job_id = client.submit_admitted(
-                    spec, max_wait_s=args.admit_wait, **kwargs
+            rejected = 0
+            for spec, outcome in zip(specs, outcomes):
+                if outcome.get("ok"):
+                    job_ids.append(str(outcome["job_id"]))
+                    dedup = "  (deduped)" if outcome.get("deduped") else ""
+                    print(f"submitted {outcome['job_id']}  "
+                          f"{spec.label()}{dedup}")
+                else:
+                    rejected += 1
+                    print(f"rejected  {spec.label()}: "
+                          f"{outcome.get('reason')}: {outcome.get('error')}",
+                          file=sys.stderr)
+            if rejected and not args.wait:
+                return 1
+        else:
+            for spec in specs:
+                kwargs = dict(
+                    priority=args.priority,
+                    deadline_s=args.deadline,
+                    client_id=args.client,
+                    kind=kind,
+                    params=params,
+                    tenant=args.tenant,
                 )
-            else:
-                job_id = client.submit_spec(spec, **kwargs)
-            job_ids.append(job_id)
-            print(f"submitted {job_id}  {spec.label()}")
+                if args.admit_wait > 0:
+                    # Wait out retryable rejections (queue-full/quota/
+                    # circuit-open), honoring the server's retry_after_s
+                    # hint.
+                    job_id = client.submit_admitted(
+                        spec, max_wait_s=args.admit_wait, **kwargs
+                    )
+                else:
+                    job_id = client.submit_spec(spec, **kwargs)
+                job_ids.append(job_id)
+                print(f"submitted {job_id}  {spec.label()}")
         if args.wait:
             records = client.wait(job_ids, timeout=args.timeout)
             failed = [r for r in records if r["state"] != "done"]
@@ -694,6 +740,35 @@ def cmd_jobs(args) -> int:
                       f"{row['client_id']:10s} {row['priority']:4d} "
                       f"{row['attempts']:3d} {'-' if order is None else order:>5} "
                       + (f" [{row['error']}]" if row["error"] else ""))
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Show the head server's worker-node registry and routing."""
+    from repro.errors import ReproError
+
+    client = _service_client(args)
+    try:
+        response = client.request({"op": "nodes"})
+        nodes = response["nodes"]
+        mode = "fleet" if response.get("fleet_mode") else "local"
+        print(f"{len(nodes)} node(s) registered ({mode} execution), "
+              f"shard hit rate {response.get('shard_hit_rate', 1.0):.2f}")
+        if nodes:
+            print(f"\n{'node':16s} {'endpoint':22s} {'live':5s} "
+                  f"{'slots':>5s} {'sent':>6s} {'fail':>5s} {'age':>6s}")
+            for node in nodes:
+                print(f"{node['node_id']:16s} {node['endpoint']:22s} "
+                      f"{'yes' if node['live'] else 'NO':5s} "
+                      f"{node['slots']:5d} {node['dispatched']:6d} "
+                      f"{node['failures']:5d} {node['age_s']:5.1f}s")
+        if args.route:
+            routed = client.route(args.route.upper())
+            print(f"\n{routed['scene']} -> {routed['node_id']} "
+                  f"({routed['endpoint']})")
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -973,6 +1048,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool size (0 = serial, no pool)")
     p.add_argument("--queue-max", type=int, default=None,
                    help="queue depth bound (default REPRO_SERVICE_QUEUE_MAX)")
+    p.add_argument("--tenant-max", type=int, default=None,
+                   help="per-tenant queued-job quota "
+                        "(default REPRO_SERVICE_TENANT_MAX; 0 = unlimited)")
+    p.add_argument("--join", default=None, metavar="HOST:PORT",
+                   help="run as a worker node: register with this head "
+                        "server and heartbeat (needs a TCP --socket)")
+    p.add_argument("--node-id", default=None, metavar="ID",
+                   help="worker node id for --join (default node-<pid>)")
     p.add_argument("--fast", action="store_true",
                    help="serve the fast two-scene context (tests/CI)")
     p.set_defaults(func=cmd_serve)
@@ -989,6 +1072,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock deadline from submission")
     p.add_argument("--client", default=None, metavar="ID",
                    help="client id for queue fairness accounting")
+    p.add_argument("--tenant", default=None, metavar="NAME",
+                   help="tenant bucket for quota accounting "
+                        "(default public)")
+    p.add_argument("--batch", action="store_true",
+                   help="submit everything in one batch round trip with "
+                        "per-item admission outcomes (best with --figure)")
     p.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
                    help="GPUConfig override for this case (repeatable)")
     p.add_argument("--replay", action="store_true",
@@ -1050,6 +1139,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job_id")
     p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
     p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser(
+        "fleet", help="show the head server's worker-node registry"
+    )
+    p.add_argument("--route", default=None, metavar="SCENE",
+                   help="also show which node this scene would route to")
+    p.add_argument("--socket", default=None, metavar="PATH|HOST:PORT")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "stats", help="render metrics: a live server, or a finished run"

@@ -40,24 +40,24 @@ OPEN = "open"
 HALF_OPEN = "half-open"
 
 
-def _observe_transition(scene: str, to: str) -> None:
+def _observe_transition(name: str, subject: str, to: str) -> None:
     from repro.obs import registry as obs_registry
 
     obs_registry().counter(
         "repro_resilience_breaker_transitions_total",
-        "Circuit-breaker state transitions, by scene and target state",
-        ("scene", "to"),
-    ).labels(scene=scene, to=to).inc()
+        "Circuit-breaker state transitions, by subject and target state",
+        ("scene", "subject", "to"),
+    ).labels(scene=name, subject=subject, to=to).inc()
 
 
-def _observe_rejection(scene: str) -> None:
+def _observe_rejection(name: str, subject: str) -> None:
     from repro.obs import registry as obs_registry
 
     obs_registry().counter(
         "repro_resilience_breaker_rejections_total",
-        "Work rejected because a scene's circuit breaker was open",
-        ("scene",),
-    ).labels(scene=scene).inc()
+        "Work rejected because a circuit breaker was open",
+        ("scene", "subject"),
+    ).labels(scene=name, subject=subject).inc()
 
 
 class CircuitBreaker:
@@ -71,12 +71,18 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        subject: str = "scene",
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_s <= 0:
             raise ValueError("cooldown_s must be positive")
         self.name = name
+        # What kind of thing this breaker protects ("scene" by default;
+        # the fleet layer uses "node").  Flows into metric labels and
+        # the CircuitOpen message so node trips don't masquerade as
+        # scene trips.
+        self.subject = subject
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
@@ -102,6 +108,7 @@ class CircuitBreaker:
         """State for health endpoints: name, state, failure count."""
         return {
             "scene": self.name,
+            "subject": self.subject,
             "state": self.state,
             "consecutive_failures": self._consecutive_failures,
             "retry_after_s": self.retry_after_s(),
@@ -114,7 +121,7 @@ class CircuitBreaker:
         open.  Never consumes the half-open probe slot."""
         self._maybe_half_open()
         if self._state == OPEN:
-            _observe_rejection(self.name)
+            _observe_rejection(self.name, self.subject)
             raise self._rejection()
 
     def allow(self) -> None:
@@ -128,7 +135,7 @@ class CircuitBreaker:
         if self._state == HALF_OPEN and not self._probe_out:
             self._probe_out = True
             return
-        _observe_rejection(self.name)
+        _observe_rejection(self.name, self.subject)
         raise self._rejection()
 
     # -- outcome reporting ------------------------------------------------------
@@ -174,7 +181,7 @@ class CircuitBreaker:
     def _transition(self, to: str) -> None:
         logger.info("circuit %s: %s -> %s", self.name, self._state, to)
         self._state = to
-        _observe_transition(self.name, to)
+        _observe_transition(self.name, self.subject, to)
 
     def _rejection(self) -> CircuitOpen:
         after = self.retry_after_s()
@@ -182,7 +189,7 @@ class CircuitBreaker:
         if after is None:
             after = 1.0
         return CircuitOpen(
-            f"circuit for scene {self.name!r} is open after "
+            f"circuit for {self.subject} {self.name!r} is open after "
             f"{self._consecutive_failures} consecutive failures; "
             f"retry in {after:.1f}s",
             scene=self.name,
@@ -199,10 +206,12 @@ class BreakerBoard:
         failure_threshold: int = 3,
         cooldown_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        subject: str = "scene",
     ):
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
+        self.subject = subject
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, scene: str) -> CircuitBreaker:
@@ -213,6 +222,7 @@ class BreakerBoard:
                 failure_threshold=self.failure_threshold,
                 cooldown_s=self.cooldown_s,
                 clock=self._clock,
+                subject=self.subject,
             )
             self._breakers[scene] = found
         return found

@@ -46,10 +46,19 @@ from repro.service import protocol
 from repro.service.jobs import TERMINAL_STATES
 
 #: Admission-rejection reason tags the server can reply with.
-REJECTION_REASONS = ("queue-full", "client-quota", "draining", "circuit-open")
+REJECTION_REASONS = (
+    "queue-full", "client-quota", "tenant-quota", "draining",
+    "circuit-open", "no-node",
+)
 
 #: Verbs a client may safely repeat after a transport failure.
-IDEMPOTENT_OPS = ("status", "result", "health", "jobs", "metrics")
+#: ``register``/``heartbeat`` are idempotent by construction (both just
+#: refresh the node's membership record), which is what lets worker
+#: heartbeats ride the retry policy.
+IDEMPOTENT_OPS = (
+    "status", "result", "health", "jobs", "metrics",
+    "register", "heartbeat", "nodes", "route",
+)
 
 
 class ServiceClient:
@@ -165,6 +174,7 @@ class ServiceClient:
         kind: str = "case",
         gpu_overrides=None,
         params: Optional[Dict] = None,
+        tenant: Optional[str] = None,
     ) -> str:
         """Submit one case; returns the job id.
 
@@ -194,8 +204,25 @@ class ServiceClient:
                 [list(pair) for pair in gpu_overrides] if gpu_overrides else None
             ),
             "params": params,
+            "tenant": tenant,
         }
         return str(self.request(payload)["job_id"])
+
+    def submit_batch(self, items: Sequence[Dict], **defaults) -> List[Dict]:
+        """Submit many cases in one round trip (the ``batch`` verb).
+
+        Each item is a submit-shaped dict (``scene`` required; ``policy``,
+        ``vtq``, ``priority``, ... optional); ``defaults`` (``client_id``,
+        ``tenant``, ``priority``, ``deadline_s``) apply to items that
+        don't override them.  Admission is per item: the reply is a list
+        aligned with ``items``, each entry ``{"ok": true, "job_id", ...}``
+        or a typed ``{"ok": false, "error", "reason", ...}`` — one
+        rejected item never poisons the rest.  The batch request itself
+        is single-shot, like ``submit``.
+        """
+        payload = {"op": "batch", "items": [dict(item) for item in items]}
+        payload.update({k: v for k, v in defaults.items() if v is not None})
+        return list(self.request(payload)["results"])
 
     def submit_spec(self, spec: CaseSpec, **kwargs) -> str:
         kwargs.setdefault("gpu_overrides", spec.gpu_overrides)
@@ -249,6 +276,35 @@ class ServiceClient:
         if format == "json":
             return self.request({"op": "metrics", "format": "json"})["metrics"]
         return str(self.request({"op": "metrics"})["text"])
+
+    # -- fleet verbs -----------------------------------------------------------
+
+    def register_node(self, node_id: str, endpoint: str, slots: int = 1) -> Dict:
+        """Register (or refresh) a worker node with the head server."""
+        return self.request(
+            {
+                "op": "register",
+                "node_id": node_id,
+                "endpoint": endpoint,
+                "slots": slots,
+            }
+        )
+
+    def heartbeat(self, node_id: str) -> Dict:
+        return self.request({"op": "heartbeat", "node_id": node_id})
+
+    def deregister_node(self, node_id: str) -> bool:
+        return bool(
+            self.request({"op": "deregister", "node_id": node_id})["removed"]
+        )
+
+    def nodes(self) -> List[Dict]:
+        """The head's fleet registry snapshot."""
+        return list(self.request({"op": "nodes"})["nodes"])
+
+    def route(self, scene: str) -> Dict:
+        """Where the head would route ``scene``'s next job (non-consuming)."""
+        return self.request({"op": "route", "scene": scene})
 
     def jobs(self, state: Optional[str] = None) -> List[Dict]:
         payload: Dict = {"op": "jobs"}

@@ -109,6 +109,20 @@ class Job:
     params: Optional[Dict] = None
     result: Optional[Dict] = None
     error: Optional[Dict] = None
+    # Quota bucket coarser than client_id (many clients per tenant);
+    # the queue bounds queued jobs per tenant (see JobQueue).
+    tenant: str = "public"
+    # True when admission served this job straight from the fleet-wide
+    # content-addressed result cache — no dispatch ever happened.
+    deduped: bool = False
+    # time.monotonic() when the job (re-)entered the queue, stamped by
+    # JobQueue.submit.  This — not submitted_at — anchors deadline math,
+    # so a wall-clock (NTP) step can't expire or inflate a budget.
+    # Deliberately NOT persisted: a monotonic reading is meaningless in
+    # another process, so a job re-adopted after a server restart comes
+    # back with None and gets a fresh full deadline allowance when the
+    # new server's queue stamps it again.
+    admitted_monotonic: Optional[float] = None
 
     def scene_key(self) -> str:
         """The batching key: jobs sharing it reuse warmed scene/BVH
@@ -125,6 +139,8 @@ class Job:
         record = asdict(self)
         record["spec"] = spec_to_dict(self.spec)
         record["version"] = RECORD_VERSION
+        # Monotonic readings don't survive the process; see the field.
+        record.pop("admitted_monotonic", None)
         return record
 
     @classmethod
@@ -154,6 +170,7 @@ def new_job(
     deadline_s: Optional[float] = None,
     kind: str = "case",
     params: Optional[Dict] = None,
+    tenant: str = "public",
 ) -> Job:
     """A fresh ``queued`` job with a unique id, stamped now."""
     if deadline_s is not None and deadline_s <= 0:
@@ -171,6 +188,7 @@ def new_job(
         deadline_s=deadline_s,
         submitted_at=time.time(),
         params=dict(params) if params is not None else None,
+        tenant=tenant or "public",
     )
 
 
@@ -180,6 +198,25 @@ class JobStore:
     def __init__(self, root: Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_tmp()
+
+    def _sweep_tmp(self) -> int:
+        """Remove orphaned ``*.json.tmp`` files; how many were removed.
+
+        :meth:`save` writes ``<id>.json.tmp`` then ``os.replace``\\ s it
+        into place; a crash between the two leaks the tmp file forever
+        (it never matches the ``*.json`` glob, so nothing else would
+        touch it).  The real record — old state or new — is intact by
+        construction, so the orphan is pure garbage.
+        """
+        swept = 0
+        for orphan in self.root.glob("*.json.tmp"):
+            try:
+                orphan.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - racing unlink is fine
+                continue
+        return swept
 
     def path(self, job_id: str) -> Path:
         return self.root / f"{job_id}.json"

@@ -8,11 +8,13 @@ always carries ``{"ok": true, ...}`` or
 Keeping the framing this dumb means ``socat`` / ``nc`` can drive the
 server by hand and the client needs nothing beyond the standard library.
 
-The one exception to JSON framing: a line starting with ``GET /metrics``
-gets a plain HTTP response carrying the Prometheus text exposition of the
-process-wide metrics registry (see ``docs/OBSERVABILITY.md``), so a stock
-Prometheus scraper — or ``curl`` — can point straight at the service's
-TCP endpoint.  The JSON-native equivalent is the ``metrics`` verb.
+The one exception to JSON framing: a line starting with an HTTP method
+(``GET``/``POST``) reaches the server's built-in HTTP gateway —
+``GET /metrics`` (Prometheus text), ``GET /health``, ``GET /jobs``,
+``GET /jobs/<id>[/stream]`` (SSE progress), ``POST /submit`` and
+``POST /batch`` — so a stock Prometheus scraper, ``curl`` or an
+EventSource can point straight at the service's TCP endpoint.  The
+JSON-native equivalents are the corresponding verbs.
 
 Endpoint resolution (used by server, client and CLI alike):
 
@@ -36,6 +38,13 @@ Environment knobs (all optional, all prefixed ``REPRO_SERVICE_``):
 ``REPRO_SERVICE_RETRY_AFTER_S``      backoff hint sent with load rejections (default 1.0)
 ``REPRO_SERVICE_BREAKER_THRESHOLD``  consecutive failures tripping a scene circuit (default 3)
 ``REPRO_SERVICE_BREAKER_COOLDOWN_S`` open-circuit cooldown before a probe (default 30.0)
+``REPRO_SERVICE_TENANT_MAX``         per-tenant queued-job quota (default 0 = unlimited)
+``REPRO_SERVICE_DEDUPE``             fleet result-dedupe cache gate (default on; 0 disables)
+``REPRO_SERVICE_HEARTBEAT_S``        worker-node heartbeat period (default 1.0)
+``REPRO_SERVICE_NODE_TTL_S``         heartbeat staleness before routing skips a node (default 10.0)
+``REPRO_SERVICE_NODE_EXPIRE_S``      staleness before a node is dropped entirely (default 60.0)
+``REPRO_SERVICE_NODE_BREAKER_THRESHOLD``  transport failures tripping a node circuit (default 2)
+``REPRO_SERVICE_NODE_BREAKER_COOLDOWN_S`` open node-circuit cooldown (default 15.0)
 ====================== ==============================================
 """
 
@@ -48,8 +57,15 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import ServiceError
 
-#: Every verb the server understands.
-OPS = ("submit", "status", "result", "cancel", "drain", "health", "jobs", "metrics")
+#: Every verb the server understands.  ``batch`` submits many cases in
+#: one round trip; ``register``/``heartbeat``/``deregister`` are the
+#: worker-node lifecycle; ``nodes`` and ``route`` expose the fleet
+#: registry (membership, and where a scene would be routed).
+OPS = (
+    "submit", "status", "result", "cancel", "drain", "health", "jobs",
+    "metrics", "batch", "register", "heartbeat", "deregister", "nodes",
+    "route",
+)
 
 _SPOOL_DEFAULT = Path(__file__).resolve().parents[3] / ".cache" / "service"
 
@@ -117,6 +133,48 @@ def breaker_threshold() -> int:
 def breaker_cooldown() -> float:
     """Seconds an open scene circuit waits before admitting a probe."""
     return _env_float("REPRO_SERVICE_BREAKER_COOLDOWN_S", 30.0, minimum=0.001)
+
+
+def tenant_max() -> Optional[int]:
+    """Per-tenant queued-job quota (``REPRO_SERVICE_TENANT_MAX``).
+
+    ``0`` — the default — means unlimited: single-tenant labs should not
+    trip a quota they never asked for.
+    """
+    value = _env_int("REPRO_SERVICE_TENANT_MAX", 0, minimum=0)
+    return value if value > 0 else None
+
+
+def heartbeat_s() -> float:
+    """Worker-node heartbeat period (``REPRO_SERVICE_HEARTBEAT_S``)."""
+    return _env_float("REPRO_SERVICE_HEARTBEAT_S", 1.0, minimum=0.01)
+
+
+def node_ttl_s() -> float:
+    """How stale a node's last heartbeat may be before the router stops
+    sending it work (``REPRO_SERVICE_NODE_TTL_S``)."""
+    return _env_float("REPRO_SERVICE_NODE_TTL_S", 10.0, minimum=0.01)
+
+
+def node_expire_s() -> float:
+    """How stale a node may be before it is dropped from the registry
+    entirely (``REPRO_SERVICE_NODE_EXPIRE_S``)."""
+    return _env_float("REPRO_SERVICE_NODE_EXPIRE_S", 60.0, minimum=0.01)
+
+
+def node_breaker_threshold() -> int:
+    """Consecutive transport failures tripping a node's circuit
+    (``REPRO_SERVICE_NODE_BREAKER_THRESHOLD``).  Tighter than the scene
+    default: a node that dropped two dispatches in a row is almost
+    certainly down, and the router has other nodes to try."""
+    return _env_int("REPRO_SERVICE_NODE_BREAKER_THRESHOLD", 2, minimum=1)
+
+
+def node_breaker_cooldown() -> float:
+    """Open node-circuit cooldown (``REPRO_SERVICE_NODE_BREAKER_COOLDOWN_S``)."""
+    return _env_float(
+        "REPRO_SERVICE_NODE_BREAKER_COOLDOWN_S", 15.0, minimum=0.001
+    )
 
 
 def service_jobs() -> int:

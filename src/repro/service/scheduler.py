@@ -67,10 +67,19 @@ from repro.gpusim.budget import merge_wall_budget
 from repro.resilience import BreakerBoard, RetryPolicy
 from repro.service import jobs as jobstates
 from repro.service import protocol
+from repro.service.fleet import FleetRegistry, dispatch_remote
 from repro.service.jobs import Job, JobStore
 from repro.service.queue import JobQueue
+from repro.service.resultcache import ResultCache, result_key
 
 logger = logging.getLogger("repro.service.scheduler")
+
+# Failure types that are evidence about the *transport/fleet*, not the
+# scene: they feed the per-node breakers (in _execute_remote) and must
+# not also trip the scene's circuit.
+_NODE_FAULT_TYPES = frozenset(
+    {"ServiceUnavailable", "CircuitOpen", "AdmissionRejected"}
+)
 
 
 def pareto_worker(spec, context, params):
@@ -127,6 +136,8 @@ class Scheduler:
         worker_fn: Callable = case_worker,
         breakers: Optional[BreakerBoard] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        fleet: Optional[FleetRegistry] = None,
+        result_cache: Optional[ResultCache] = None,
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0 (0 = serial, no pool), got {jobs}")
@@ -154,6 +165,13 @@ class Scheduler:
         self._obs_worker = (
             case_worker_obs if worker_fn is case_worker and jobs != 0 else None
         )
+        # Fleet mode: when the registry holds worker nodes, execution is
+        # routed to them instead of the local pool (see _execute_remote).
+        self.fleet = fleet
+        # Fleet-wide content-addressed dedupe cache; completed results
+        # are stored here (keyed by the *ambient* context, never a
+        # deadline-tightened one) so identical submissions skip dispatch.
+        self.result_cache = result_cache
         # jobs == 0: serial in-process execution, one job at a time.
         self.slots = max(1, jobs)
         self.dispatch_log: List[str] = []
@@ -195,7 +213,7 @@ class Scheduler:
             obs_registry().histogram(
                 "repro_service_dispatch_latency_seconds",
                 "Queue wait from submission to scheduler dispatch",
-            ).labels().observe(max(0.0, time.time() - job.submitted_at))
+            ).labels().observe(self._queue_elapsed(job))
             self._last_key = job.scene_key()
             job.dispatch_index = len(self.dispatch_log)
             self.dispatch_log.append(job.job_id)
@@ -245,8 +263,43 @@ class Scheduler:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    async def _execute_remote(self, job: Job, context: ExperimentContext):
+        """One remote attempt: route by scene key, dispatch over the wire.
+
+        Routing consumes the chosen node's breaker slot; the transport
+        outcome is reported back to it here.  A transport failure raises
+        (feeding the retry policy, whose next attempt re-routes — that
+        is the failover path); a node-side *job* failure is a normal
+        ``(None, CaseFailure)`` and counts as node health.
+        """
+        node = self.fleet.route(job.scene_key(), consume=True)
+        breaker = self.fleet.breakers.breaker(node.node_id)
+        budget = context.case_budget()
+        timeout = (
+            budget.wall_seconds + 30.0
+            if budget is not None and budget.wall_seconds is not None
+            else 300.0
+        )
+        try:
+            result = await asyncio.to_thread(
+                dispatch_remote, node, job, context, timeout
+            )
+        except Exception as exc:
+            node.failures += 1
+            breaker.record_failure()
+            logger.warning(
+                "remote dispatch of %s to node %s failed: %s",
+                job.label(), node.node_id, exc,
+            )
+            raise
+        node.dispatched += 1
+        breaker.record_success()
+        return result
+
     async def _execute(self, job: Job, context: ExperimentContext):
         """One execution attempt; raises whatever a worker crash raises."""
+        if self.fleet is not None and self.fleet.fleet_mode():
+            return await self._execute_remote(job, context)
         if job.kind == "pareto":
             # A pareto job is a whole sweep, not one case; it has its own
             # module-level entry points and ignores custom worker_fns.
@@ -272,11 +325,33 @@ class Scheduler:
             obs_registry().merge_snapshot(obs_delta)
         return result
 
+    def _queue_elapsed(self, job: Job) -> float:
+        """Server-side monotonic seconds since the job entered the queue.
+
+        Anchored on ``Job.admitted_monotonic`` (stamped by
+        :meth:`JobQueue.submit`), never on wall-clock ``submitted_at``
+        arithmetic — a wall-clock (NTP) step must not silently expire a
+        job's deadline or inflate its budget.  A job that somehow lacks
+        the stamp (constructed outside the queue) counts as just
+        admitted: full allowance, never spuriously expired.
+        """
+        if job.admitted_monotonic is None:
+            return 0.0
+        return max(0.0, time.monotonic() - job.admitted_monotonic)
+
     def _job_context(self, job: Job) -> ExperimentContext:
-        """The job's context: ambient budget tightened by its deadline."""
+        """The job's context: ambient budget tightened by its deadline.
+
+        Deadline semantics across a server restart: the allowance is
+        *per queue residency*, measured on the serving process's
+        monotonic clock.  A re-adopted job is re-stamped when the new
+        server re-queues it, so it restarts with its full ``deadline_s``
+        (monotonic readings cannot be persisted; see
+        ``Job.admitted_monotonic``).
+        """
         if job.deadline_s is None:
             return self.context
-        remaining = job.deadline_s - (time.time() - job.submitted_at)
+        remaining = job.deadline_s - self._queue_elapsed(job)
         if remaining <= 0:
             raise BudgetExceeded(
                 f"deadline of {job.deadline_s:g}s expired before dispatch",
@@ -380,10 +455,25 @@ class Scheduler:
                 metrics, failure = await self._attempt_job(job, context)
                 if failure is None:
                     breaker.record_success()
+                elif failure.error_type in _NODE_FAULT_TYPES:
+                    # A transport/fleet fault says nothing about the
+                    # scene; the node's own breaker already recorded it.
+                    breaker.release()
                 else:
                     breaker.record_failure()
 
         job.finished_at = time.time()
+        if failure is None and metrics is not None and self.result_cache is not None:
+            # Key by the ambient context (not a deadline-tightened one):
+            # the budget never changes the simulated result, only
+            # whether it finishes — and only finished results land here.
+            try:
+                self.result_cache.store(
+                    result_key(job.kind, job.spec, self.context, job.params),
+                    metrics,
+                )
+            except Exception:  # cache is best-effort, never fails a job
+                logger.exception("result-cache store failed for %s", job.label())
         if failure is not None:
             job.state = jobstates.FAILED
             job.error = {

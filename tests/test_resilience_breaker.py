@@ -136,6 +136,7 @@ class TestSnapshotAndBoard:
         snap = breaker.snapshot()
         assert snap == {
             "scene": "SPNZA",
+            "subject": "scene",
             "state": CLOSED,
             "consecutive_failures": 1,
             "retry_after_s": None,

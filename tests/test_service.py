@@ -91,6 +91,24 @@ class TestJobStore:
         listed = store.list()
         assert [j.job_id for j in listed] == [good.job_id]
 
+    def test_init_sweeps_orphaned_tmp_files(self, tmp_path):
+        # Simulate a crash between the tmp write and os.replace: the
+        # spool holds a completed record plus leaked ``.json.tmp`` files
+        # (one shadowing a real record, one for a job that never landed).
+        store = JobStore(tmp_path)
+        survivor = make_job()
+        store.save(survivor)
+        (tmp_path / f"{survivor.job_id}.json.tmp").write_text('{"torn"')
+        (tmp_path / "neverlanded.json.tmp").write_text('{"version": "1"')
+        # A restarting server's store init must sweep the orphans and
+        # leave the real record untouched.
+        reopened = JobStore(tmp_path)
+        assert not list(tmp_path.glob("*.json.tmp"))
+        assert reopened.load(survivor.job_id) == survivor
+        # ...and a subsequent save still works (no stale tmp in the way).
+        reopened.save(survivor)
+        assert not list(tmp_path.glob("*.json.tmp"))
+
     def test_adopt_requeues_queued_and_orphaned_running(self, tmp_path):
         store = JobStore(tmp_path)
         queued, running, done = make_job(), make_job(), make_job()
@@ -131,6 +149,42 @@ class TestJobQueue:
         order = [job.client_id for job in q.peek_order()]
         assert order == ["alice", "bob", "alice", "bob", "alice"]
 
+    def test_fair_rank_survives_cancel_resubmit(self):
+        # Regression: fair ranks used to be stamped from the client's
+        # *current* queued-job count, so cancel-then-resubmit produced a
+        # rank equal to a still-queued job's — two jobs in one interleave
+        # slot, jumping the canceling client ahead of bob's later work.
+        q = JobQueue(max_depth=16)
+        bob = [make_job(client="bob") for _ in range(3)]
+        alice = [make_job(client="alice") for _ in range(2)]
+        for job in bob:
+            q.submit(job)
+        for job in alice:
+            q.submit(job)
+        q.cancel(alice[0].job_id)
+        resubmitted = make_job(client="alice")
+        q.submit(resubmitted)
+        # Alice's queued jobs must occupy distinct interleave slots...
+        alice_ranks = [
+            q._entries[j.job_id][0][1] for j in (alice[1], resubmitted)
+        ]
+        assert len(set(alice_ranks)) == len(alice_ranks)
+        # ...so the resubmission lands *after* bob's third job instead of
+        # pairing up with alice's still-queued one ahead of it.
+        order = [job.client_id for job in q.peek_order()]
+        assert order == ["bob", "bob", "alice", "bob", "alice"]
+
+    def test_fair_rank_resets_when_client_queue_empties(self):
+        q = JobQueue(max_depth=8)
+        first = make_job(client="alice")
+        q.submit(first)
+        q.cancel(first.job_id)
+        again = make_job(client="alice")
+        q.submit(again)
+        # With nothing left queued the counter resets: the client is
+        # indistinguishable from a fresh one.
+        assert q._entries[again.job_id][0][1] == 0
+
     def test_queue_full_rejection_reason(self):
         q = JobQueue(max_depth=2)
         q.submit(make_job())
@@ -147,6 +201,20 @@ class TestJobQueue:
             q.submit(make_job(client="greedy"))
         assert err.value.reason == "client-quota"
         q.submit(make_job(client="patient"))  # others still admitted
+
+    def test_tenant_quota_rejection_reason(self):
+        q = JobQueue(max_depth=10, per_tenant_max=2)
+        # Two different clients of the same tenant share one bucket.
+        q.submit(make_job(client="a", tenant="acme"))
+        q.submit(make_job(client="b", tenant="acme"))
+        with pytest.raises(AdmissionRejected) as err:
+            q.submit(make_job(client="c", tenant="acme"))
+        assert err.value.reason == "tenant-quota"
+        assert err.value.retry_after_s is not None
+        q.submit(make_job(client="c", tenant="other"))  # other tenants fine
+        # Departures free the bucket again.
+        q.pop_next()
+        q.submit(make_job(client="c", tenant="acme"))
 
     def test_adopted_jobs_bypass_bounds(self):
         q = JobQueue(max_depth=1)

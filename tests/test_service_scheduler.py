@@ -182,6 +182,86 @@ class TestDeadlines:
         submit_and_drain(queue, sched, [job])
         assert store.load(job.job_id).result["wall_budget"] == 5.0
 
+    def test_ntp_step_does_not_expire_deadline(self, tmp_path, ctx, monkeypatch):
+        """Regression: deadline math was ``time.time() - submitted_at``.
+
+        A forward wall-clock step (NTP correction, VM resume) between
+        submission and dispatch made that difference huge and silently
+        expired every deadlined job.  Elapsed time is now measured on
+        the server's monotonic clock, which steps cannot touch.
+        """
+        store, queue, sched = make_scheduler(tmp_path, ctx)
+        job = new_job(CaseSpec("BUNNY", "baseline"), deadline_s=60.0)
+        real_time = time.time
+
+        async def go():
+            queue.submit(job)
+            store.save(job)
+            # The wall clock jumps ~12 days forward after admission.
+            monkeypatch.setattr(time, "time", lambda: real_time() + 1e6)
+            sched.kick()
+            await sched.drain()
+            await sched.stop()
+
+        asyncio.run(go())
+        record = store.load(job.job_id)
+        assert record.state == jobstates.DONE
+
+    def test_backward_clock_step_cannot_inflate_budget(
+        self, tmp_path, ctx, monkeypatch
+    ):
+        """The mirror failure: a backward step made ``remaining`` exceed
+        ``deadline_s``, handing the worker more budget than the client
+        asked for.  Monotonic elapsed is clamped at >= 0, so the budget
+        can never exceed the deadline."""
+        store, queue, sched = make_scheduler(
+            tmp_path, ctx, worker_fn=budget_echo_worker
+        )
+        job = new_job(CaseSpec("BUNNY", "baseline"), deadline_s=30.0)
+        real_time = time.time
+
+        async def go():
+            queue.submit(job)
+            store.save(job)
+            monkeypatch.setattr(time, "time", lambda: real_time() - 1e6)
+            sched.kick()
+            await sched.drain()
+            await sched.stop()
+
+        asyncio.run(go())
+        record = store.load(job.job_id)
+        assert record.state == jobstates.DONE
+        assert record.result["wall_budget"] <= 30.0
+
+    def test_readopted_job_gets_fresh_deadline_allowance(self, tmp_path, ctx):
+        """Documented restart semantics: the deadline allowance is per
+        queue residency on the serving process's monotonic clock.
+
+        A monotonic stamp cannot be persisted meaningfully, so a job
+        re-adopted after a server restart is re-stamped when the new
+        server re-queues it — it restarts with its full ``deadline_s``
+        rather than inheriting (or corrupting) the dead server's
+        elapsed time."""
+        store = JobStore(tmp_path / "jobs")
+        job = new_job(CaseSpec("BUNNY", "baseline"), deadline_s=30.0)
+        job.state = jobstates.RUNNING  # in flight when the server died
+        job.started_at = 1.0
+        store.save(job)
+        # The persisted record carries no monotonic reading at all.
+        adopted = {j.job_id: j for j in store.adopt()}[job.job_id]
+        assert adopted.admitted_monotonic is None
+        # The new server re-queues it; the queue stamps *its* clock.
+        queue = JobQueue(max_depth=8)
+        sched = Scheduler(
+            store, queue, ctx, jobs=0, worker_fn=budget_echo_worker
+        )
+        queue.admit_adopted(adopted)
+        assert adopted.admitted_monotonic is not None
+        context = sched._job_context(adopted)
+        budget = context.case_budget()
+        # Full allowance again (minus the microseconds since re-queue).
+        assert budget.wall_seconds == pytest.approx(30.0, abs=1.0)
+
     def test_merge_wall_budget(self):
         assert merge_wall_budget(None, 3.0).wall_seconds == 3.0
         base = CaseBudget(wall_seconds=2.0, max_cycles=10.0)

@@ -148,7 +148,10 @@ class TestEndToEnd:
             with pytest.raises(ServiceError, match="unknown state"):
                 client.jobs(state="limbo")
 
-    def test_health_reports_cache_counters(self, tmp_path):
+    def test_health_reports_cache_counters(self, tmp_path, monkeypatch):
+        # Dedupe off: this test is about the *runner's disk cache*, and
+        # needs the second identical submission to actually dispatch.
+        monkeypatch.setenv("REPRO_SERVICE_DEDUPE", "0")
         with ServerHarness(spool=tmp_path / "spool") as harness:
             client = harness.client()
             # Same case twice: one compute, one disk-cache hit.

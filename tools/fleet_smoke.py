@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Fleet smoke test: a head plus two real worker processes, end to end.
+
+Starts a head `repro serve` and two workers (`repro serve --join`) as
+subprocesses on localhost TCP ports, then walks the fleet contract:
+
+1. both workers register and heartbeat into the head's registry;
+2. shard-aware routing is deterministic (the `route` verb) and jobs
+   dispatch to their rendezvous-owner node — fleet-served results are
+   byte-identical to a direct ``run_cases`` sweep;
+3. resubmitting identical content is answered from the content-addressed
+   result cache with **zero** additional dispatch (``deduped: true``);
+4. killing every worker trips the per-node circuit breakers: failing
+   jobs come back with typed ``ServiceUnavailable`` errors and, once all
+   node circuits are open, submission itself is rejected with a typed
+   ``circuit-open`` carrying a ``retry_after_s`` hint.
+
+This is what CI runs; it is also handy after any change to the fleet
+stack:
+
+    PYTHONPATH=src python tools/fleet_smoke.py
+
+Exit status 0 means every step passed.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.errors import CircuitOpen, ServiceError  # noqa: E402
+from repro.experiments import default_context  # noqa: E402
+from repro.experiments.parallel import CaseSpec, run_cases  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+CASES = [CaseSpec("BUNNY", "baseline"), CaseSpec("SPNZA", "vtq")]
+#: Unique (uncached) submissions used to trip the node breakers after
+#: the workers are killed: same scenes, so routing stays shard-faithful.
+TRIP_CASES = [
+    ("BUNNY", "prefetch"), ("SPNZA", "prefetch"),
+    ("BUNNY", "sorted"), ("SPNZA", "sorted"),
+]
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_server(client: ServiceClient, proc, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with status {proc.returncode}")
+        try:
+            return client.health()
+        except ServiceError:
+            time.sleep(0.2)
+    raise SystemExit("server did not come up in time")
+
+
+def wait_for_nodes(client: ServiceClient, count: int, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        nodes = client.nodes()
+        if len(nodes) >= count and all(node["live"] for node in nodes):
+            return nodes
+        time.sleep(0.2)
+    raise SystemExit(f"fleet never reached {count} live worker node(s)")
+
+
+def main() -> int:
+    scratch = Path(tempfile.mkdtemp(prefix="repro-fleet-smoke-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env["REPRO_CACHE_DIR"] = str(scratch / "cache")
+    env["REPRO_SERVICE_HEARTBEAT_S"] = "0.2"
+    # Generous TTL so the breaker-trip phase finds the killed workers
+    # still "live" (registered + recently beating) rather than stale.
+    env["REPRO_SERVICE_NODE_TTL_S"] = "30"
+
+    head_port = free_port()
+    head_endpoint = f"127.0.0.1:{head_port}"
+
+    def serve(name: str, port: int, join: bool) -> subprocess.Popen:
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", f"127.0.0.1:{port}",
+            "--spool", str(scratch / name),
+            "--jobs", "0",
+            "--fast",
+        ]
+        if join:
+            argv += ["--join", head_endpoint, "--node-id", name]
+        return subprocess.Popen(argv, env=env)
+
+    head = serve("head", head_port, join=False)
+    workers = []
+    client = ServiceClient(endpoint=head_endpoint, timeout=30)
+    try:
+        wait_for_server(client, head)
+        workers = [serve(f"w{i}", free_port(), join=True) for i in range(2)]
+        nodes = wait_for_nodes(client, 2)
+        print(f"head up on {head_endpoint}; fleet: "
+              + ", ".join(f"{n['node_id']}@{n['endpoint']}" for n in nodes))
+
+        # -- shard-aware routing: deterministic, owner-first ----------------
+        for spec in CASES:
+            first = client.route(spec.scene)
+            again = client.route(spec.scene)
+            assert first["node_id"] == again["node_id"], (
+                f"routing for {spec.scene} is not deterministic: "
+                f"{first['node_id']} vs {again['node_id']}"
+            )
+            print(f"route {spec.scene} -> {first['node_id']} (stable)")
+
+        job_ids = [client.submit(spec.scene, spec.policy) for spec in CASES]
+        records = client.wait(job_ids, timeout=300)
+        for record in records:
+            assert record["state"] == "done", f"job failed: {record}"
+            assert not record["deduped"]
+
+        reply = client.request({"op": "nodes"})
+        dispatched = {n["node_id"]: n["dispatched"] for n in reply["nodes"]}
+        assert sum(dispatched.values()) == len(CASES), (
+            f"expected every job on a worker node, saw {dispatched}"
+        )
+        assert reply["shard_hit_rate"] == 1.0, (
+            f"healthy fleet should route owner-first, hit rate "
+            f"{reply['shard_hit_rate']}"
+        )
+        print(f"dispatched per node: {json.dumps(dispatched)} "
+              f"(shard hit rate {reply['shard_hit_rate']:.2f})")
+
+        # -- byte-identity vs the direct executor path ----------------------
+        direct = run_cases(CASES, default_context(fast=True), jobs=0)
+        for record, (metrics, failure), spec in zip(records, direct, CASES):
+            assert failure is None, f"direct run failed: {failure}"
+            served = json.dumps(record["result"], sort_keys=True)
+            expected = json.dumps(metrics, sort_keys=True)
+            assert served == expected, (
+                f"{spec.label()}: fleet result diverged from direct run\n"
+                f"  served:   {served}\n  expected: {expected}"
+            )
+            print(f"{spec.label()}: fleet == direct "
+                  f"({record['result']['cycles']:.0f} cycles)")
+
+        # -- content-addressed dedupe: zero extra dispatch ------------------
+        before = client.health()["dispatched"]
+        dedup_ids = [client.submit(spec.scene, spec.policy) for spec in CASES]
+        for job_id, original in zip(dedup_ids, records):
+            record = client.result(job_id)
+            assert record["state"] == "done" and record["deduped"], (
+                f"identical resubmission was not deduped: {record}"
+            )
+            assert record["result"] == original["result"]
+        after = client.health()["dispatched"]
+        assert after == before, (
+            f"dedupe hits must not dispatch ({before} -> {after})"
+        )
+        print(f"{len(dedup_ids)} identical resubmissions answered from the "
+              f"result cache, dispatch count still {after}")
+
+        # -- node breakers: typed failure, then typed rejection -------------
+        for proc in workers:
+            proc.kill()
+            proc.wait(timeout=10)
+        print("killed both workers; tripping node circuits")
+        rejected = None
+        for scene, policy in TRIP_CASES:
+            try:
+                job_id = client.submit(scene, policy)
+            except CircuitOpen as exc:
+                rejected = exc
+                break
+            record = client.wait([job_id], timeout=120)[0]
+            assert record["state"] == "failed", (
+                f"dispatch to a dead node should fail the job: {record}"
+            )
+            assert record["error"]["type"] == "ServiceUnavailable", (
+                f"expected a typed transport failure, got {record['error']}"
+            )
+            print(f"{scene}/{policy}: failed with typed "
+                  f"{record['error']['type']} (as expected)")
+        if rejected is None:
+            try:
+                client.submit("BUNNY", "vtq")
+                raise SystemExit(
+                    "all-dead fleet accepted a submission instead of "
+                    "rejecting circuit-open"
+                )
+            except CircuitOpen as exc:
+                rejected = exc
+        assert rejected.retry_after_s is not None, (
+            f"circuit-open rejection lost its retry_after_s hint: {rejected}"
+        )
+        print(f"submission rejected circuit-open "
+              f"(retry after {rejected.retry_after_s:.1f}s)")
+
+        reply = client.drain(stop=True)
+        assert reply["drained"] is True
+        head.wait(timeout=30)
+        assert head.returncode == 0, f"head exit status {head.returncode}"
+        print("head drained and stopped cleanly")
+        return 0
+    finally:
+        for proc in [head] + workers:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
