@@ -20,6 +20,7 @@ The precomputed tables are:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -41,26 +42,45 @@ class BatchTables:
     degenerate, so the triangle kernel rejects padding rows by itself).
     Fixed-width padding lets a warp's worth of nodes or leaves be gathered
     with one fancy index instead of per-step concatenation.
+
+    On a gaussian BVH the leaf mirrors are ``leaf_gc`` (centers,
+    ``(T, 3)``), ``leaf_gm`` (precision upper-triangles, ``(T, 6)``) and
+    ``leaf_gq`` (hit thresholds, ``(T,)``) instead; padding rows carry a
+    zero matrix and ``qmax = -1`` — doubly self-rejecting in the
+    gaussian kernel.
     """
 
-    __slots__ = ("node_boxes", "leaf_v0", "leaf_e1", "leaf_e2")
+    __slots__ = ("node_boxes", "leaf_v0", "leaf_e1", "leaf_e2",
+                 "leaf_gc", "leaf_gm", "leaf_gq")
 
-    def __init__(self, node_children, leaf_tris):
+    def __init__(self, node_children, leaf_tris, prim_kind="triangle"):
         width = max((len(c) for c in node_children), default=1)
         self.node_boxes = np.zeros((len(node_children), max(width, 1), 6))
         for node, children in enumerate(node_children):
             for k, child in enumerate(children):
                 self.node_boxes[node, k] = child[4]
         depth = max((len(t) for t in leaf_tris), default=1)
-        shape = (len(leaf_tris), max(depth, 1), 3)
-        self.leaf_v0 = np.zeros(shape)
-        self.leaf_e1 = np.zeros(shape)
-        self.leaf_e2 = np.zeros(shape)
-        for leaf, tris in enumerate(leaf_tris):
-            for k, (v0, e1, e2, _prim) in enumerate(tris):
-                self.leaf_v0[leaf, k] = v0
-                self.leaf_e1[leaf, k] = e1
-                self.leaf_e2[leaf, k] = e2
+        if prim_kind == "gaussian":
+            self.leaf_v0 = self.leaf_e1 = self.leaf_e2 = None
+            self.leaf_gc = np.zeros((len(leaf_tris), max(depth, 1), 3))
+            self.leaf_gm = np.zeros((len(leaf_tris), max(depth, 1), 6))
+            self.leaf_gq = np.full((len(leaf_tris), max(depth, 1)), -1.0)
+            for leaf, prims in enumerate(leaf_tris):
+                for k, row in enumerate(prims):
+                    self.leaf_gc[leaf, k] = row[0:3]
+                    self.leaf_gm[leaf, k] = row[3:9]
+                    self.leaf_gq[leaf, k] = row[9]
+        else:
+            self.leaf_gc = self.leaf_gm = self.leaf_gq = None
+            shape = (len(leaf_tris), max(depth, 1), 3)
+            self.leaf_v0 = np.zeros(shape)
+            self.leaf_e1 = np.zeros(shape)
+            self.leaf_e2 = np.zeros(shape)
+            for leaf, tris in enumerate(leaf_tris):
+                for k, (v0, e1, e2, _prim) in enumerate(tris):
+                    self.leaf_v0[leaf, k] = v0
+                    self.leaf_e1[leaf, k] = e1
+                    self.leaf_e2[leaf, k] = e2
 
 
 @dataclass
@@ -78,6 +98,11 @@ class SceneBVH:
     # Lazily-built numpy mirror of node_children / leaf_tris consumed by
     # the batch intersection kernels (see batch_tables()).
     batch: Optional[BatchTables] = None
+    # What the leaves hold: "triangle" (leaf_tris rows are (v0, e1, e2,
+    # prim)) or "gaussian" (rows are (cx, cy, cz, m00, m01, m02, m11,
+    # m12, m22, qmax, prim)).  Traversal and the leaf-cost model
+    # dispatch on this.
+    prim_kind: str = "triangle"
 
     @property
     def node_count(self) -> int:
@@ -112,7 +137,9 @@ class SceneBVH:
         tables hold, so the batch kernels see bit-identical inputs.
         """
         if self.batch is None:
-            self.batch = BatchTables(self.node_children, self.leaf_tris)
+            self.batch = BatchTables(
+                self.node_children, self.leaf_tris, self.prim_kind
+            )
         return self.batch
 
     def summary(self) -> dict:
@@ -146,6 +173,15 @@ def build_scene_bvh(
         from repro.bvh.layout import compressed_layout_config
 
         layout_config = compressed_layout_config(base=layout_config)
+    if getattr(mesh, "kind", "triangle") == "gaussian":
+        if compressed_leaves:
+            raise ValueError("compressed leaves are a triangle codec; "
+                             "gaussian sets are stored uncompressed")
+        if layout_config == LayoutConfig():
+            # A gaussian record is fatter than a triangle: center (12) +
+            # precision upper triangle (24) + opacity (4) + color (12) +
+            # padding at float32 = 64 bytes per primitive.
+            layout_config = dataclasses.replace(layout_config, triangle_bytes=64)
     binary = build_binary_bvh(mesh, build_config)
     wide = collapse_to_wide(binary, width)
     partition = partition_treelets(
@@ -177,27 +213,46 @@ def _prepare_tables(
             children.append((item, is_leaf, child, int(partition.treelet_of_item[item]), bounds))
         node_children.append(children)
 
-    vertices = wide.mesh.vertices
-    indices = wide.mesh.indices
+    prim_kind = getattr(mesh, "kind", "triangle")
     leaf_tris = []
-    for leaf in range(wide.leaf_count):
-        prims = wide.leaf_primitives(leaf)
-        tris = []
-        for prim in prims:
-            p = vertices[indices[prim]]
-            v0 = (float(p[0, 0]), float(p[0, 1]), float(p[0, 2]))
-            e1 = (
-                float(p[1, 0] - p[0, 0]),
-                float(p[1, 1] - p[0, 1]),
-                float(p[1, 2] - p[0, 2]),
-            )
-            e2 = (
-                float(p[2, 0] - p[0, 0]),
-                float(p[2, 1] - p[0, 1]),
-                float(p[2, 2] - p[0, 2]),
-            )
-            tris.append((v0, e1, e2, int(prim)))
-        leaf_tris.append(tris)
+    if prim_kind == "gaussian":
+        centers = mesh.centers
+        precisions = mesh.precisions
+        qmax = mesh.qmax
+        for leaf in range(wide.leaf_count):
+            prims = wide.leaf_primitives(leaf)
+            rows = []
+            for prim in prims:
+                c = centers[prim]
+                m = precisions[prim]
+                rows.append((
+                    float(c[0]), float(c[1]), float(c[2]),
+                    float(m[0]), float(m[1]), float(m[2]),
+                    float(m[3]), float(m[4]), float(m[5]),
+                    float(qmax[prim]), int(prim),
+                ))
+            leaf_tris.append(rows)
+    else:
+        vertices = wide.mesh.vertices
+        indices = wide.mesh.indices
+        for leaf in range(wide.leaf_count):
+            prims = wide.leaf_primitives(leaf)
+            tris = []
+            for prim in prims:
+                p = vertices[indices[prim]]
+                v0 = (float(p[0, 0]), float(p[0, 1]), float(p[0, 2]))
+                e1 = (
+                    float(p[1, 0] - p[0, 0]),
+                    float(p[1, 1] - p[0, 1]),
+                    float(p[1, 2] - p[0, 2]),
+                )
+                e2 = (
+                    float(p[2, 0] - p[0, 0]),
+                    float(p[2, 1] - p[0, 1]),
+                    float(p[2, 2] - p[0, 2]),
+                )
+                tris.append((v0, e1, e2, int(prim)))
+            leaf_tris.append(tris)
 
     item_lines = [tuple(layout.item_lines(item)) for item in range(len(layout.item_address))]
     treelet_lines = [tuple(layout.treelet_lines(t)) for t in range(partition.treelet_count)]
@@ -211,4 +266,5 @@ def _prepare_tables(
         leaf_tris=leaf_tris,
         item_lines=item_lines,
         treelet_lines=treelet_lines,
+        prim_kind=prim_kind,
     )

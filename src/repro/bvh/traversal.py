@@ -31,7 +31,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.geometry.batch import intersect_aabb_batch, intersect_tri_batch
+from repro.geometry.batch import (
+    intersect_aabb_batch,
+    intersect_gaussian_batch,
+    intersect_tri_batch,
+)
 
 _INV_CLAMP = 1e30
 _DET_EPS = 1e-12
@@ -421,10 +425,20 @@ def intersect_leaves_batch(
     rays = np.array(
         [(s.ox, s.oy, s.oz, s.dx, s.dy, s.dz) for s, _ in groups]
     )
-    mask, t, _u, _v = intersect_tri_batch(
-        rays[:, 0:3], rays[:, 3:6],
-        tables.leaf_v0[indices], tables.leaf_e1[indices], tables.leaf_e2[indices],
-    )
+    if getattr(bvh, "prim_kind", "triangle") == "gaussian":
+        mask, t, _q = intersect_gaussian_batch(
+            rays[:, 0:3], rays[:, 3:6],
+            tables.leaf_gc[indices], tables.leaf_gm[indices],
+            tables.leaf_gq[indices],
+        )
+        prim_col = -1
+    else:
+        mask, t, _u, _v = intersect_tri_batch(
+            rays[:, 0:3], rays[:, 3:6],
+            tables.leaf_v0[indices], tables.leaf_e1[indices],
+            tables.leaf_e2[indices],
+        )
+        prim_col = 3
     mask = mask.tolist()
     t = t.tolist()
     counts = []
@@ -436,13 +450,13 @@ def intersect_leaves_batch(
         mask_row = mask[g]
         t_row = t[g]
         # Same scan order and strict-< update as the scalar loop, so the
-        # first triangle reaching the minimum distance keeps the hit.
+        # first primitive reaching the minimum distance keeps the hit.
         for k in range(len(tris)):
             if mask_row[k]:
                 tk = t_row[k]
                 if tmin <= tk < t_hit:
                     t_hit = tk
-                    hit_prim = tris[k][3]
+                    hit_prim = tris[k][prim_col]
         state.t_hit = t_hit
         state.hit_prim = hit_prim
         state.leaf_visits += 1
@@ -452,11 +466,15 @@ def intersect_leaves_batch(
 
 
 def _intersect_leaf(bvh, state: RayTraversalState, leaf: int) -> int:
-    """Moller-Trumbore every triangle in the leaf.
+    """Intersect every primitive in the leaf with the scalar kernels.
 
-    Closest-hit mode updates ``t_hit``/``hit_prim``; collect-all mode
-    appends every in-range hit to ``all_hits`` without pruning.
+    Dispatches on the BVH's primitive kind (Moller-Trumbore for
+    triangles, peak-response for gaussians).  Closest-hit mode updates
+    ``t_hit``/``hit_prim``; collect-all mode appends every in-range hit
+    to ``all_hits`` without pruning.
     """
+    if getattr(bvh, "prim_kind", "triangle") == "gaussian":
+        return _intersect_leaf_gaussian(bvh, state, leaf)
     ox, oy, oz = state.ox, state.oy, state.oz
     dx, dy, dz = state.dx, state.dy, state.dz
     tmin = state.tmin
@@ -526,6 +544,58 @@ def _intersect_leaf_all(bvh, state: RayTraversalState, leaf: int, all_hits) -> i
         if tmin <= t <= tmax:
             all_hits.append((prim, t))
     return len(tris)
+
+
+def _intersect_leaf_gaussian(bvh, state: RayTraversalState, leaf: int) -> int:
+    """Peak-response test every gaussian in the leaf.
+
+    Leaf rows are ``(cx, cy, cz, m00, m01, m02, m11, m12, m22, qmax,
+    prim)``.  A candidate passes when the squared Mahalanobis distance
+    at the ray's peak-response point stays within the gaussian's
+    precomputed log-space opacity threshold; the ``t``-window then
+    decides closest-hit vs collect-all exactly as the triangle loops do.
+    Every float operation replicates
+    :func:`repro.geometry.batch.intersect_gaussian_batch` in order and
+    association, so the two interchange mid-simulation.
+    """
+    ox, oy, oz = state.ox, state.oy, state.oz
+    dx, dy, dz = state.dx, state.dy, state.dz
+    tmin = state.tmin
+    all_hits = state.all_hits
+    tmax = state.tmax
+    t_hit = state.t_hit
+    hit_prim = state.hit_prim
+    rows = bvh.leaf_tris[leaf]
+    for cx, cy, cz, m00, m01, m02, m11, m12, m22, qmax, prim in rows:
+        wx = ox - cx
+        wy = oy - cy
+        wz = oz - cz
+        mdx = m00 * dx + m01 * dy + m02 * dz
+        mdy = m01 * dx + m11 * dy + m12 * dz
+        mdz = m02 * dx + m12 * dy + m22 * dz
+        dmd = dx * mdx + dy * mdy + dz * mdz
+        if dmd < _DET_EPS:
+            continue
+        inv = 1.0 / dmd
+        wmd = wx * mdx + wy * mdy + wz * mdz
+        t = -(wmd * inv)
+        mwx = m00 * wx + m01 * wy + m02 * wz
+        mwy = m01 * wx + m11 * wy + m12 * wz
+        mwz = m02 * wx + m12 * wy + m22 * wz
+        wmw = wx * mwx + wy * mwy + wz * mwz
+        q = wmw - (wmd * wmd) * inv
+        if q > qmax:
+            continue
+        if all_hits is not None:
+            if tmin <= t <= tmax:
+                all_hits.append((prim, t))
+        elif tmin <= t < t_hit:
+            t_hit = t
+            hit_prim = prim
+    if all_hits is None:
+        state.t_hit = t_hit
+        state.hit_prim = hit_prim
+    return len(rows)
 
 
 def full_traverse(

@@ -874,7 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_scenes)
 
     p = sub.add_parser("render", help="render one scene")
-    p.add_argument("scene", choices=scene_names(include_extra=True))
+    p.add_argument("scene",
+                   choices=scene_names(include_extra=True, include_gaussian=True))
     p.add_argument("--policy", default="vtq",
                    choices=("baseline", "prefetch", "vtq"))
     p.add_argument("-o", "--output", default=None)
@@ -887,7 +888,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_render)
 
     p = sub.add_parser("compare", help="render one scene under every policy")
-    p.add_argument("scene", choices=scene_names(include_extra=True))
+    p.add_argument("scene",
+                   choices=scene_names(include_extra=True, include_gaussian=True))
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("figure", help="regenerate one paper figure")
@@ -1006,7 +1008,8 @@ def build_parser() -> argparse.ArgumentParser:
         "record",
         help="run one case live with memory-trace capture on",
     )
-    tp.add_argument("scene", choices=scene_names(include_extra=True))
+    tp.add_argument("scene",
+                    choices=scene_names(include_extra=True, include_gaussian=True))
     tp.add_argument("--policy", default="baseline",
                     choices=("baseline", "prefetch", "vtq"))
     tp.add_argument("-o", "--output", default=None, metavar="PATH",

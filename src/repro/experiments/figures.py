@@ -191,6 +191,76 @@ def fig10_overall_speedup(context: ExperimentContext) -> Dict:
 
 
 # ---------------------------------------------------------------------------
+# Gaussian-splat workload: policy head-to-head
+# ---------------------------------------------------------------------------
+
+
+def fig_gaussian_policies(
+    context: ExperimentContext, scenes: Optional[List[str]] = None
+) -> Dict:
+    """Baseline vs prefetch vs VTQ on the procedural splat scenes.
+
+    The Figure 10 question asked of a non-triangle primitive: does
+    treelet scheduling still pay when leaf work is a Gaussian alpha
+    evaluation (``gaussian_alpha_cycles`` per candidate plus
+    ``gaussian_blend_cycles`` per leaf lane — see docs/MODEL.md) instead
+    of a Möller–Trumbore test?  Splat leaves are fatter (64 B
+    primitives, overlapping bounds) and the leaf-cost term shifts the
+    compute/memory balance, so the VTQ margin here is the interesting
+    number, not a rerun of the triangle table.
+    """
+    from repro.scenes.gaussians import gaussian_scene_names, is_gaussian_scene
+
+    vtq = vtq_default(context)
+    wanted = scenes or [s for s in context.scenes() if is_gaussian_scene(s)]
+    if not wanted:
+        # The default context lists triangle scenes only; the splat
+        # table always covers the registered gaussian suite.
+        wanted = gaussian_scene_names()
+    rows = []
+    over_base, over_pf = [], []
+    for scene in wanted:
+        try:
+            splats = scene_and_bvh(scene, context.setup)[0].mesh.triangle_count
+            base = run_case(scene, "baseline", context)
+            pf = run_case(scene, "prefetch", context)
+            full = run_case(scene, "vtq", context, vtq=vtq)
+        except ReproError as exc:
+            rows.append(_quarantine_row(scene, exc, 8))
+            continue
+        s_base = base["cycles"] / full["cycles"]
+        s_pf = pf["cycles"] / full["cycles"]
+        rows.append(
+            [
+                scene,
+                str(splats),
+                f"{base['cycles']:,.0f}",
+                f"{pf['cycles']:,.0f}",
+                f"{full['cycles']:,.0f}",
+                f"{base['cycles'] / pf['cycles']:.2f}",
+                f"{s_base:.2f}",
+                f"{s_pf:.2f}",
+            ]
+        )
+        over_base.append(s_base)
+        over_pf.append(s_pf)
+    if over_base:
+        rows.append(
+            ["GEOMEAN", "", "", "", "",
+             "", f"{_geomean(over_base):.2f}", f"{_geomean(over_pf):.2f}"]
+        )
+    return {
+        "title": "Gaussian splats: policy head-to-head on the splat suite "
+        "(leaf cost = alpha evaluation, not triangle tests)",
+        "headers": [
+            "scene", "splats", "baseline cyc", "prefetch cyc", "VTQ cyc",
+            "prefetch/baseline", "VTQ/baseline", "VTQ/prefetch",
+        ],
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Figure 11: miss rate over time (LANDS)
 # ---------------------------------------------------------------------------
 
@@ -585,6 +655,7 @@ def figure_registry() -> Dict:
         "fig1": fig01_baseline_bottlenecks,
         "fig5": fig05_analytical_model,
         "fig10": fig10_overall_speedup,
+        "gaussian": fig_gaussian_policies,
         "fig11": fig11_missrate_over_time,
         "fig12": fig12_grouping_thresholds,
         "fig13": fig13_warp_repacking,

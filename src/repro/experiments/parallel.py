@@ -464,6 +464,16 @@ def cases_for_figure(name: str, context: ExperimentContext) -> List[CaseSpec]:
             base(scene)
             specs.append(CaseSpec(scene, "prefetch"))
             specs.append(CaseSpec(scene, "vtq", vtq))
+    elif name == "gaussian":
+        from repro.scenes.gaussians import gaussian_scene_names, is_gaussian_scene
+
+        gscenes = [s for s in scenes if is_gaussian_scene(s)]
+        if not gscenes:
+            gscenes = gaussian_scene_names()
+        for scene in gscenes:
+            base(scene)
+            specs.append(CaseSpec(scene, "prefetch"))
+            specs.append(CaseSpec(scene, "vtq", vtq))
     elif name == "fig11":
         scene = "LANDS" if "LANDS" in scenes else scenes[-1]
         base(scene)

@@ -9,8 +9,10 @@ against a node's children or a leaf's triangles in one call.
 from repro.geometry.aabb import AABB, union_bounds
 from repro.geometry.ray import Ray, RayBatch
 from repro.geometry.triangle import TriangleMesh
+from repro.geometry.gaussian import ALPHA_HIT_MIN, GaussianSet
 from repro.geometry.batch import (
     intersect_aabb_batch,
+    intersect_gaussian_batch,
     intersect_tri_batch,
     safe_inverse,
 )
@@ -27,7 +29,10 @@ __all__ = [
     "Ray",
     "RayBatch",
     "TriangleMesh",
+    "ALPHA_HIT_MIN",
+    "GaussianSet",
     "intersect_aabb_batch",
+    "intersect_gaussian_batch",
     "intersect_tri_batch",
     "safe_inverse",
     "ray_aabb_intersect",

@@ -91,6 +91,67 @@ def intersect_aabb_batch(
     return near <= far, near
 
 
+def intersect_gaussian_batch(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    centers: np.ndarray,
+    precisions: np.ndarray,
+    qmax: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Peak-response test of many (ray, gaussian) pairings in one call.
+
+    A 3D anisotropic Gaussian with center ``c`` and precision matrix
+    ``M`` (inverse covariance) has its peak response along a ray
+    ``o + t*d`` at ``t* = -(w.Md) / (d.Md)`` with ``w = o - c``; the
+    squared Mahalanobis distance there is ``q = w.Mw - (w.Md)^2 /
+    (d.Md)``.  A gaussian is a *candidate hit* when ``q <= qmax``, the
+    per-primitive precomputed log-space opacity threshold (see
+    :class:`repro.geometry.gaussian.GaussianSet`) — traversal never
+    evaluates ``exp``; the shading engine turns ``q`` into a response.
+
+    ``centers`` / ``precisions`` / ``qmax`` are shaped ``(M, 3)`` /
+    ``(M, 6)`` / ``(M,)`` against ``(M, 3)`` rays, or ``(G, K, 3)`` /
+    ``(G, K, 6)`` / ``(G, K)`` against ``(G, 3)`` rays.  ``precisions``
+    rows are the symmetric upper triangle ``[m00, m01, m02, m11, m12,
+    m22]``.  Padding rows (``qmax = -1``, ``M = 0``) are doubly
+    self-rejecting: a zero matrix fails the ``d.Md`` positivity test and
+    ``q = 0 > -1`` fails the threshold.
+
+    Returns ``(candidate_mask, t, q)``; the ``t``-window test is left to
+    the caller, exactly like :func:`intersect_tri_batch`.  Every float
+    operation replicates ``repro.bvh.traversal._intersect_leaf_gaussian``
+    in order and association, so the two interchange mid-simulation.
+    """
+    origins = np.asarray(origins, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    precisions = np.asarray(precisions, dtype=np.float64)
+    if centers.ndim == 3:
+        origins = origins[:, None, :]
+        directions = directions[:, None, :]
+    wx = origins[..., 0] - centers[..., 0]
+    wy = origins[..., 1] - centers[..., 1]
+    wz = origins[..., 2] - centers[..., 2]
+    dx, dy, dz = directions[..., 0], directions[..., 1], directions[..., 2]
+    m00, m01, m02 = precisions[..., 0], precisions[..., 1], precisions[..., 2]
+    m11, m12, m22 = precisions[..., 3], precisions[..., 4], precisions[..., 5]
+    mdx = m00 * dx + m01 * dy + m02 * dz
+    mdy = m01 * dx + m11 * dy + m12 * dz
+    mdz = m02 * dx + m12 * dy + m22 * dz
+    dmd = dx * mdx + dy * mdy + dz * mdz
+    valid = dmd >= DET_EPS
+    inv = np.where(valid, 1.0 / np.where(valid, dmd, 1.0), 0.0)
+    wmd = wx * mdx + wy * mdy + wz * mdz
+    t = -(wmd * inv)
+    mwx = m00 * wx + m01 * wy + m02 * wz
+    mwy = m01 * wx + m11 * wy + m12 * wz
+    mwz = m02 * wx + m12 * wy + m22 * wz
+    wmw = wx * mwx + wy * mwy + wz * mwz
+    q = wmw - (wmd * wmd) * inv
+    mask = valid & (q <= qmax)
+    return mask, t, q
+
+
 def intersect_tri_batch(
     origins: np.ndarray,
     directions: np.ndarray,

@@ -1,0 +1,224 @@
+"""Anisotropic 3D Gaussian primitive sets (splat scenes).
+
+A :class:`GaussianSet` is the splat-scene analogue of
+:class:`~repro.geometry.triangle.TriangleMesh`: ``N`` anisotropic 3D
+Gaussians, each with a center, a covariance (stored as its inverse — the
+*precision* matrix), an opacity and an emitted color.  GRTX-style ray
+tracing of such sets evaluates, per candidate, the ray's **peak
+response** point: along ``o + t*d`` the exponent ``(x-c)^T M (x-c)`` is
+a parabola in ``t`` minimized at ``t* = -(w.Md)/(d.Md)`` (``w = o - c``,
+``M`` the precision matrix), where the squared Mahalanobis distance is
+
+    q = w.Mw - (w.Md)^2 / (d.Md)
+
+and the response is ``g = alpha * exp(-q/2)``.
+
+Traversal never evaluates ``exp``: each gaussian precomputes the
+log-space threshold ``qmax = 2*(log(alpha) - log(ALPHA_HIT_MIN))`` so a
+candidate *hit* is just ``q <= qmax`` — pure arithmetic, identical in
+the scalar and numpy batch kernels (``np.exp`` and ``math.exp`` may
+disagree in the last ulp; a comparison of polynomials cannot).  Only the
+shading engine exponentiates, on one shared code path.
+
+The BVH builder consumes geometry through the ``triangle_count`` /
+``triangle_bounds()`` / ``triangle_centroids()`` protocol; a
+GaussianSet implements it over per-gaussian oriented-extent AABBs (the
+tight axis-aligned box of the ``q = qmax`` iso-ellipsoid), so the
+binned-SAH build, 4-wide collapse and treelet partitioner all work
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+#: Response floor below which a gaussian cannot register a hit.  The
+#: common 3DGS compositing cutoff; folded into each primitive's
+#: precomputed ``qmax`` at construction time.
+ALPHA_HIT_MIN = 0.01
+
+
+def _symmetric_rows_to_matrices(rows: np.ndarray) -> np.ndarray:
+    """``(N, 6)`` upper-triangle rows -> ``(N, 3, 3)`` symmetric matrices."""
+    m = np.empty((len(rows), 3, 3), dtype=np.float64)
+    m[:, 0, 0] = rows[:, 0]
+    m[:, 0, 1] = m[:, 1, 0] = rows[:, 1]
+    m[:, 0, 2] = m[:, 2, 0] = rows[:, 2]
+    m[:, 1, 1] = rows[:, 3]
+    m[:, 1, 2] = m[:, 2, 1] = rows[:, 4]
+    m[:, 2, 2] = rows[:, 5]
+    return m
+
+
+def _matrices_to_symmetric_rows(matrices: np.ndarray) -> np.ndarray:
+    """``(N, 3, 3)`` symmetric matrices -> ``(N, 6)`` upper-triangle rows."""
+    return np.stack(
+        [
+            matrices[:, 0, 0], matrices[:, 0, 1], matrices[:, 0, 2],
+            matrices[:, 1, 1], matrices[:, 1, 2], matrices[:, 2, 2],
+        ],
+        axis=1,
+    )
+
+
+class GaussianSet:
+    """A set of anisotropic 3D Gaussian primitives.
+
+    Parameters
+    ----------
+    centers:
+        ``(N, 3)`` float array of gaussian means.
+    precisions:
+        ``(N, 6)`` float array of precision (inverse covariance)
+        matrices as symmetric upper-triangle rows
+        ``[m00, m01, m02, m11, m12, m22]``.  Must be positive definite.
+    opacities:
+        ``(N,)`` peak opacities in ``(0, 1]``.
+    colors:
+        ``(N, 3)`` emitted RGB per gaussian.
+    """
+
+    __slots__ = ("centers", "precisions", "opacities", "colors", "qmax",
+                 "_covariances")
+
+    #: Primitive-kind tag the BVH build and traversal dispatch on.
+    kind = "gaussian"
+
+    def __init__(
+        self,
+        centers: np.ndarray,
+        precisions: np.ndarray,
+        opacities: np.ndarray,
+        colors: np.ndarray,
+    ):
+        self.centers = np.asarray(centers, dtype=np.float64).reshape(-1, 3).copy()
+        n = len(self.centers)
+        self.precisions = (
+            np.asarray(precisions, dtype=np.float64).reshape(-1, 6).copy()
+        )
+        self.opacities = np.asarray(opacities, dtype=np.float64).reshape(-1).copy()
+        self.colors = np.asarray(colors, dtype=np.float64).reshape(-1, 3).copy()
+        if not (len(self.precisions) == len(self.opacities)
+                == len(self.colors) == n):
+            raise ValueError("centers/precisions/opacities/colors length mismatch")
+        if n and (self.opacities.min() <= 0.0 or self.opacities.max() > 1.0):
+            raise ValueError("opacities must lie in (0, 1]")
+        prec = _symmetric_rows_to_matrices(self.precisions) if n else np.zeros(
+            (0, 3, 3)
+        )
+        if n:
+            # Positive-definiteness check; also yields the covariances the
+            # AABB extents need.
+            try:
+                cov = np.linalg.inv(prec)
+            except np.linalg.LinAlgError:
+                raise ValueError("precision matrices must be invertible")
+            diag = np.stack([cov[:, 0, 0], cov[:, 1, 1], cov[:, 2, 2]], axis=1)
+            if diag.min() <= 0.0:
+                raise ValueError("precision matrices must be positive definite")
+            self._covariances = cov
+        else:
+            self._covariances = np.zeros((0, 3, 3))
+        # Log-space hit threshold: alpha * exp(-q/2) >= ALPHA_HIT_MIN
+        # iff q <= 2*(log(alpha) - log(ALPHA_HIT_MIN)).  Opacities at or
+        # below the floor get a negative qmax and can never hit.
+        self.qmax = 2.0 * (np.log(self.opacities) - np.log(ALPHA_HIT_MIN))
+
+    @classmethod
+    def from_covariance(
+        cls,
+        centers: np.ndarray,
+        covariances: np.ndarray,
+        opacities: np.ndarray,
+        colors: np.ndarray,
+    ) -> "GaussianSet":
+        """Build from ``(N, 3, 3)`` covariance matrices (inverted here)."""
+        covariances = np.asarray(covariances, dtype=np.float64).reshape(-1, 3, 3)
+        prec = np.linalg.inv(covariances)
+        # Symmetrize away inversion noise so the upper-triangle storage
+        # is exact.
+        prec = 0.5 * (prec + np.transpose(prec, (0, 2, 1)))
+        return cls(centers, _matrices_to_symmetric_rows(prec), opacities, colors)
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def gaussian_count(self) -> int:
+        return len(self.centers)
+
+    @property
+    def triangle_count(self) -> int:
+        """Primitive count under the BVH builder's mesh protocol."""
+        return len(self.centers)
+
+    # -- per-primitive data ------------------------------------------------------
+
+    def covariances(self) -> np.ndarray:
+        """``(N, 3, 3)`` covariance matrices (inverse of the precisions)."""
+        return self._covariances.copy()
+
+    def triangle_bounds(self) -> np.ndarray:
+        """``(N, 6)`` per-gaussian AABBs as ``[lo, hi]`` rows.
+
+        The tight axis-aligned box of the oriented ``q = qmax``
+        iso-ellipsoid: the extent of ``{x : (x-c)^T M (x-c) <= r^2}``
+        along world axis ``i`` is ``r * sqrt(cov_ii)``.  Sub-threshold
+        opacities (negative ``qmax``) get degenerate point boxes.
+        """
+        cov = self._covariances
+        diag = np.stack([cov[:, 0, 0], cov[:, 1, 1], cov[:, 2, 2]], axis=1)
+        radius = np.sqrt(np.maximum(self.qmax, 0.0))[:, None]
+        half = radius * np.sqrt(diag)
+        return np.concatenate([self.centers - half, self.centers + half], axis=1)
+
+    def triangle_centroids(self) -> np.ndarray:
+        """``(N, 3)`` build centroids: the gaussian means."""
+        return self.centers.copy()
+
+    def bounds(self) -> AABB:
+        """AABB of the whole set (iso-ellipsoid extents included)."""
+        if len(self.centers) == 0:
+            return AABB.empty()
+        b = self.triangle_bounds()
+        lo = b[:, 0:3].min(axis=0)
+        hi = b[:, 3:6].max(axis=0)
+        return AABB(lo, hi)
+
+    # -- scalar response ---------------------------------------------------------
+
+    def peak_query(self, prim: int, origin, direction):
+        """``(t, q)`` of gaussian ``prim`` along one ray (scalar math).
+
+        The same float operations, in the same order, as the traversal
+        leaf loop — callers that re-derive ``q`` at a recorded hit (the
+        shading engine) land on the identical value the traversal
+        accepted.  Returns ``q = inf`` when the direction is degenerate
+        under this precision matrix.
+        """
+        cx, cy, cz = self.centers[prim]
+        m00, m01, m02, m11, m12, m22 = self.precisions[prim]
+        ox, oy, oz = float(origin[0]), float(origin[1]), float(origin[2])
+        dx, dy, dz = float(direction[0]), float(direction[1]), float(direction[2])
+        wx = ox - cx
+        wy = oy - cy
+        wz = oz - cz
+        mdx = m00 * dx + m01 * dy + m02 * dz
+        mdy = m01 * dx + m11 * dy + m12 * dz
+        mdz = m02 * dx + m12 * dy + m22 * dz
+        dmd = dx * mdx + dy * mdy + dz * mdz
+        if dmd < 1e-12:
+            return 0.0, float("inf")
+        inv = 1.0 / dmd
+        wmd = wx * mdx + wy * mdy + wz * mdz
+        t = -(wmd * inv)
+        mwx = m00 * wx + m01 * wy + m02 * wz
+        mwy = m01 * wx + m11 * wy + m12 * wz
+        mwz = m02 * wx + m12 * wy + m22 * wz
+        wmw = wx * mwx + wy * mwy + wz * mwz
+        q = wmw - (wmd * wmd) * inv
+        return t, q
+
+    def __repr__(self) -> str:
+        return f"GaussianSet(gaussians={self.gaussian_count})"

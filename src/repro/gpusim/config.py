@@ -53,6 +53,15 @@ class GPUConfig:
     shade_cycles_per_warp: int = 40
     cta_launch_cycles: int = 20
     cta_threads: int = 64  # threads per CTA (2 warps)
+    # Gaussian-workload leaf costs (splat scenes, see docs/GAUSSIAN.md).
+    # A gaussian candidate is priced like a fixed-function box/tri test
+    # *plus* an alpha evaluation in the shader core (the exp and blend
+    # math RT hardware does not provide): ``gaussian_alpha_cycles`` per
+    # candidate tested, ``gaussian_blend_cycles`` per leaf-visiting lane
+    # (front-to-back blend bookkeeping).  Both charge zero on triangle
+    # BVHs — the triangle cost model is untouched.
+    gaussian_alpha_cycles: int = 8
+    gaussian_blend_cycles: int = 2
     # Amortized per-key cost of the software ray sort used by the
     # "sorted" comparison policy (GPU radix sort over (octant, Morton)
     # keys; Garanzha & Loop's overhead is the reason the paper dismisses

@@ -44,7 +44,7 @@ from repro.baselines.prefetch import PrefetchRTUnit
 from repro.core.rt_unit_vtq import VTQRTUnit
 from repro.gpusim.rt_unit import BaselineRTUnit
 from repro.gpusim.stats import StatsFold, TraversalMode
-from repro.gpusim.warp import TraceWarp, step_latency
+from repro.gpusim.warp import TraceWarp, gaussian_leaf_cycles, step_latency
 
 
 class ReplayState:
@@ -230,6 +230,7 @@ class SoABaselineRTUnit(BaselineRTUnit):
         # written exactly once — at retirement (p=n, no chain work, done;
         # the transient chain-work-at-end state the scalar pop passes
         # through is erased by its very next pop, which no one sees).
+        gaussian = getattr(self.bvh, "prim_kind", "triangle") == "gaussian"
         live = []
         for ray in warp.rays:
             st = ray.state
@@ -247,6 +248,7 @@ class SoABaselineRTUnit(BaselineRTUnit):
         while live:
             lane_lines = []
             tests = 0
+            step_leaves = 0
             nxt = []
             for entry in live:
                 st, lines_l, isleaf_l, tests_l, p0, n = entry
@@ -254,6 +256,7 @@ class SoABaselineRTUnit(BaselineRTUnit):
                 lane_lines.append(lines_l[p])
                 if isleaf_l[p]:
                     leaves += 1
+                    step_leaves += 1
                     tests += tests_l[p]
                 else:
                     nodes += 1
@@ -266,7 +269,8 @@ class SoABaselineRTUnit(BaselineRTUnit):
                     completed += 1
             max_latency, missing_lanes, misses = batch(lane_lines, cycle, fold)
             latency = step_latency(
-                config, len(lane_lines), max_latency, missing_lanes, misses
+                config, len(lane_lines), max_latency, missing_lanes, misses,
+                gaussian_leaf_cycles(config, tests, step_leaves) if gaussian else 0.0,
             )
             simt_sum += len(lane_lines) / warp_size
             simt_steps += 1
@@ -331,6 +335,7 @@ class SoAPrefetchRTUnit(PrefetchRTUnit):
         leaves = 0
         tris = 0
         steps = 0
+        gaussian = getattr(self.bvh, "prim_kind", "triangle") == "gaussian"
         while active:
             if steps % reevaluate == 0:
                 self._refresh_votes(active)
@@ -338,6 +343,7 @@ class SoAPrefetchRTUnit(PrefetchRTUnit):
             self._note_accesses(active)
             lane_lines = []
             tests = 0
+            step_leaves = 0
             nxt = []
             # consume() inlined, minus the ci/_ctre resets: ray-stationary
             # replay never enters a chain, so both stay at their initial
@@ -358,6 +364,7 @@ class SoAPrefetchRTUnit(PrefetchRTUnit):
                 lane_lines.append(tr.lines[p])
                 if tr.isleaf[p]:
                     leaves += 1
+                    step_leaves += 1
                     tests += tr.tests[p]
                 else:
                     nodes += 1
@@ -371,7 +378,8 @@ class SoAPrefetchRTUnit(PrefetchRTUnit):
                 lane_lines, cycle, fold
             )
             latency = step_latency(
-                config, len(lane_lines), max_latency, missing_lanes, misses
+                config, len(lane_lines), max_latency, missing_lanes, misses,
+                gaussian_leaf_cycles(config, tests, step_leaves) if gaussian else 0.0,
             )
             simt_sum += len(lane_lines) / warp_size
             simt_steps += 1
@@ -442,6 +450,7 @@ class SoAVTQRTUnit(VTQRTUnit):
         leaves = 0
         tris = 0
         steps = 0
+        gaussian = getattr(self.bvh, "prim_kind", "triangle") == "gaussian"
         cycle = self.cycle
         while active:
             treelets = {position(r) for r in active}
@@ -450,6 +459,7 @@ class SoAVTQRTUnit(VTQRTUnit):
                 break
             lane_lines = []
             tests = 0
+            step_leaves = 0
             # consume() inlined; no ray has entered a chain yet in the
             # initial phase, so the ci/_ctre resets are no-ops and drop.
             for ray in active:
@@ -470,6 +480,7 @@ class SoAVTQRTUnit(VTQRTUnit):
                 lane_lines.append(tr.lines[p])
                 if tr.isleaf[p]:
                     leaves += 1
+                    step_leaves += 1
                     tests += tr.tests[p]
                 else:
                     nodes += 1
@@ -478,7 +489,9 @@ class SoAVTQRTUnit(VTQRTUnit):
                     lane_lines, cycle, fold
                 )
                 latency = step_latency(
-                    config, len(lane_lines), max_latency, missing_lanes, misses
+                    config, len(lane_lines), max_latency, missing_lanes, misses,
+                    gaussian_leaf_cycles(config, tests, step_leaves)
+                    if gaussian else 0.0,
                 )
                 simt_sum += len(lane_lines) / warp_size
                 simt_steps += 1
@@ -550,6 +563,7 @@ class SoAVTQRTUnit(VTQRTUnit):
         work_cycles = 0.0
         warp_size = config.warp_size
         prev_warp_cycles = 0.0
+        gaussian = getattr(self.bvh, "prim_kind", "triangle") == "gaussian"
         batch = mem.access_lines_batch
         ray_data = mem.ray_data_access
         pop_warp = self.queues.pop_warp
@@ -579,6 +593,7 @@ class SoAVTQRTUnit(VTQRTUnit):
             while active:
                 lane_lines = []
                 tests = 0
+                step_leaves = 0
                 nxt = []
                 # consume_tq() inlined: park (contribute nothing) at an
                 # unentered chain position or the tail, otherwise pop one
@@ -611,6 +626,7 @@ class SoAVTQRTUnit(VTQRTUnit):
                     lane_lines.append(tr.lines[p])
                     if tr.isleaf[p]:
                         leaves += 1
+                        step_leaves += 1
                         tests += tr.tests[p]
                     else:
                         nodes += 1
@@ -620,7 +636,9 @@ class SoAVTQRTUnit(VTQRTUnit):
                     break
                 max_latency, missing_lanes, misses = batch(lane_lines, cycle, fold)
                 latency = step_latency(
-                    config, len(lane_lines), max_latency, missing_lanes, misses
+                    config, len(lane_lines), max_latency, missing_lanes, misses,
+                    gaussian_leaf_cycles(config, tests, step_leaves)
+                    if gaussian else 0.0,
                 )
                 simt_sum += len(lane_lines) / warp_size
                 simt_steps += 1
@@ -686,6 +704,7 @@ class SoAVTQRTUnit(VTQRTUnit):
         warp_size = config.warp_size
         repack_enabled = self.vtq.repack_enabled
         repack_threshold = self.vtq.repack_threshold
+        gaussian = getattr(self.bvh, "prim_kind", "triangle") == "gaussian"
         cycle = self.cycle
 
         active = [r for r in rays if not r.state.done]
@@ -695,6 +714,7 @@ class SoAVTQRTUnit(VTQRTUnit):
         while active:
             lane_lines = []
             tests = 0
+            step_leaves = 0
             # consume() inlined; final-phase rays have entered chains, so
             # the ci/_ctre resets must stay.
             for ray in active:
@@ -717,6 +737,7 @@ class SoAVTQRTUnit(VTQRTUnit):
                 lane_lines.append(tr.lines[p])
                 if tr.isleaf[p]:
                     leaves += 1
+                    step_leaves += 1
                     tests += tr.tests[p]
                 else:
                     nodes += 1
@@ -725,7 +746,9 @@ class SoAVTQRTUnit(VTQRTUnit):
                     lane_lines, cycle, fold
                 )
                 latency = step_latency(
-                    config, len(lane_lines), max_latency, missing_lanes, misses
+                    config, len(lane_lines), max_latency, missing_lanes, misses,
+                    gaussian_leaf_cycles(config, tests, step_leaves)
+                    if gaussian else 0.0,
                 )
                 simt_sum += len(lane_lines) / warp_size
                 simt_steps += 1

@@ -150,6 +150,8 @@ def _warp_step_scalar(
     misses = 0
     stepped: List[SimRay] = []
     tests = 0
+    step_leaves = 0
+    gaussian = getattr(bvh, "prim_kind", "triangle") == "gaussian"
     item_lines = bvh.item_lines
     recorder = mem.recorder
     lane_lines = [] if recorder is not None else None
@@ -170,16 +172,23 @@ def _warp_step_scalar(
             lane_lines.append(item_lines[item])
         tests += ray_tests
         if is_leaf:
+            step_leaves += 1
             stats.leaf_visits += 1
         else:
             stats.node_visits += 1
     if not stepped:
         return 0.0, [], 0
     stats.triangle_tests += tests
+    # Leaf-cost operands are recorded (and priced) only on gaussian
+    # workloads, so triangle traces and cycle counts stay byte-identical
+    # to the historical model.
+    cost_tests = tests if gaussian else 0
+    cost_leaves = step_leaves if gaussian else 0
     if recorder is not None:
-        recorder.step(mode, lane_lines)
+        recorder.step(mode, lane_lines, tests=cost_tests, leaf_lanes=cost_leaves)
     return _finish_step(
-        config, stats, mode, stepped, tests, max_latency, missing_lanes, misses
+        config, stats, mode, stepped, tests, max_latency, missing_lanes, misses,
+        gaussian_leaf_cycles(config, cost_tests, cost_leaves) if gaussian else 0.0,
     )
 
 
@@ -223,6 +232,8 @@ def _warp_step_batch(
     misses = 0
     stepped: List[SimRay] = []
     tests = 0
+    step_leaves = 0
+    gaussian = getattr(bvh, "prim_kind", "triangle") == "gaussian"
     item_lines = bvh.item_lines
     leaf_tris = bvh.leaf_tris
     recorder = mem.recorder
@@ -240,14 +251,18 @@ def _warp_step_batch(
             lane_lines.append(item_lines[item])
         if is_leaf:
             tests += len(leaf_tris[local_idx])
+            step_leaves += 1
             stats.leaf_visits += 1
         else:
             stats.node_visits += 1
     stats.triangle_tests += tests
+    cost_tests = tests if gaussian else 0
+    cost_leaves = step_leaves if gaussian else 0
     if recorder is not None:
-        recorder.step(mode, lane_lines)
+        recorder.step(mode, lane_lines, tests=cost_tests, leaf_lanes=cost_leaves)
     return _finish_step(
-        config, stats, mode, stepped, tests, max_latency, missing_lanes, misses
+        config, stats, mode, stepped, tests, max_latency, missing_lanes, misses,
+        gaussian_leaf_cycles(config, cost_tests, cost_leaves) if gaussian else 0.0,
     )
 
 
@@ -257,6 +272,7 @@ def step_latency(
     max_latency: float,
     missing_lanes: int,
     misses: int,
+    leaf_cycles: float = 0.0,
 ) -> float:
     """The cycle cost of one warp step with ``lanes`` stepped lanes.
 
@@ -269,6 +285,12 @@ def step_latency(
     lanes' misses into hits.)  Each distinct miss beyond the first also
     pays the configured miss-port serialization.
 
+    ``leaf_cycles`` is the workload-dependent extra leaf cost of the
+    step (gaussian alpha evaluation + blend bookkeeping; see
+    :func:`gaussian_leaf_cycles`).  Zero on triangle workloads — the
+    guarded add keeps triangle steps float-identical to the historical
+    formula.
+
     Shared by the scalar warp step and the SoA replay engines; the float
     operation order here is part of the bit-exactness contract.
     """
@@ -278,7 +300,22 @@ def step_latency(
         latency += miss_fraction * max(0.0, max_latency - config.l1_latency)
         latency += config.miss_serialization_cycles * (misses - 1)
     latency += config.intersection_latency
+    if leaf_cycles:
+        latency += leaf_cycles
     return latency
+
+
+def gaussian_leaf_cycles(config: GPUConfig, tests: int, leaf_lanes: int) -> float:
+    """Extra leaf cost of one warp step on a gaussian workload.
+
+    ``tests`` gaussian candidates each pay an alpha evaluation and each
+    of the ``leaf_lanes`` leaf-visiting lanes pays the front-to-back
+    blend bookkeeping.  Callers pass zeros on triangle workloads.
+    """
+    return float(
+        config.gaussian_alpha_cycles * tests
+        + config.gaussian_blend_cycles * leaf_lanes
+    )
 
 
 def _finish_step(
@@ -290,8 +327,11 @@ def _finish_step(
     max_latency: float,
     missing_lanes: int,
     misses: int,
+    leaf_cycles: float = 0.0,
 ) -> Tuple[float, List[SimRay], int]:
-    latency = step_latency(config, len(stepped), max_latency, missing_lanes, misses)
+    latency = step_latency(
+        config, len(stepped), max_latency, missing_lanes, misses, leaf_cycles
+    )
     stats.record_simt(len(stepped), config.warp_size)
     stats.record_mode(mode, latency, tests)
     return latency, stepped, tests

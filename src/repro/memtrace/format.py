@@ -44,7 +44,11 @@ import numpy as np
 from repro.errors import TraceError
 from repro.gpusim.stats import SimStats, TraversalMode
 
-TRACE_VERSION = "1"
+# Version 2 extends OP_STEP with the leaf-cost operands (tests,
+# leaf_lanes) so gaussian-workload traces can reprice alpha-evaluation
+# cycles at replay time.  Triangle workloads record zeros there and the
+# replayed numbers are unchanged.
+TRACE_VERSION = "2"
 _MAGIC = b"memtrace "
 
 # -- operation codes -----------------------------------------------------------
@@ -52,7 +56,7 @@ _MAGIC = b"memtrace "
 # Each op is a code token followed by its integer operands; only
 # ADVANCE_TO consumes a literal from the float stream.
 
-OP_STEP = 1            # mode, nlanes, then per lane: nlines, line ids
+OP_STEP = 1            # mode, tests, leaf_lanes, nlanes, then per lane: nlines, line ids
 OP_PF_REFRESH = 2      # nvotes, then (treelet, votes) pairs
 OP_PF_NOTE = 3         # nlines, line ids
 OP_RAY_WRITE = 4       # nrays, ray ids

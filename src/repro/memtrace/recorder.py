@@ -169,10 +169,19 @@ class TraceRecorder:
             return
         self._out().extend(tokens)
 
-    def step(self, mode, lane_lines: Sequence[Sequence[int]]) -> None:
+    def step(
+        self,
+        mode,
+        lane_lines: Sequence[Sequence[int]],
+        tests: int = 0,
+        leaf_lanes: int = 0,
+    ) -> None:
+        """One warp step.  ``tests``/``leaf_lanes`` are the leaf-cost
+        operands — nonzero only on gaussian workloads, where replay
+        reprices the alpha-evaluation cycles from its own config."""
         if self.tripped:
             return
-        tokens = [OP_STEP, MODE_CODES[mode], len(lane_lines)]
+        tokens = [OP_STEP, MODE_CODES[mode], tests, leaf_lanes, len(lane_lines)]
         for lines in lane_lines:
             tokens.append(len(lines))
             tokens.extend(lines)

@@ -128,8 +128,10 @@ class _ReplayPrefetcher:
 def _exec_step(ops, p, cycle, mem, stats, config):
     """One recorded warp step: per-lane accesses + the latency rule."""
     mode = MODE_LIST[ops[p + 1]]
-    nlanes = ops[p + 2]
-    p += 3
+    tests = ops[p + 2]
+    leaf_lanes = ops[p + 3]
+    nlanes = ops[p + 4]
+    p += 5
     max_latency = 0.0
     missing_lanes = 0
     misses = 0
@@ -151,6 +153,16 @@ def _exec_step(ops, p, cycle, mem, stats, config):
         latency += miss_fraction * max(0.0, max_latency - config.l1_latency)
         latency += config.miss_serialization_cycles * (misses - 1)
     latency += config.intersection_latency
+    # Leaf-cost operands (gaussian workloads only; zeros elsewhere) are
+    # repriced from the *replay* config, making the gaussian cycle knobs
+    # replay-safe axes.
+    if tests or leaf_lanes:
+        leaf_cycles = float(
+            config.gaussian_alpha_cycles * tests
+            + config.gaussian_blend_cycles * leaf_lanes
+        )
+        if leaf_cycles:
+            latency += leaf_cycles
     stats.record_mode(mode, latency, 0)
     return p, cycle + latency, latency
 

@@ -10,8 +10,11 @@ DRAM models is exact:
 
 * L2 geometry and latency (``l2_bytes``/``l2_assoc``/``l2_latency``),
   L1 associativity and hit latency, DRAM latency, the detailed-DRAM
-  timing block, line-transfer and miss-serialization costs, and the
-  fixed-function intersection latency all sit *behind* the stream.
+  timing block, line-transfer and miss-serialization costs, the
+  fixed-function intersection latency, and the gaussian leaf-cost knobs
+  (``gaussian_alpha_cycles``/``gaussian_blend_cycles`` — trace format
+  v2 records each step's test and leaf-lane counts, so replay reprices
+  them) all sit *behind* the stream.
 
 Everything else is **replay-unsafe** because it feeds the stream itself:
 
@@ -51,6 +54,8 @@ REPLAY_SAFE_GPU_FIELDS = frozenset(
         "dram_line_transfer",
         "miss_serialization_cycles",
         "intersection_latency",
+        "gaussian_alpha_cycles",
+        "gaussian_blend_cycles",
         "detailed_dram",
         "dram_channels",
         "dram_banks",

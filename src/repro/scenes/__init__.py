@@ -31,6 +31,15 @@ from repro.scenes.lumibench import (
     scene_spec,
 )
 
+from repro.scenes.gaussians import (
+    GAUSSIAN_SCENES,
+    GaussianSceneSpec,
+    build_gaussian_set,
+    gaussian_scene_names,
+    gaussian_scene_spec,
+    is_gaussian_scene,
+    load_gaussian_scene,
+)
 from repro.scenes.obj import load_obj, save_obj
 from repro.scenes.validate import clean_mesh, validate_mesh
 
@@ -59,4 +68,11 @@ __all__ = [
     "TABLE2_SCENES",
     "EXTRA_SCENES",
     "ALL_SCENES",
+    "GAUSSIAN_SCENES",
+    "GaussianSceneSpec",
+    "build_gaussian_set",
+    "gaussian_scene_names",
+    "gaussian_scene_spec",
+    "is_gaussian_scene",
+    "load_gaussian_scene",
 ]

@@ -1,0 +1,202 @@
+"""Procedural splat scenes: clusters of anisotropic 3D Gaussians.
+
+The splat analogue of :mod:`repro.scenes.lumibench`: deterministic,
+seeded scenes built from clustered anisotropic Gaussians instead of
+triangles.  Each scene is a :class:`~repro.scenes.lumibench.Scene`
+whose ``mesh`` is a :class:`~repro.geometry.gaussian.GaussianSet` — the
+BVH build, the policy engines and the figure harness consume it through
+the same mesh protocol, dispatching on ``mesh.kind == "gaussian"``.
+
+Scene shape knobs (per :class:`GaussianSceneSpec`):
+
+``clusters`` / ``splats``
+    how many blobs the splats condense into and the total primitive
+    budget at ``scale=1.0`` (density scales linearly with ``scale``);
+``anisotropy``
+    ratio of the largest to smallest principal axis of each splat's
+    covariance (1 = isotropic spheres, >>1 = stretched needles/pancakes
+    — wider oriented AABBs, more BVH overlap);
+``overlap``
+    cluster tightness: splat spread as a fraction of the inter-cluster
+    spacing (higher = clusters bleed into each other, deeper leaf
+    candidate lists).
+
+The three registered scenes ascend in primitive count and treelet
+pressure, mirroring the Table 2 ordering discipline: GSPL1 (sparse,
+mildly anisotropic), GSPL2 (denser, stretched splats), GSPL3 (dense,
+high overlap).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.geometry.gaussian import GaussianSet
+from repro.scenes.camera import Camera
+from repro.scenes.materials import Material, MaterialTable
+
+
+@dataclass(frozen=True)
+class GaussianSceneSpec:
+    """Static description of one procedural splat scene."""
+
+    name: str
+    seed: int
+    clusters: int
+    splats: int          # total primitive budget at scale=1.0
+    anisotropy: float    # max/min principal-axis ratio, >= 1
+    overlap: float       # splat spread / cluster spacing, in (0, 1]
+    extent: float = 20.0  # world-space span of the cluster lattice
+
+    #: Scene-family tag (mirrors SceneSpec.family).
+    family: str = "gaussian"
+    indoor: bool = False
+
+    # Compatibility with the Table 2 summary columns (splat scenes have
+    # no paper counterpart; the figure harness prints zeros).
+    paper_bvh_mb: float = 0.0
+    paper_tris: float = 0.0
+
+    def target_gaussians(self, scale: float = 1.0) -> int:
+        return max(64, int(self.splats * scale))
+
+    def target_triangles(self, scale: float = 1.0) -> int:
+        """Primitive budget under the triangle-spec protocol."""
+        return self.target_gaussians(scale)
+
+
+#: Registered splat scenes, ascending primitive count / overlap.
+GAUSSIAN_SCENES: List[GaussianSceneSpec] = [
+    GaussianSceneSpec("GSPL1", seed=201, clusters=12, splats=900,
+                      anisotropy=2.0, overlap=0.35),
+    GaussianSceneSpec("GSPL2", seed=202, clusters=20, splats=1800,
+                      anisotropy=4.0, overlap=0.55),
+    GaussianSceneSpec("GSPL3", seed=203, clusters=28, splats=3200,
+                      anisotropy=6.0, overlap=0.75),
+]
+
+_SPEC_BY_NAME: Dict[str, GaussianSceneSpec] = {
+    spec.name: spec for spec in GAUSSIAN_SCENES
+}
+
+
+def gaussian_scene_names() -> List[str]:
+    """Splat-scene names in ascending primitive-count order."""
+    return [spec.name for spec in GAUSSIAN_SCENES]
+
+
+def is_gaussian_scene(name: str) -> bool:
+    return name in _SPEC_BY_NAME
+
+
+def gaussian_scene_spec(name: str) -> GaussianSceneSpec:
+    """Look up a splat-scene spec; raises :class:`SceneError` if unknown."""
+    try:
+        return _SPEC_BY_NAME[name]
+    except KeyError:
+        from repro.errors import SceneError
+
+        raise SceneError(
+            f"unknown gaussian scene {name!r}; "
+            f"available: {', '.join(gaussian_scene_names())}"
+        ) from None
+
+
+def _random_rotations(rng: np.random.Generator, n: int) -> np.ndarray:
+    """``(n, 3, 3)`` uniform random rotation matrices (QR of gaussians)."""
+    a = rng.normal(size=(n, 3, 3))
+    q, r = np.linalg.qr(a)
+    # Fix the sign convention so the distribution is uniform and each q
+    # is a proper rotation.
+    d = np.sign(np.diagonal(r, axis1=1, axis2=2))
+    d[d == 0.0] = 1.0
+    q = q * d[:, None, :]
+    det = np.linalg.det(q)
+    q[:, :, 0] *= det[:, None]
+    return q
+
+
+def build_gaussian_set(spec: GaussianSceneSpec, scale: float = 1.0) -> GaussianSet:
+    """Generate the splat set of ``spec`` (deterministic in (spec, scale))."""
+    rng = np.random.default_rng(spec.seed)
+    n = spec.target_gaussians(scale)
+    clusters = max(1, spec.clusters)
+
+    # Cluster centers: a jittered lattice over a disc-ish volume, so
+    # density stays roughly uniform as the cluster count grows.
+    spacing = spec.extent / max(1.0, math.sqrt(clusters))
+    cluster_centers = rng.uniform(
+        -spec.extent / 2.0, spec.extent / 2.0, size=(clusters, 3)
+    )
+    cluster_centers[:, 2] *= 0.4  # flatten vertically, like a scanned scene
+
+    # Assign splats round-robin so every cluster gets its share even
+    # when n is not a multiple of the cluster count.
+    assignment = np.arange(n) % clusters
+    spread = spacing * spec.overlap
+    centers = cluster_centers[assignment] + rng.normal(
+        0.0, spread, size=(n, 3)
+    )
+
+    # Anisotropic covariances: random orientation, principal scales
+    # spanning [base, base * anisotropy].
+    base_scale = 0.22 * spacing / max(1.0, math.sqrt(spec.anisotropy))
+    ratios = rng.uniform(1.0, spec.anisotropy, size=(n, 3))
+    ratios[:, 0] = 1.0  # anchor the smallest axis
+    scales = base_scale * ratios
+    rot = _random_rotations(rng, n)
+    # cov = R diag(s^2) R^T, built by scaling R's columns.
+    scaled = rot * (scales**2)[:, None, :]
+    covariances = scaled @ np.transpose(rot, (0, 2, 1))
+
+    opacities = rng.uniform(0.25, 0.95, size=n)
+    # Per-cluster base hue with per-splat jitter: coherent blobs that
+    # still exercise per-primitive shading.
+    cluster_colors = rng.uniform(0.15, 0.95, size=(clusters, 3))
+    colors = np.clip(
+        cluster_colors[assignment] + rng.normal(0.0, 0.08, size=(n, 3)),
+        0.02, 1.0,
+    )
+    return GaussianSet.from_covariance(centers, covariances, opacities, colors)
+
+
+def load_gaussian_scene(name: str, scale: float = 1.0):
+    """Build splat scene ``name`` at the given density scale.
+
+    Returns a :class:`repro.scenes.lumibench.Scene` whose ``mesh`` is a
+    :class:`GaussianSet`.  Deterministic: the same (name, scale) always
+    produces the same set.
+    """
+    from repro.scenes.lumibench import SKY_DAY, Scene
+
+    spec = gaussian_scene_spec(name)
+    mesh = build_gaussian_set(spec, scale)
+
+    bounds = mesh.bounds()
+    center = bounds.centroid()
+    extent = bounds.extent()
+    radius = float(np.linalg.norm(extent)) / 2.0
+    rng = np.random.default_rng(spec.seed + 7)
+    azimuth = rng.uniform(0, 2 * np.pi)
+    eye = center + np.array(
+        [
+            1.3 * radius * math.cos(azimuth),
+            1.3 * radius * math.sin(azimuth),
+            0.5 * radius,
+        ]
+    )
+    camera = Camera(tuple(eye), tuple(center))
+    # Splats carry their own emission colors; the material table exists
+    # only so the Scene surface stays uniform.
+    materials = MaterialTable([Material((0.5, 0.5, 0.5), name="splat")])
+    return Scene(
+        spec=spec,
+        mesh=mesh,
+        camera=camera,
+        materials=materials,
+        sky_emission=SKY_DAY,
+    )

@@ -124,15 +124,43 @@ ALL_SCENES: List[SceneSpec] = sorted(
 _SPEC_BY_NAME = {spec.name: spec for spec in TABLE2_SCENES + EXTRA_SCENES}
 
 
-def scene_spec(name: str) -> SceneSpec:
-    """Look up a scene spec by name (KeyError on unknown names)."""
-    return _SPEC_BY_NAME[name]
+def scene_spec(name: str):
+    """Look up a scene spec by name (triangle or gaussian registry).
+
+    Raises a typed :class:`SceneError` on unknown names — the error a
+    CLI or service caller can actually handle — instead of leaking a
+    bare ``KeyError`` out of the registry dict.
+    """
+    spec = _SPEC_BY_NAME.get(name)
+    if spec is not None:
+        return spec
+    from repro.scenes.gaussians import gaussian_scene_names, is_gaussian_scene
+    from repro.scenes.gaussians import gaussian_scene_spec
+
+    if is_gaussian_scene(name):
+        return gaussian_scene_spec(name)
+    raise SceneError(
+        f"unknown scene {name!r}; "
+        f"triangle scenes: {', '.join(scene_names(include_extra=True))}; "
+        f"gaussian scenes: {', '.join(gaussian_scene_names())}"
+    )
 
 
-def scene_names(include_extra: bool = False) -> List[str]:
-    """Scene names in ascending BVH-size order."""
+def scene_names(
+    include_extra: bool = False, include_gaussian: bool = False
+) -> List[str]:
+    """Scene names in ascending BVH-size order.
+
+    ``include_gaussian`` appends the splat scenes after the triangle
+    scenes; the default keeps existing triangle-only contexts unchanged.
+    """
     specs = ALL_SCENES if include_extra else TABLE2_SCENES
-    return [s.name for s in specs]
+    names = [s.name for s in specs]
+    if include_gaussian:
+        from repro.scenes.gaussians import gaussian_scene_names
+
+        names += gaussian_scene_names()
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -598,7 +626,16 @@ def load_scene(
     With ``validate`` (the default) defective geometry raises a clear
     :class:`SceneError` before it can corrupt a BVH build; ``clean=True``
     repairs the mesh instead by dropping the bad triangles.
+
+    Gaussian splat scenes (see :mod:`repro.scenes.gaussians`) load
+    through the same entry point; triangle-mesh validation does not
+    apply to them (the GaussianSet constructor validates its own
+    invariants).
     """
+    from repro.scenes.gaussians import is_gaussian_scene, load_gaussian_scene
+
+    if is_gaussian_scene(name):
+        return load_gaussian_scene(name, scale=scale)
     spec = scene_spec(name)
     builder = _BUILDERS[_family_for(spec)]
     budget = spec.target_triangles(scale)

@@ -28,6 +28,14 @@ the :class:`~repro.service.jobs.JobStore` spool.
 ``REPRO_SERVICE_DEDUPE=0`` disables the cache entirely (every lookup
 misses, nothing is stored) for A/B runs and tests that need every
 submission to dispatch.
+
+The store is bounded: ``REPRO_SERVICE_DEDUPE_MAX_ENTRIES`` and
+``REPRO_SERVICE_DEDUPE_MAX_BYTES`` (0 or unset = unlimited) cap the
+entry count and on-disk footprint.  Crossing either bound evicts the
+least-recently-used entries — a lookup hit refreshes its entry's mtime,
+so recency survives process restarts — until both bounds hold again.
+Evictions are visible as
+``repro_service_result_cache_evictions_total{reason=...}``.
 """
 
 from __future__ import annotations
@@ -49,6 +57,32 @@ RESULT_CACHE_VERSION = "1"
 def dedupe_enabled() -> bool:
     """The fleet-wide dedupe gate (``REPRO_SERVICE_DEDUPE``, default on)."""
     return os.environ.get("REPRO_SERVICE_DEDUPE", "1") != "0"
+
+
+def _limit_from_env(name: str) -> int:
+    """A non-negative size limit from the environment; 0 = unlimited.
+
+    Garbage values degrade to unlimited rather than killing the server —
+    a misconfigured bound must never take the cache (or the daemon
+    carrying it) down.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+def dedupe_max_entries() -> int:
+    """Entry-count bound (``REPRO_SERVICE_DEDUPE_MAX_ENTRIES``; 0 = off)."""
+    return _limit_from_env("REPRO_SERVICE_DEDUPE_MAX_ENTRIES")
+
+
+def dedupe_max_bytes() -> int:
+    """On-disk byte bound (``REPRO_SERVICE_DEDUPE_MAX_BYTES``; 0 = off)."""
+    return _limit_from_env("REPRO_SERVICE_DEDUPE_MAX_BYTES")
 
 
 def result_key(
@@ -129,6 +163,12 @@ class ResultCache:
         ):
             self._evict(path, "corrupt")
             return None
+        try:
+            # Touch the entry so mtime order is LRU order (recency
+            # survives restarts; the eviction scan below trusts it).
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
         self._count("hit")
         return entry["result"]
 
@@ -155,9 +195,56 @@ class ResultCache:
                 tmp.unlink()
             except OSError:
                 pass
+            return
+        self._enforce_limits(keep=path)
+
+    def _enforce_limits(self, keep: Optional[Path] = None) -> None:
+        """Evict least-recently-used entries past the configured bounds.
+
+        ``keep`` (the entry just written) is never evicted, even when it
+        alone exceeds the byte bound — storing then instantly discarding
+        a result would turn an aggressive bound into a 0% hit rate.
+        """
+        max_entries = dedupe_max_entries()
+        max_bytes = dedupe_max_bytes()
+        if not max_entries and not max_bytes:
+            return
+        entries = []
+        total_bytes = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced away
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total_bytes += stat.st_size
+        entries.sort()  # oldest mtime first = least recently used
+        count = len(entries)
+        for mtime, size, path in entries:
+            over_entries = max_entries and count > max_entries
+            over_bytes = max_bytes and total_bytes > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink is fine
+                continue
+            count -= 1
+            total_bytes -= size
+            self._count_eviction("entries" if over_entries else "bytes")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
+
+    @staticmethod
+    def _count_eviction(reason: str) -> None:
+        obs_registry().counter(
+            "repro_service_result_cache_evictions_total",
+            "Fleet result-cache entries evicted by the LRU bounds",
+            ("reason",),
+        ).labels(reason=reason).inc()
 
     @staticmethod
     def _count(outcome: str) -> None:

@@ -369,7 +369,7 @@ class SimulationServer:
                 "gpu_overrides": request.get("gpu_overrides"),
             }
         )
-        if spec.scene not in scene_names(include_extra=True):
+        if spec.scene not in scene_names(include_extra=True, include_gaussian=True):
             raise ServiceError(f"unknown scene {spec.scene!r}")
         if spec.policy not in POLICIES:
             raise ServiceError(

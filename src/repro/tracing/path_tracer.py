@@ -52,8 +52,13 @@ class ShadingEngine:
         self.bvh = bvh
         self.max_bounces = max_bounces
         self.seed = seed
-        self._normals = scene.mesh.triangle_normals()
-        self._material_ids = scene.mesh.material_ids
+        self._gaussian = getattr(scene.mesh, "kind", "triangle") == "gaussian"
+        if self._gaussian:
+            self._normals = None
+            self._material_ids = None
+        else:
+            self._normals = scene.mesh.triangle_normals()
+            self._material_ids = scene.mesh.material_ids
         self._sky = np.asarray(scene.sky_emission, dtype=np.float64)
 
     # -- path initialization ------------------------------------------------------
@@ -82,6 +87,8 @@ class ShadingEngine:
         """
         if not path.alive:
             return False
+        if self._gaussian:
+            return self._shade_gaussian(path, traversal)
         if traversal.hit_prim < 0:
             # Escaped: collect sky emission and end the path.
             path.radiance += path.throughput * self._sky
@@ -118,6 +125,47 @@ class ShadingEngine:
         hit_point = path.origin + traversal.t_hit * path.direction
         path.origin = hit_point + _HIT_EPSILON * new_direction
         path.direction = new_direction / np.linalg.norm(new_direction)
+        path.throughput = new_throughput
+        path.bounce += 1
+        return True
+
+    def _shade_gaussian(self, path: PathState, traversal: RayTraversalState) -> bool:
+        """Front-to-back splat compositing, one splat per traversal.
+
+        The closest accepted splat contributes ``g = alpha * exp(-q/2)``
+        of its emitted color (``q`` re-derived through the exact scalar
+        kernel math the traversal used, so the response matches the hit
+        the traversal accepted) and attenuates the path by ``(1 - g)``;
+        the path then continues *straight through* from just past the
+        peak-response point — each traversal segment composites the next
+        splat along the same line of sight, up to the bounce budget or
+        the contribution cutoff, exactly the termination rules the
+        triangle path applies.
+        """
+        import math
+
+        if traversal.hit_prim < 0:
+            # Escaped: the sky shines through whatever opacity remains.
+            path.radiance += path.throughput * self._sky
+            path.alive = False
+            return False
+
+        mesh = self.scene.mesh
+        prim = traversal.hit_prim
+        _t, q = mesh.peak_query(prim, path.origin, path.direction)
+        g = float(mesh.opacities[prim]) * math.exp(-0.5 * q)
+        path.radiance += path.throughput * g * mesh.colors[prim]
+        new_throughput = path.throughput * (1.0 - g)
+
+        if path.bounce + 1 > self.max_bounces:
+            path.alive = False
+            return False
+        if float(new_throughput.max()) < CONTRIBUTION_CUTOFF:
+            path.alive = False
+            return False
+
+        hit_point = path.origin + traversal.t_hit * path.direction
+        path.origin = hit_point + _HIT_EPSILON * path.direction
         path.throughput = new_throughput
         path.bounce += 1
         return True

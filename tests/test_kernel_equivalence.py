@@ -16,6 +16,7 @@ from repro.bvh import TraversalOrder, build_scene_bvh, init_traversal, single_st
 from repro.bvh import traversal as tv
 from repro.geometry import (
     intersect_aabb_batch,
+    intersect_gaussian_batch,
     intersect_tri_batch,
     safe_inverse,
 )
@@ -83,6 +84,30 @@ def _scalar_mt(o, d, v0, e1, e2):
         return False, 0.0
     t = (e2[0] * qx + e2[1] * qy + e2[2] * qz) * inv
     return True, t
+
+
+def _scalar_gaussian(o, d, center, prec, qmax):
+    """The exact peak-response test `_intersect_leaf_gaussian` performs."""
+    m00, m01, m02, m11, m12, m22 = prec
+    wx = o[0] - center[0]
+    wy = o[1] - center[1]
+    wz = o[2] - center[2]
+    dx, dy, dz = d[0], d[1], d[2]
+    mdx = m00 * dx + m01 * dy + m02 * dz
+    mdy = m01 * dx + m11 * dy + m12 * dz
+    mdz = m02 * dx + m12 * dy + m22 * dz
+    dmd = dx * mdx + dy * mdy + dz * mdz
+    if dmd < DET_EPS:
+        return False, 0.0, 0.0
+    inv = 1.0 / dmd
+    wmd = wx * mdx + wy * mdy + wz * mdz
+    t = -(wmd * inv)
+    mwx = m00 * wx + m01 * wy + m02 * wz
+    mwy = m01 * wx + m11 * wy + m12 * wz
+    mwz = m02 * wx + m12 * wy + m22 * wz
+    wmw = wx * mwx + wy * mwy + wz * mwz
+    q = wmw - (wmd * wmd) * inv
+    return q <= qmax, t, q
 
 
 def _random_rays(rng, n):
@@ -292,12 +317,121 @@ class TestTriangleKernel:
 
 
 # ---------------------------------------------------------------------------
+# gaussian kernel
+
+
+def _random_precisions(rng, shape):
+    """Random SPD precision matrices as upper-triangle rows (..., 6)."""
+    b = rng.normal(size=shape + (3, 3))
+    m = b @ np.swapaxes(b, -1, -2) + 0.05 * np.eye(3)
+    return np.stack(
+        [m[..., 0, 0], m[..., 0, 1], m[..., 0, 2],
+         m[..., 1, 1], m[..., 1, 2], m[..., 2, 2]],
+        axis=-1,
+    )
+
+
+class TestGaussianKernel:
+    def test_matches_scalar_on_random_pairs(self):
+        rng = np.random.default_rng(37)
+        n = 256
+        origins, directions = _random_rays(rng, n)
+        centers = rng.uniform(-3.0, 3.0, (n, 3))
+        precisions = _random_precisions(rng, (n,))
+        qmax = rng.uniform(0.25, 9.0, n)
+        mask, t, q = intersect_gaussian_batch(
+            origins, directions, centers, precisions, qmax
+        )
+        hits = 0
+        for i in range(n):
+            ref_hit, ref_t, ref_q = _scalar_gaussian(
+                origins[i], directions[i], centers[i], precisions[i], qmax[i]
+            )
+            assert bool(mask[i]) == ref_hit
+            if ref_hit:
+                hits += 1
+                assert float(t[i]) == ref_t
+                assert float(q[i]) == ref_q
+        assert hits > 0  # the comparison must actually exercise hits
+
+    def test_known_isotropic_splat(self):
+        """Identity precision: t is the perpendicular foot, q its distance^2."""
+        center = np.array([[0.0, 0.0, 5.0]])
+        prec = np.array([[1.0, 0.0, 0.0, 1.0, 0.0, 1.0]])  # M = I
+        direction = np.array([[0.0, 0.0, 1.0]])
+        # Ray through the center: q = 0 at t = 5.
+        mask, t, q = intersect_gaussian_batch(
+            np.array([[0.0, 0.0, 0.0]]), direction, center, prec, np.array([0.0])
+        )
+        assert bool(mask[0]) and float(t[0]) == 5.0 and float(q[0]) == 0.0
+        # Ray offset by 1 in x: q = 1, so the qmax = 1 boundary is inclusive.
+        mask, t, q = intersect_gaussian_batch(
+            np.array([[1.0, 0.0, 0.0]]), direction, center, prec, np.array([1.0])
+        )
+        assert bool(mask[0]) and float(t[0]) == 5.0 and float(q[0]) == 1.0
+        mask, _, _ = intersect_gaussian_batch(
+            np.array([[1.0, 0.0, 0.0]]), direction, center, prec,
+            np.array([0.999]),
+        )
+        assert not bool(mask[0])
+
+    def test_padding_rows_self_reject(self):
+        """Leaf padding (qmax = -1, M = 0) never becomes a candidate."""
+        rng = np.random.default_rng(41)
+        n = 32
+        origins, directions = _random_rays(rng, n)
+        centers = rng.uniform(-1.0, 1.0, (n, 3))
+        zeros = np.zeros((n, 6))
+        mask, t, q = intersect_gaussian_batch(
+            origins, directions, centers, zeros, np.full(n, -1.0)
+        )
+        assert not mask.any()
+        assert np.isfinite(t).all()
+        assert np.isfinite(q).all()
+        # Even a generous qmax cannot resurrect a zero matrix: d.Md = 0
+        # fails the positivity test on its own.
+        mask, _, _ = intersect_gaussian_batch(
+            origins, directions, centers, zeros, np.full(n, 100.0)
+        )
+        assert not mask.any()
+
+    def test_padded_groups_match_rows(self):
+        rng = np.random.default_rng(43)
+        g, k = 10, 4
+        origins, directions = _random_rays(rng, g)
+        centers = rng.uniform(-3.0, 3.0, (g, k, 3))
+        precisions = _random_precisions(rng, (g, k))
+        qmax = rng.uniform(0.25, 9.0, (g, k))
+        mask_g, t_g, q_g = intersect_gaussian_batch(
+            origins, directions, centers, precisions, qmax
+        )
+        assert mask_g.shape == (g, k)
+        mask_r, t_r, q_r = intersect_gaussian_batch(
+            np.repeat(origins, k, axis=0),
+            np.repeat(directions, k, axis=0),
+            centers.reshape(-1, 3),
+            precisions.reshape(-1, 6),
+            qmax.reshape(-1),
+        )
+        assert np.array_equal(mask_g.reshape(-1), mask_r)
+        assert np.array_equal(t_g.reshape(-1), t_r)
+        assert np.array_equal(q_g.reshape(-1), q_r)
+
+
+# ---------------------------------------------------------------------------
 # traversal helpers on a real BVH
 
 
 @pytest.fixture(scope="module")
 def kernel_bvh():
     return build_scene_bvh(random_soup(220, seed=5))
+
+
+@pytest.fixture(scope="module")
+def gaussian_bvh():
+    from repro.scenes.gaussians import GAUSSIAN_SCENES, build_gaussian_set
+
+    return build_scene_bvh(build_gaussian_set(GAUSSIAN_SCENES[0], scale=0.3))
 
 
 def _rays_into(bvh, n, seed):
@@ -388,6 +522,45 @@ class TestTraversalEquivalence:
             assert a.culled == b.culled
 
 
+@pytest.mark.parametrize("order", [TraversalOrder.DEPTH_FIRST, TraversalOrder.TREELET])
+@pytest.mark.parametrize("min_groups", [0, 1_000_000])
+class TestGaussianTraversalEquivalence:
+    """Splat traversals agree exactly between scalar and batch warp steps.
+
+    Same contract as :class:`TestTraversalEquivalence`, over a BVH whose
+    leaves hold gaussian rows instead of triangles — ``single_step``
+    dispatches ``_intersect_leaf_gaussian`` while the batch drain goes
+    through the gaussian branch of ``intersect_leaves_batch``.
+    """
+
+    def test_full_traversal_states_identical(self, gaussian_bvh, order, min_groups):
+        assert gaussian_bvh.prim_kind == "gaussian"
+        n = 48
+        origins, directions = _rays_into(gaussian_bvh, n, seed=47)
+
+        def fresh_states():
+            return [
+                init_traversal(
+                    gaussian_bvh, origins[i], directions[i], tmin=1e-4, order=order
+                )
+                for i in range(n)
+            ]
+
+        scalar = fresh_states()
+        batch = fresh_states()
+        _drain(gaussian_bvh, scalar, use_batch=False, min_groups=0)
+        _drain(gaussian_bvh, batch, use_batch=True, min_groups=min_groups)
+        hit_count = sum(1 for s in scalar if s.hit_prim >= 0)
+        assert hit_count > 0  # rays aimed at the splat cloud must hit it
+        for a, b in zip(scalar, batch):
+            assert a.t_hit == b.t_hit
+            assert a.hit_prim == b.hit_prim
+            assert a.nodes_visited == b.nodes_visited
+            assert a.leaf_visits == b.leaf_visits
+            assert a.triangle_tests == b.triangle_tests
+            assert a.culled == b.culled
+
+
 def test_end_to_end_render_identical():
     """A full simulated render is byte-identical scalar vs batch."""
     import json
@@ -408,6 +581,31 @@ def test_end_to_end_render_identical():
         scalar = runner.run_case("BUNNY", "sorted", context, vtq=None)
         set_batch_kernels(True)
         batch = runner.run_case("BUNNY", "sorted", context, vtq=None)
+    finally:
+        set_batch_kernels(previous)
+    assert json.dumps(scalar, sort_keys=True) == json.dumps(batch, sort_keys=True)
+
+
+def test_end_to_end_gaussian_render_identical():
+    """A full simulated splat render is byte-identical scalar vs batch."""
+    import json
+
+    from repro.experiments import runner
+    from repro.gpusim import set_batch_kernels
+
+    context = runner.default_context(fast=True)
+    context = runner.ExperimentContext(
+        setup=context.setup,
+        scene_list=context.scene_list,
+        use_disk_cache=False,
+        budget=context.budget,
+        sanitize=context.sanitize,
+    )
+    previous = set_batch_kernels(False)
+    try:
+        scalar = runner.run_case("GSPL1", "baseline", context, vtq=None)
+        set_batch_kernels(True)
+        batch = runner.run_case("GSPL1", "baseline", context, vtq=None)
     finally:
         set_batch_kernels(previous)
     assert json.dumps(scalar, sort_keys=True) == json.dumps(batch, sort_keys=True)

@@ -39,8 +39,10 @@ class TestSpecs:
         assert sizes == sorted(sizes)
 
     def test_scene_spec_lookup(self):
+        from repro.errors import SceneError
+
         assert scene_spec("LANDS").name == "LANDS"
-        with pytest.raises(KeyError):
+        with pytest.raises(SceneError, match="unknown scene 'NOPE'"):
             scene_spec("NOPE")
 
     def test_scene_names_order(self):

@@ -128,6 +128,49 @@ class TestResultCache:
         assert len(cache) == 0
         assert list(cache.root.glob("*.tmp")) == []
 
+    def test_entry_bound_evicts_least_recently_used(self, tmp_path, monkeypatch):
+        import os
+        import time
+
+        monkeypatch.setenv("REPRO_SERVICE_DEDUPE_MAX_ENTRIES", "3")
+        cache = ResultCache(tmp_path / "results")
+        now = time.time()
+        for i, key in enumerate(("k0", "k1", "k2", "k3", "k4")):
+            cache.store(key, {"cycles": float(i)})
+            # Deterministic mtime ordering without sleeping.
+            os.utime(cache.path(key), (now + i, now + i))
+            cache._enforce_limits(keep=cache.path(key))
+        assert len(cache) == 3
+        assert cache.lookup("k0") is None and cache.lookup("k1") is None
+        # A hit refreshes recency: k2 survives the next eviction, k3 goes.
+        assert cache.lookup("k2") == {"cycles": 2.0}
+        os.utime(cache.path("k2"), (now + 10, now + 10))
+        cache.store("k5", {"cycles": 5.0})
+        os.utime(cache.path("k5"), (now + 11, now + 11))
+        cache._enforce_limits(keep=cache.path("k5"))
+        assert cache.lookup("k3") is None
+        for key in ("k2", "k4", "k5"):
+            assert cache.lookup(key) is not None, key
+
+    def test_byte_bound_keeps_newest_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_DEDUPE_MAX_BYTES", "1")
+        cache = ResultCache(tmp_path / "results")
+        cache.store("a", {"cycles": 1.0})
+        cache.store("b", {"cycles": 2.0})
+        # The bound is tighter than any single entry; the just-written
+        # entry is never evicted (an aggressive bound must not force a
+        # 0% hit rate), so exactly one entry remains.
+        assert len(cache) == 1
+        assert cache.lookup("b") == {"cycles": 2.0}
+
+    def test_garbage_limits_degrade_to_unlimited(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_DEDUPE_MAX_ENTRIES", "lots")
+        monkeypatch.setenv("REPRO_SERVICE_DEDUPE_MAX_BYTES", "-5")
+        cache = ResultCache(tmp_path / "results")
+        for i in range(6):
+            cache.store(f"k{i}", {"cycles": float(i)})
+        assert len(cache) == 6
+
 
 # -- fleet registry --------------------------------------------------------------
 

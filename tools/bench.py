@@ -21,6 +21,10 @@ Times a fixed sweep of fast-scene cases through four phases —
                        surrogate, then exhaustively, and report the
                        wall-clock ratio and the surrogate's true max
                        relative cycle error (docs/SURROGATE.md),
+* ``gaussian_sweep``  — the splat workload (docs/GAUSSIAN.md): two
+                       Gaussian scenes under all three policies, scalar
+                       vs SoA engines, with the per-scene VTQ speedup
+                       the policy table reports,
 
 and writes ``BENCH_<date>.json`` with per-phase wall time, cases/sec and
 speedups (batch vs scalar, parallel vs serial, replay vs live).  Run
@@ -430,6 +434,48 @@ def bench_surrogate_sweep(context, seed=3):
     }
 
 
+def bench_gaussian_sweep(context, reps):
+    """The splat workload end-to-end: two Gaussian scenes x three policies.
+
+    Times the sweep under the scalar engines and under the SoA replay
+    engine (both produce bit-identical results — tests/test_soa_engine.py
+    enforces it on these exact scenes), and reports the per-scene policy
+    cycles so CI can watch the VTQ margin on the non-triangle workload.
+    """
+    scenes = ("GSPL1", "GSPL2")
+    policies = ("baseline", "prefetch", "vtq")
+    specs = [CaseSpec(scene, policy) for scene in scenes for policy in policies]
+    nocache = _nocache(context)
+
+    def sweep():
+        results = run_cases(specs, nocache, jobs=1, record_failures=False)
+        assert all(m is not None for m, _ in results), "gaussian case failed"
+        return [m for m, _ in results]
+
+    metrics = sweep()  # warm scene cache; keep the cycles for the table
+    out = {"scenes": list(scenes), "policy_cycles": {}, "vtq_speedup": {}}
+    for spec, m in zip(specs, metrics):
+        out["policy_cycles"].setdefault(spec.scene, {})[spec.policy] = m["cycles"]
+    for scene, cycles in out["policy_cycles"].items():
+        out["vtq_speedup"][scene] = (
+            cycles["baseline"] / cycles["vtq"] if cycles["vtq"] else 0.0
+        )
+    for label, batch, soa in (("scalar", False, False), ("soa", True, True)):
+        prev_batch = set_batch_kernels(batch)
+        prev_soa = set_soa_engine(soa)
+        try:
+            elapsed = _best_of(sweep, reps)
+        finally:
+            set_batch_kernels(prev_batch)
+            set_soa_engine(prev_soa)
+        out[label] = {
+            "wall_s": elapsed,
+            "cases_per_s": len(specs) / elapsed,
+        }
+    out["soa_speedup"] = out["scalar"]["wall_s"] / out["soa"]["wall_s"]
+    return out
+
+
 def default_output_path(date_str, directory=Path(".")):
     """A non-clobbering default report path.
 
@@ -519,6 +565,14 @@ def main(argv=None):
           f"({surr['speedup_vs_exhaustive']:.2f}x vs exhaustive; rel error "
           f"mean {surr['mean_rel_error']:.1%} / max {surr['max_rel_error']:.1%}, "
           f"frontier {surr['frontier_rel_error']:.1%})")
+    phases["gaussian_sweep"] = bench_gaussian_sweep(context, args.reps)
+    gauss = phases["gaussian_sweep"]
+    speedups = " ".join(
+        f"{scene} {s:.2f}x" for scene, s in gauss["vtq_speedup"].items()
+    )
+    print(f"  gaussian_sweep: scalar {gauss['scalar']['wall_s']:.2f}s, "
+          f"soa {gauss['soa']['wall_s']:.2f}s ({gauss['soa_speedup']:.2f}x); "
+          f"VTQ over baseline: {speedups}")
     if args.profile:
         phases["profile"] = profile_sweep(context, specs)
         hottest = phases["profile"]["top"][:3]

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Gaussian-splat smoke test: one splat scene, three policies, served == direct.
+
+Renders GSPL1 under baseline / prefetch / vtq twice — once directly
+through ``run_cases`` in this process, once through a real ``repro
+serve`` daemon — and asserts the two metric dicts (the JSON projection
+of ``SimStats`` plus cycles/energy/image statistics) are byte-identical
+per policy.  Along the way it checks the splat pipeline's own
+invariants: the three policies must agree on the functional image
+(``mean_radiance``) while disagreeing on cycles, and VTQ must not lose
+to the baseline on this workload.  This is what CI's ``gaussian-smoke``
+job runs; it is also handy after any change to the Gaussian kernels,
+the BVH leaf layout or the leaf-cost model:
+
+    PYTHONPATH=src python tools/gaussian_smoke.py
+
+Exit status 0 means every step (including clean shutdown) passed.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import default_context  # noqa: E402
+from repro.experiments.parallel import CaseSpec, run_cases  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+SCENE = "GSPL1"
+POLICIES = ("baseline", "prefetch", "vtq")
+CASES = [CaseSpec(SCENE, policy) for policy in POLICIES]
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_server(client: ServiceClient, proc, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with status {proc.returncode}")
+        try:
+            return client.health()
+        except ServiceError:
+            time.sleep(0.2)
+    raise SystemExit("server did not come up in time")
+
+
+def main() -> int:
+    # Direct leg first: three policies on the splat scene in-process.
+    direct = run_cases(CASES, default_context(fast=True), jobs=0)
+    metrics_by_policy = {}
+    for spec, (metrics, failure) in zip(CASES, direct):
+        assert failure is None, f"direct run failed: {failure}"
+        metrics_by_policy[spec.policy] = metrics
+        print(f"direct {spec.label()}: {metrics['cycles']:,.0f} cycles, "
+              f"SIMT {metrics['simt_efficiency']:.2f}")
+
+    # The functional image is policy-independent (timing models reorder
+    # work, never change it); the cycle counts are not.
+    radiances = {p: m["mean_radiance"] for p, m in metrics_by_policy.items()}
+    assert len(set(json.dumps(r) for r in radiances.values())) == 1, (
+        f"policies disagree on the rendered image: {radiances}"
+    )
+    cycles = {p: m["cycles"] for p, m in metrics_by_policy.items()}
+    assert len(set(cycles.values())) == len(cycles), (
+        f"policies priced the splat scene identically: {cycles}"
+    )
+    assert cycles["vtq"] < cycles["baseline"], (
+        f"VTQ lost to baseline on the splat workload: {cycles}"
+    )
+    print(f"image identical across policies; VTQ speedup "
+          f"{cycles['baseline'] / cycles['vtq']:.2f}x over baseline")
+
+    # Served leg: the same three cases through a real daemon.
+    port = free_port()
+    endpoint = f"127.0.0.1:{port}"
+    scratch = tempfile.mkdtemp(prefix="repro-gaussian-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env["REPRO_CACHE_DIR"] = str(Path(scratch) / "cache")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", endpoint,
+            "--spool", str(Path(scratch) / "spool"),
+            "--jobs", "0",
+            "--fast",
+        ],
+        env=env,
+    )
+    client = ServiceClient(endpoint=endpoint, timeout=30)
+    try:
+        health = wait_for_server(client, proc)
+        print(f"server up on {endpoint}: {json.dumps(health['states'])}")
+
+        job_ids = [client.submit(spec.scene, spec.policy) for spec in CASES]
+        print(f"submitted {len(job_ids)} jobs: {', '.join(job_ids)}")
+        records = client.wait(job_ids, timeout=300)
+        for record in records:
+            assert record["state"] == "done", f"job failed: {record}"
+
+        # The acceptance bar: served SimStats are byte-identical to the
+        # direct executor path, per policy.
+        for record, spec in zip(records, CASES):
+            served = json.dumps(record["result"], sort_keys=True)
+            expected = json.dumps(metrics_by_policy[spec.policy], sort_keys=True)
+            assert served == expected, (
+                f"{spec.label()}: served result diverged from direct run\n"
+                f"  served:   {served}\n  expected: {expected}"
+            )
+            print(f"{spec.label()}: served == direct "
+                  f"({record['result']['cycles']:.0f} cycles)")
+
+        reply = client.drain(stop=True)
+        assert reply["drained"] is True
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"server exit status {proc.returncode}"
+        print("server drained and stopped cleanly")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
